@@ -1,0 +1,124 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the mini-Spark
+// substrate's narrow and wide operators — the cost model underneath every
+// experiment's timing numbers.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/dataset.h"
+#include "engine/shuffle.h"
+
+namespace {
+
+using upa::Rng;
+using upa::engine::Dataset;
+using upa::engine::ExecConfig;
+using upa::engine::ExecContext;
+
+ExecContext& Ctx() {
+  static ExecContext ctx(ExecConfig{.threads = 0, .default_partitions = 4});
+  return ctx;
+}
+
+std::vector<double> RandomDoubles(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble(0, 1);
+  return v;
+}
+
+void BM_DatasetMap(benchmark::State& state) {
+  auto ds = Dataset<double>::FromVector(
+      &Ctx(), RandomDoubles(static_cast<size_t>(state.range(0)), 1));
+  for (auto _ : state) {
+    auto mapped = ds.Map([](const double& v) { return v * 2.0 + 1.0; });
+    benchmark::DoNotOptimize(mapped.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DatasetMap)->Arg(10000)->Arg(100000);
+
+void BM_DatasetFilter(benchmark::State& state) {
+  auto ds = Dataset<double>::FromVector(
+      &Ctx(), RandomDoubles(static_cast<size_t>(state.range(0)), 2));
+  for (auto _ : state) {
+    auto filtered = ds.Filter([](const double& v) { return v < 0.5; });
+    benchmark::DoNotOptimize(filtered.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DatasetFilter)->Arg(10000)->Arg(100000);
+
+void BM_DatasetReduce(benchmark::State& state) {
+  auto ds = Dataset<double>::FromVector(
+      &Ctx(), RandomDoubles(static_cast<size_t>(state.range(0)), 3));
+  for (auto _ : state) {
+    double sum = ds.Reduce([](double a, double b) { return a + b; }, 0.0);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DatasetReduce)->Arg(10000)->Arg(100000);
+
+void BM_ShuffleByKey(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::pair<int, double>> kv(n);
+  for (auto& [k, v] : kv) {
+    k = static_cast<int>(rng.UniformU64(1000));
+    v = rng.UniformDouble(0, 1);
+  }
+  auto ds = Dataset<std::pair<int, double>>::FromVector(&Ctx(), kv);
+  for (auto _ : state) {
+    auto shuffled = upa::engine::ShuffleByKey(ds, 4);
+    benchmark::DoNotOptimize(shuffled.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShuffleByKey)->Arg(10000)->Arg(100000);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::pair<int, double>> kv(n);
+  for (auto& [k, v] : kv) {
+    k = static_cast<int>(rng.UniformU64(100));
+    v = 1.0;
+  }
+  auto ds = Dataset<std::pair<int, double>>::FromVector(&Ctx(), kv);
+  for (auto _ : state) {
+    auto reduced = upa::engine::ReduceByKey(
+        ds, [](double a, double b) { return a + b; }, 4);
+    benchmark::DoNotOptimize(reduced.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceByKey)->Arg(10000)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<std::pair<int, int>> left(n), right(n / 4);
+  for (auto& [k, v] : left) {
+    k = static_cast<int>(rng.UniformU64(n / 4 + 1));
+    v = 1;
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    right[i] = {static_cast<int>(i), 2};
+  }
+  auto l = Dataset<std::pair<int, int>>::FromVector(&Ctx(), left);
+  auto r = Dataset<std::pair<int, int>>::FromVector(&Ctx(), right);
+  for (auto _ : state) {
+    auto joined = upa::engine::HashJoin(l, r, 4);
+    benchmark::DoNotOptimize(joined.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Figure 4(a) reproduction: UPA's overhead versus dataset size.
+//
+// Paper result shape: the normalized overhead *decreases* as the dataset
+// grows, because the sensitivity-inference cost is governed by the fixed
+// sample size n (constant work) while the native query cost grows linearly.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "upa/runner.h"
+
+int main() {
+  using namespace upa;
+  bench::BenchEnv env = bench::BenchEnv::FromEnv();
+  bench::PrintBanner("Figure 4(a) — overhead vs dataset size", env);
+
+  // Scale multipliers relative to the base size.
+  const std::vector<double> scales = {0.5, 1.0, 2.0, 4.0};
+
+  TablePrinter table({"Query", "scale", "records", "native (ms)", "UPA (ms)",
+                      "normalized"});
+  for (const auto& name : queries::QuerySuite::AllQueryNames()) {
+    for (double scale : scales) {
+      bench::BenchEnv scaled = env;
+      scaled.orders = static_cast<size_t>(env.orders * scale);
+      scaled.ml_points = static_cast<size_t>(env.ml_points * scale);
+      queries::QuerySuite suite(scaled.MakeSuiteConfig());
+
+      core::UpaConfig upa_cfg = env.MakeUpaConfig();
+      core::UpaRunner runner(upa_cfg);
+
+      // Warm the scan/block caches so both sides time steady-state.
+      suite.RunNative(name);
+      (void)runner.Run(suite.MakeInstance(name), env.seed + 999);
+
+      std::vector<double> native_ms, upa_ms;
+      for (size_t r = 0; r < std::max<size_t>(2, env.runs / 3); ++r) {
+        Stopwatch watch;
+        suite.RunNative(name);
+        native_ms.push_back(watch.ElapsedMillis());
+        auto result = runner.Run(suite.MakeInstance(name), env.seed + r);
+        if (!result.ok()) {
+          std::fprintf(stderr, "UPA failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        upa_ms.push_back(result.value().seconds.total * 1e3);
+      }
+      double normalized = Mean(upa_ms) / std::max(1e-9, Mean(native_ms));
+      table.AddRow({name, TablePrinter::FormatDouble(scale, 1),
+                    std::to_string(suite.NumPrivateRecords(name)),
+                    TablePrinter::FormatDouble(Mean(native_ms), 2),
+                    TablePrinter::FormatDouble(Mean(upa_ms), 2),
+                    TablePrinter::FormatDouble(normalized, 2)});
+    }
+  }
+  table.Print("Figure 4(a): normalized UPA time across dataset sizes "
+              "(shape: decreasing with size)");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table II reproduction: the evaluated queries, their type, and which of
+// UPA / FLEX supports each. Paper result: UPA 9/9, FLEX 5/9 (the count
+// queries built from Select/Join/Filter/Count).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "common/table_printer.h"
+#include "upa/runner.h"
+
+int main() {
+  using namespace upa;
+  bench::BenchEnv env = bench::BenchEnv::FromEnv();
+  bench::PrintBanner("Table II — evaluated queries and system support", env);
+
+  queries::QuerySuite suite(env.MakeSuiteConfig());
+  core::UpaConfig upa_cfg = env.MakeUpaConfig();
+  upa_cfg.sample_n = std::min<size_t>(upa_cfg.sample_n, 200);  // probe run
+
+  TablePrinter table({"Query", "Private records", "Query Type",
+                      "Support By UPA", "Support By FLEX", "FLEX note"});
+  size_t upa_supported = 0, flex_supported = 0;
+  for (const auto& name : queries::QuerySuite::AllQueryNames()) {
+    const auto& info = suite.Info(name);
+
+    // UPA support is demonstrated, not asserted: run the query through the
+    // full pipeline.
+    core::UpaRunner runner(upa_cfg);
+    auto result = runner.Run(suite.MakeInstance(name), env.seed);
+    bool upa_ok = result.ok();
+    if (upa_ok) ++upa_supported;
+
+    auto flex = suite.RunFlex(name);
+    if (flex.supported) ++flex_supported;
+
+    table.AddRow({name, std::to_string(suite.NumPrivateRecords(name)),
+                  info.query_type, upa_ok ? "yes" : "NO",
+                  flex.supported ? "yes" : "no",
+                  flex.supported ? "" : flex.unsupported_reason});
+  }
+  table.Print("Table II: query support matrix");
+  std::printf("\nUPA supports %zu/9 queries; FLEX supports %zu/9 queries "
+              "(paper: 9/9 vs 5/9).\n",
+              upa_supported, flex_supported);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// The paper's threat model (§III), played out: an analyst who knows a
+// victim's attribute values repeatedly submits the same counting query on
+// neighbouring datasets (with/without the victim), hoping the output
+// difference reveals whether the victim is present.
+//
+// Two defenses act together:
+//   1. the RANGE ENFORCER recognizes the repeat on a neighbouring input
+//      (partition outputs collide) and removes records to break
+//      neighbourhood before answering;
+//   2. Laplace noise calibrated to the inferred sensitivity hides the
+//      ±1 signal in any single answer.
+// The attack is measured empirically: the attacker's best guess accuracy
+// over many trials should stay near coin-flipping.
+#include <cstdio>
+#include <vector>
+
+#include "upa/runner.h"
+#include "upa/simple_query.h"
+
+using namespace upa;
+
+namespace {
+
+/// Builds the attacker's counting query over `records`.
+core::QueryInstance CountQuery(engine::ExecContext* ctx,
+                               std::shared_ptr<std::vector<int>> records) {
+  core::SimpleQuerySpec<int> spec;
+  spec.name = "attack-count";
+  spec.ctx = ctx;
+  spec.records = records;
+  spec.map_record = [](const int&) { return core::Vec{1.0}; };
+  spec.sample_domain = [](Rng& rng) {
+    return static_cast<int>(rng.UniformU64(1 << 20));
+  };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+}  // namespace
+
+int main() {
+  engine::ExecContext ctx;
+  const size_t kN = 20000;
+  const int kTrials = 60;
+
+  core::UpaConfig cfg;
+  cfg.sample_n = 500;
+  cfg.epsilon = 0.1;
+
+  int correct_guesses = 0;
+  size_t enforcer_interventions = 0;
+  Rng coin(99);
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Fresh UPA deployment per trial; the attacker gets TWO queries: one
+    // on the dataset x, one on x ± victim (the neighbouring dataset).
+    core::UpaRunner runner(cfg);
+    Rng data_rng(1000 + trial);
+    auto base = std::make_shared<std::vector<int>>(kN);
+    for (auto& v : *base) v = static_cast<int>(data_rng.UniformU64(1 << 20));
+
+    bool victim_present = coin.Bernoulli(0.5);
+    auto with_or_without = std::make_shared<std::vector<int>>(*base);
+    if (victim_present) with_or_without->push_back(424242);  // the victim
+
+    auto first = runner.Run(CountQuery(&ctx, base), 5000 + trial);
+    auto second = runner.Run(CountQuery(&ctx, with_or_without), 5000 + trial);
+    if (!first.ok() || !second.ok()) {
+      std::fprintf(stderr, "trial %d failed\n", trial);
+      return 1;
+    }
+    if (second.value().enforcer.attack_suspected) ++enforcer_interventions;
+
+    // Attacker's best strategy: guess "present" if the second noisy answer
+    // exceeds the first by at least 0.5.
+    bool guess =
+        second.value().released_output - first.value().released_output > 0.5;
+    if (guess == victim_present) ++correct_guesses;
+  }
+
+  double accuracy = static_cast<double>(correct_guesses) / kTrials;
+  std::printf("Repeated-query attack on a count (%d trials, eps=%.1f):\n",
+              kTrials, cfg.epsilon);
+  std::printf("  enforcer flagged the repeat in %zu/%d trials\n",
+              enforcer_interventions, kTrials);
+  std::printf("  attacker guess accuracy: %.1f%%  (50%% = blind guessing; "
+              "the +-1 signal is buried under Lap(sens/eps) noise ~ +-10)\n",
+              accuracy * 100.0);
+  std::printf("  %s\n", accuracy < 0.65
+                            ? "defense holds: presence of one record is not "
+                              "inferable from the releases"
+                            : "WARNING: attack accuracy unexpectedly high");
+
+  // Contrast: without DP the same two answers identify the victim with
+  // certainty.
+  std::printf("\nWithout UPA, |f(x') - f(x)| = 1 exactly -> the attacker "
+              "wins every time.\n");
+  return 0;
+}

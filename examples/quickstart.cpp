@@ -1,0 +1,57 @@
+// Quickstart: privately count and sum a dataset in ~30 lines of analyst
+// code. Demonstrates the Table I API: dpread → filterDP → countDP /
+// reduceSumDP, with automatic sensitivity inference — no manually supplied
+// bounds anywhere.
+#include <cstdio>
+#include <vector>
+
+#include "upa/dp_api.h"
+
+int main() {
+  using namespace upa;
+
+  // --- Data provider side -------------------------------------------------
+  // 50k salaries (the private records), plus a sampler describing what a
+  // plausible fresh record looks like (UPA uses it to simulate the
+  // "record added" neighbouring datasets).
+  engine::ExecContext ctx;
+  Rng gen(2024);
+  std::vector<double> salaries(50000);
+  for (auto& s : salaries) s = 30000.0 + gen.Exponential(1.0 / 40000.0);
+  auto domain = [](Rng& rng) {
+    return 30000.0 + rng.Exponential(1.0 / 40000.0);
+  };
+
+  core::UpaConfig config;       // n = 1000 samples, ε handled per release
+  api::UpaSystem upa(&ctx, config, /*total_budget=*/1.0);
+  auto data = upa.dpread<double>(salaries, domain, "salaries-2024");
+
+  // --- Analyst side -------------------------------------------------------
+  auto high_earners = data.filterDP([](const double& s) { return s > 100000.0; });
+  auto count = high_earners.countDP(/*epsilon=*/0.3);
+  auto total = data.reduceSumDP([](const double& s) { return s; },
+                                /*epsilon=*/0.5);
+
+  if (!count.ok() || !total.ok()) {
+    std::fprintf(stderr, "release failed: %s %s\n",
+                 count.status().ToString().c_str(),
+                 total.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Private analytics over %zu salary records\n", salaries.size());
+  std::printf("  high earners (>100k):  %.0f   (auto-inferred sensitivity %.3g, eps=0.3)\n",
+              count.value().value, count.value().local_sensitivity);
+  std::printf("  total payroll:         %.0f   (auto-inferred sensitivity %.3g, eps=0.5)\n",
+              total.value().value, total.value().local_sensitivity);
+  std::printf("  budget left on dataset: %.2f of %.2f\n",
+              upa.accountant().Remaining("salaries-2024"),
+              upa.accountant().total_budget());
+
+  // A third query over the same data would exceed the ε budget:
+  auto denied = data.countDP(0.5);
+  std::printf("  third query (eps=0.5): %s\n",
+              denied.ok() ? "released (unexpected!)"
+                          : denied.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Private TPC-H analytics: runs all nine evaluated queries (Table II)
+// through the full UPA pipeline and reports released vs. true outputs,
+// inferred sensitivities, and what FLEX would have done instead.
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "queries/suite.h"
+#include "upa/runner.h"
+
+int main() {
+  using namespace upa;
+
+  queries::SuiteConfig cfg;
+  cfg.tpch.num_orders = 2000;
+  cfg.ml.num_points = 10000;
+  queries::QuerySuite suite(cfg);
+
+  core::UpaConfig upa_cfg;
+  upa_cfg.sample_n = 1000;
+  upa_cfg.epsilon = 0.1;  // the paper's evaluation budget
+  core::UpaRunner runner(upa_cfg);
+
+  TablePrinter table({"Query", "true output", "released (eps=0.1)",
+                      "rel. error", "inferred sens", "FLEX would use"});
+  for (const auto& name : queries::QuerySuite::AllQueryNames()) {
+    double truth = suite.RunNative(name);
+    auto result = runner.Run(suite.MakeInstance(name), /*seed=*/7);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    auto flex = suite.RunFlex(name);
+    double released = result.value().released_output;
+    double rel_err = truth != 0.0 ? (released - truth) / truth : 0.0;
+    table.AddRow({name, TablePrinter::FormatDouble(truth, 2),
+                  TablePrinter::FormatDouble(released, 2),
+                  TablePrinter::FormatPercent(rel_err, 2),
+                  TablePrinter::FormatDouble(result.value().local_sensitivity, 4),
+                  flex.supported
+                      ? TablePrinter::FormatDouble(flex.local_sensitivity, 1) +
+                            " (static)"
+                      : "cannot analyze"});
+  }
+  table.Print("Private TPC-H + ML analytics under UPA (iDP, eps=0.1)");
+  std::printf(
+      "\nEvery sensitivity above was inferred automatically from the query's\n"
+      "actual execution — no expert-provided bounds, no query rewriting.\n");
+  return 0;
+}

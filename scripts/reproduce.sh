@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproduce the paper's full evaluation: build, test, then run every
+# table/figure bench, teeing outputs into results/.
+#
+# Scale knobs (see src/bench_util/harness.h) pass through, e.g.:
+#   UPA_ORDERS=50000 UPA_TRIALS=20 scripts/reproduce.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/test_output.txt
+
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" 2>&1 | tee "results/${name}.txt"
+done
+
+echo
+echo "Done. Per-experiment outputs are in results/; compare against"
+echo "EXPERIMENTS.md (paper-vs-measured notes per table/figure)."

@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/env.h"
+
+namespace upa {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not initialized
+
+LogLevel ParseLevel(const std::string& s) {
+  if (s == "error") return LogLevel::kError;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "debug") return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel CurrentLogLevel() {
+  int lv = g_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = static_cast<int>(ParseLevel(EnvString("UPA_LOG_LEVEL", "info")));
+    g_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lv);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogV(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) > static_cast<int>(CurrentLogLevel())) return;
+  std::lock_guard lock(LogMutex());
+  std::fprintf(stderr, "[upa %s] ", LevelTag(level));
+  std::vfprintf(stderr, fmt, args);
+  size_t len = std::strlen(fmt);
+  if (len == 0 || fmt[len - 1] != '\n') std::fputc('\n', stderr);
+}
+
+void Log(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  LogV(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace upa

@@ -1,0 +1,24 @@
+// Minimal leveled logging to stderr. Level controlled by UPA_LOG_LEVEL
+// (error|warn|info|debug); default info. printf-style formatting.
+#pragma once
+
+#include <cstdarg>
+
+namespace upa {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current threshold (read once from the environment, then cached).
+LogLevel CurrentLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogV(LogLevel level, const char* fmt, va_list args);
+void Log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace upa
+
+#define UPA_LOG_ERROR(...) ::upa::Log(::upa::LogLevel::kError, __VA_ARGS__)
+#define UPA_LOG_WARN(...) ::upa::Log(::upa::LogLevel::kWarn, __VA_ARGS__)
+#define UPA_LOG_INFO(...) ::upa::Log(::upa::LogLevel::kInfo, __VA_ARGS__)
+#define UPA_LOG_DEBUG(...) ::upa::Log(::upa::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,78 @@
+#include "common/normal_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace upa {
+
+NormalParams FitNormalMle(std::span<const double> xs) {
+  NormalParams p;
+  if (xs.empty()) return p;
+  p.mean = Mean(xs);
+  p.stddev = StdDevPopulation(xs);  // MLE uses 1/N
+  return p;
+}
+
+double StandardNormalQuantile(double p) {
+  UPA_CHECK_MSG(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+
+  // Peter Acklam's rational approximation to the inverse normal CDF.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double x;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One step of Halley refinement against erfc for extra precision.
+  double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double NormalQuantile(const NormalParams& params, double p) {
+  return params.mean + params.stddev * StandardNormalQuantile(p);
+}
+
+double Interval::Clamp(double x) const { return std::clamp(x, lo, hi); }
+
+Interval NormalPercentileInterval(std::span<const double> xs, double lo_pct,
+                                  double hi_pct) {
+  UPA_CHECK_MSG(lo_pct < hi_pct, "lo percentile must be below hi percentile");
+  NormalParams fit = FitNormalMle(xs);
+  Interval iv;
+  iv.lo = NormalQuantile(fit, lo_pct / 100.0);
+  iv.hi = NormalQuantile(fit, hi_pct / 100.0);
+  if (iv.lo > iv.hi) std::swap(iv.lo, iv.hi);
+  return iv;
+}
+
+}  // namespace upa

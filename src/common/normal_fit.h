@@ -1,0 +1,45 @@
+// Normal-distribution MLE fit and percentile interval.
+//
+// UPA (Algorithm 1, lines 17–21) fits a normal distribution to the outputs
+// of the sampled neighbouring datasets by maximum likelihood and takes the
+// [P1, P99] interval as both the constrained output range Ô_f and the
+// inferred local sensitivity (P99 − P1). This module provides exactly that.
+#pragma once
+
+#include <span>
+
+namespace upa {
+
+/// MLE parameters of a normal distribution (mean, population stddev).
+struct NormalParams {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Maximum-likelihood fit: mean = sample mean, stddev = population stddev
+/// (MLE divides by N). Empty input yields {0, 0}.
+NormalParams FitNormalMle(std::span<const double> xs);
+
+/// Standard normal inverse CDF (quantile). p must be in (0, 1).
+/// Acklam's rational approximation (|relative error| < 1.15e-9).
+double StandardNormalQuantile(double p);
+
+/// Quantile of N(mean, stddev) at probability p in (0, 1).
+double NormalQuantile(const NormalParams& params, double p);
+
+/// The inferred output range of Algorithm 1: [quantile(loPct), quantile(hiPct)]
+/// of the MLE normal fit. Percentiles in (0, 100).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  /// Clamp x into the interval.
+  double Clamp(double x) const;
+};
+
+Interval NormalPercentileInterval(std::span<const double> xs, double lo_pct,
+                                  double hi_pct);
+
+}  // namespace upa

@@ -1,0 +1,137 @@
+// Lightweight Status / Result error handling used across module boundaries.
+//
+// Convention (see DESIGN.md §5): recoverable conditions travel as
+// Status/Result<T>; violated preconditions abort through UPA_CHECK with
+// enough context to debug. No exceptions cross module boundaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace upa {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnsupported,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode (stable, for logs and tests).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. Access to the value when !ok() aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfBad();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfBad();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfBad();
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  void AbortIfBad() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace upa
+
+/// Abort with file/line context if `cond` is false. For preconditions and
+/// invariants whose violation indicates a programming error.
+#define UPA_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::upa::detail::CheckFailed(__FILE__, __LINE__, #cond, "");      \
+    }                                                                 \
+  } while (0)
+
+#define UPA_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::upa::detail::CheckFailed(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                 \
+  } while (0)
+
+/// Propagate a non-OK Status from the current function.
+#define UPA_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::upa::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)

@@ -1,0 +1,103 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace upa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  UPA_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  UPA_CHECK_MSG(cells.size() == headers_.size(),
+                "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FormatScientific(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += quote(headers_[c]);
+    out += (c + 1 < headers_.size()) ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += quote(row[c]);
+      out += (c + 1 < row.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToString().c_str());
+  // UPA_CSV=1 additionally emits a machine-readable block (for plotting
+  // the figures from bench output).
+  if (EnvInt("UPA_CSV", 0) != 0) {
+    std::printf("--- csv: %s ---\n%s--- end csv ---\n", title.c_str(),
+                ToCsv().c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace upa

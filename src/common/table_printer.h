@@ -1,0 +1,37 @@
+// Aligned console tables and CSV output for the benchmark harness.
+//
+// Every bench binary prints its table/figure rows through this so the
+// output format matches across experiments (and can be diffed run-to-run).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace upa {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row. Must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats helpers.
+  static std::string FormatDouble(double v, int precision = 4);
+  static std::string FormatScientific(double v, int precision = 3);
+  static std::string FormatPercent(double fraction, int precision = 1);
+
+  /// Render as an aligned ASCII table.
+  std::string ToString() const;
+  /// Render as CSV (RFC-4180-ish quoting).
+  std::string ToCsv() const;
+
+  /// Print ToString() to stdout with a title line.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace upa

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace upa {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> fut = wrapped.get_future();
+  {
+    std::lock_guard lock(mu_);
+    UPA_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    queue_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForChunks(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t chunks = std::min(n, thread_count());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * per;
+    size_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    futures.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  // Wait for every chunk before propagating any error: chunks reference
+  // caller stack state, so unwinding while siblings still run would be a
+  // use-after-scope.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace upa

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The engine schedules one task per dataset partition on this pool, the way
+// Spark schedules one task per RDD partition on its executors. The pool size
+// defaults to the hardware concurrency and can be overridden (the CI box for
+// this repo has a single core; correctness does not depend on parallelism).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace upa {
+
+class ThreadPool {
+ public:
+  /// threads == 0 → std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n), partitioned into ~thread_count chunks, and
+  /// wait for all of them. Exceptions in fn propagate to the caller.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Run fn(chunk_begin, chunk_end) over contiguous chunks and wait.
+  void ParallelForChunks(
+      size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace upa

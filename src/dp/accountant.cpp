@@ -1,0 +1,35 @@
+#include "dp/accountant.h"
+
+#include <cstdio>
+
+namespace upa::dp {
+
+Status PrivacyAccountant::Charge(const std::string& dataset_id,
+                                 double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  std::lock_guard lock(mu_);
+  double& spent = spent_[dataset_id];
+  if (spent + epsilon > total_budget_ + 1e-12) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "budget exhausted for '%s': spent=%.4f + eps=%.4f > %.4f",
+                  dataset_id.c_str(), spent, epsilon, total_budget_);
+    return Status::OutOfRange(buf);
+  }
+  spent += epsilon;
+  return Status::Ok();
+}
+
+double PrivacyAccountant::Spent(const std::string& dataset_id) const {
+  std::lock_guard lock(mu_);
+  auto it = spent_.find(dataset_id);
+  return it == spent_.end() ? 0.0 : it->second;
+}
+
+double PrivacyAccountant::Remaining(const std::string& dataset_id) const {
+  return total_budget_ - Spent(dataset_id);
+}
+
+}  // namespace upa::dp

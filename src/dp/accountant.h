@@ -1,0 +1,37 @@
+// Privacy-budget accounting.
+//
+// Sequential composition: a sequence of ε_i-iDP releases on the same dataset
+// is (Σ ε_i)-iDP. The accountant tracks consumption per dataset and refuses
+// queries that would exceed the configured budget — the operational side of
+// "the analyst keeps conducting queries on one dataset" in UPA's threat
+// model (§III).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace upa::dp {
+
+class PrivacyAccountant {
+ public:
+  explicit PrivacyAccountant(double total_budget)
+      : total_budget_(total_budget) {}
+
+  /// Try to consume `epsilon` from the budget of `dataset_id`.
+  /// Fails with OUT_OF_RANGE when the budget would be exceeded.
+  Status Charge(const std::string& dataset_id, double epsilon);
+
+  double Spent(const std::string& dataset_id) const;
+  double Remaining(const std::string& dataset_id) const;
+  double total_budget() const { return total_budget_; }
+
+ private:
+  double total_budget_;
+  mutable std::mutex mu_;
+  std::map<std::string, double> spent_;
+};
+
+}  // namespace upa::dp

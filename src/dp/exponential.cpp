@@ -1,0 +1,74 @@
+#include "dp/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace upa::dp {
+
+size_t ExponentialMechanism(std::span<const double> scores,
+                            double score_sensitivity, double epsilon,
+                            Rng& rng) {
+  UPA_CHECK_MSG(!scores.empty(), "no candidates");
+  UPA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  UPA_CHECK_MSG(score_sensitivity > 0.0,
+                "score sensitivity must be positive");
+  // Gumbel-max: argmax_i (ε·s_i / (2Δ) + Gumbel(0,1)) samples the
+  // exponential-mechanism distribution exactly.
+  double best = -std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+  double scale = epsilon / (2.0 * score_sensitivity);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double u = rng.UniformDouble();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    double gumbel = -std::log(-std::log(u));
+    double keyed = scores[i] * scale + gumbel;
+    if (keyed > best) {
+      best = keyed;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+std::vector<double> NoisyHistogram(std::span<const double> counts,
+                                   double epsilon, Rng& rng) {
+  UPA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  std::vector<double> out;
+  out.reserve(counts.size());
+  for (double c : counts) {
+    out.push_back(c + rng.Laplace(1.0 / epsilon));
+  }
+  return out;
+}
+
+double PrivateMedian(std::span<const double> sorted_data,
+                     std::span<const double> candidates, double epsilon,
+                     Rng& rng) {
+  UPA_CHECK_MSG(!sorted_data.empty(), "empty data");
+  UPA_CHECK_MSG(!candidates.empty(), "empty candidate domain");
+  UPA_CHECK_MSG(std::is_sorted(sorted_data.begin(), sorted_data.end()),
+                "data must be sorted");
+  double half = static_cast<double>(sorted_data.size()) / 2.0;
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (double c : candidates) {
+    // Midpoint of the strict and weak ranks: robust to duplicate-heavy
+    // data (a candidate equal to a large duplicate block scores by the
+    // block's centre, not its edge).
+    double lt = static_cast<double>(
+        std::lower_bound(sorted_data.begin(), sorted_data.end(), c) -
+        sorted_data.begin());
+    double le = static_cast<double>(
+        std::upper_bound(sorted_data.begin(), sorted_data.end(), c) -
+        sorted_data.begin());
+    scores.push_back(-std::fabs((lt + le) / 2.0 - half));
+  }
+  size_t idx =
+      ExponentialMechanism(scores, /*score_sensitivity=*/1.0, epsilon, rng);
+  return candidates[idx];
+}
+
+}  // namespace upa::dp

@@ -1,0 +1,39 @@
+// Exponential mechanism and noisy-histogram releases.
+//
+// Completes the DP toolkit around UPA's Laplace releases: selection among
+// discrete candidates (ε-DP via the Gumbel-noise formulation) and the
+// parallel-composition histogram (disjoint bins ⇒ one ε covers all bins),
+// both of which the keyed API (reduceByKeyDP) and examples build on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upa::dp {
+
+/// Exponential mechanism: picks index i with probability proportional to
+/// exp(ε · score[i] / (2 · sensitivity)), where `sensitivity` bounds how
+/// much any one record can change any score. Implemented via the Gumbel-max
+/// trick (numerically stable, single pass).
+size_t ExponentialMechanism(std::span<const double> scores,
+                            double score_sensitivity, double epsilon,
+                            Rng& rng);
+
+/// Noisy histogram under parallel composition: each record falls in exactly
+/// one bin, so adding/removing a record changes one count by 1 — Laplace
+/// (1/ε) noise per bin yields ε-DP for the whole histogram.
+std::vector<double> NoisyHistogram(std::span<const double> counts,
+                                   double epsilon, Rng& rng);
+
+/// ε-DP median selection over a bounded discrete domain: scores each
+/// candidate by -|rank(candidate) - n/2| and applies the exponential
+/// mechanism (rank sensitivity 1). `sorted_data` must be sorted ascending;
+/// `candidates` are the release domain.
+double PrivateMedian(std::span<const double> sorted_data,
+                     std::span<const double> candidates, double epsilon,
+                     Rng& rng);
+
+}  // namespace upa::dp

@@ -1,0 +1,51 @@
+#include "dp/gaussian.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace upa::dp {
+
+double GaussianSigma(double l2_sensitivity, double epsilon, double delta) {
+  UPA_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0,
+                "classic Gaussian mechanism requires epsilon in (0, 1)");
+  UPA_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  UPA_CHECK_MSG(l2_sensitivity >= 0.0, "sensitivity must be non-negative");
+  return l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+double GaussianMechanism(double value, double l2_sensitivity, double epsilon,
+                         double delta, Rng& rng) {
+  double sigma = GaussianSigma(l2_sensitivity, epsilon, delta);
+  return sigma == 0.0 ? value : value + rng.Normal(0.0, sigma);
+}
+
+std::vector<double> GaussianMechanism(const std::vector<double>& values,
+                                      double l2_sensitivity, double epsilon,
+                                      double delta, Rng& rng) {
+  double sigma = GaussianSigma(l2_sensitivity, epsilon, delta);
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(sigma == 0.0 ? v : v + rng.Normal(0.0, sigma));
+  }
+  return out;
+}
+
+PrivacyParams BasicComposition(PrivacyParams per_release, size_t k) {
+  return {per_release.epsilon * static_cast<double>(k),
+          per_release.delta * static_cast<double>(k)};
+}
+
+PrivacyParams AdvancedComposition(PrivacyParams per_release, size_t k,
+                                  double delta_prime) {
+  UPA_CHECK_MSG(delta_prime > 0.0 && delta_prime < 1.0,
+                "delta_prime must be in (0, 1)");
+  double eps = per_release.epsilon;
+  double kd = static_cast<double>(k);
+  double eps_prime = eps * std::sqrt(2.0 * kd * std::log(1.0 / delta_prime)) +
+                     kd * eps * (std::exp(eps) - 1.0);
+  return {eps_prime, kd * per_release.delta + delta_prime};
+}
+
+}  // namespace upa::dp

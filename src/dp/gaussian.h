@@ -1,0 +1,45 @@
+// Gaussian mechanism and (ε, δ) composition helpers.
+//
+// UPA itself releases with pure-ε Laplace noise; the Gaussian mechanism is
+// provided as the standard alternative for vector-valued releases (ML
+// model updates) where L2 sensitivity composes better, together with the
+// basic and advanced sequential-composition bounds an operator needs to
+// reason about multi-release pipelines (e.g. examples/private_ml's
+// gradient steps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upa::dp {
+
+/// Classic analytic Gaussian mechanism noise scale:
+/// σ = sensitivity · sqrt(2 ln(1.25/δ)) / ε, valid for ε ∈ (0, 1).
+double GaussianSigma(double l2_sensitivity, double epsilon, double delta);
+
+/// value + N(0, σ²) with σ from GaussianSigma.
+double GaussianMechanism(double value, double l2_sensitivity, double epsilon,
+                         double delta, Rng& rng);
+
+/// Per-coordinate Gaussian noise; `l2_sensitivity` is the L2 sensitivity
+/// of the whole vector.
+std::vector<double> GaussianMechanism(const std::vector<double>& values,
+                                      double l2_sensitivity, double epsilon,
+                                      double delta, Rng& rng);
+
+/// Basic sequential composition: k releases of (ε, δ) are (kε, kδ).
+struct PrivacyParams {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+PrivacyParams BasicComposition(PrivacyParams per_release, size_t k);
+
+/// Advanced composition (Dwork–Rothblum–Vadhan): k releases of (ε, δ) are
+/// (ε', kδ + δ') with ε' = ε·sqrt(2k ln(1/δ')) + kε(e^ε − 1).
+PrivacyParams AdvancedComposition(PrivacyParams per_release, size_t k,
+                                  double delta_prime);
+
+}  // namespace upa::dp

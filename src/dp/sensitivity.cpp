@@ -1,0 +1,19 @@
+#include "dp/sensitivity.h"
+
+namespace upa::dp {
+
+std::string MethodName(SensitivityMethod method) {
+  switch (method) {
+    case SensitivityMethod::kBruteForce:
+      return "brute-force";
+    case SensitivityMethod::kUpaSampled:
+      return "upa";
+    case SensitivityMethod::kFlexStatic:
+      return "flex";
+    case SensitivityMethod::kManual:
+      return "manual";
+  }
+  return "unknown";
+}
+
+}  // namespace upa::dp

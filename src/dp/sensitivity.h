@@ -1,0 +1,34 @@
+// Sensitivity vocabulary types shared by UPA, FLEX and the ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/normal_fit.h"
+
+namespace upa::dp {
+
+/// How a local-sensitivity number was obtained.
+enum class SensitivityMethod {
+  kBruteForce,       // exhaustive neighbours (ground truth)
+  kUpaSampled,       // UPA Algorithm 1 (sampled + normal fit)
+  kFlexStatic,       // FLEX static analysis
+  kManual,           // analyst-provided (legacy systems: GUPT/Airavat/PINQ)
+};
+
+std::string MethodName(SensitivityMethod method);
+
+/// A local-sensitivity estimate for one (query, dataset) pair.
+struct SensitivityEstimate {
+  SensitivityMethod method = SensitivityMethod::kManual;
+  /// The scalar local sensitivity used to calibrate noise.
+  double value = 0.0;
+  /// The constrained output range Ô_f (for methods that produce one;
+  /// width == value for UPA and manual-range systems).
+  Interval out_range;
+  /// Neighbouring-dataset outputs the estimate was derived from (UPA and
+  /// brute force only; empty for static methods).
+  std::vector<double> neighbour_outputs;
+};
+
+}  // namespace upa::dp

@@ -1,0 +1,58 @@
+// Accumulators: Spark-style write-only shared variables for side-channel
+// statistics (records seen, filtered counts, custom tallies) from inside
+// parallel tasks. Commutative-associative merging only — the same algebra
+// UPA relies on — so accumulation order never changes results.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace upa::engine {
+
+/// Thread-safe counting accumulator (the common case).
+class CounterAccumulator {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Generic accumulator over a user monoid: T must be copyable; `combine`
+/// must be commutative and associative.
+template <typename T, typename Combine>
+class Accumulator {
+ public:
+  Accumulator(T identity, Combine combine)
+      : identity_(identity), value_(identity), combine_(std::move(combine)) {}
+
+  void Add(const T& contribution) {
+    std::lock_guard lock(mu_);
+    value_ = combine_(value_, contribution);
+  }
+
+  T value() const {
+    std::lock_guard lock(mu_);
+    return value_;
+  }
+
+  void Reset() {
+    std::lock_guard lock(mu_);
+    value_ = identity_;
+  }
+
+ private:
+  T identity_;
+  mutable std::mutex mu_;
+  T value_;
+  Combine combine_;
+};
+
+template <typename T, typename Combine>
+Accumulator(T, Combine) -> Accumulator<T, Combine>;
+
+}  // namespace upa::engine

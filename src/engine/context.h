@@ -1,0 +1,63 @@
+// ExecContext: the engine's "SparkContext".
+//
+// Owns the scheduler thread pool, the metrics registry and the block cache.
+// Datasets hold a pointer to their context; one context is shared by all
+// datasets of an experiment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "engine/cache.h"
+#include "engine/metrics.h"
+
+namespace upa::engine {
+
+struct ExecConfig {
+  /// Worker threads for partition tasks (0 = hardware concurrency).
+  size_t threads = 0;
+  /// Default partition count for new datasets (the paper partitions the
+  /// input into two for the Range Enforcer; analytics use more).
+  size_t default_partitions = 4;
+};
+
+class ExecContext {
+ public:
+  explicit ExecContext(ExecConfig config = {})
+      : config_(config),
+        pool_(std::make_unique<ThreadPool>(config.threads)),
+        cache_(&metrics_) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  ThreadPool& pool() { return *pool_; }
+  ExecMetrics& metrics() { return metrics_; }
+  BlockCache& cache() { return cache_; }
+  const ExecConfig& config() const { return config_; }
+
+  /// Time a named phase; attributed in metrics().Snapshot().phase_seconds.
+  template <typename Fn>
+  auto TimePhase(const char* phase, Fn&& fn) {
+    Stopwatch watch;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      metrics_.AddPhaseSeconds(phase, watch.ElapsedSeconds());
+    } else {
+      auto result = fn();
+      metrics_.AddPhaseSeconds(phase, watch.ElapsedSeconds());
+      return result;
+    }
+  }
+
+ private:
+  ExecConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  ExecMetrics metrics_;
+  BlockCache cache_;
+};
+
+}  // namespace upa::engine

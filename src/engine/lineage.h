@@ -1,0 +1,99 @@
+// Lineage-based fault recovery for datasets.
+//
+// Spark's resilience model — and the reason MapReduce operators are
+// commutative/associative to begin with (paper §II-C) — is that a lost
+// partition is *recomputed from its lineage* rather than replicated.
+// LineageDataset wraps a Dataset with the recipe that produced each
+// partition, so a simulated executor loss can be recovered and verified:
+//
+//   auto src = MakeSource(ds);                      // root: re-read input
+//   auto mapped = src.Map([](int v) { return v*2; });
+//   auto lost = mapped.data().partition(1);         // pretend this is gone
+//   auto recovered = mapped.RecomputePartition(1);  // rebuild from lineage
+//   assert(recovered == lost);
+//
+// Narrow dependencies (map/filter) recompute one parent partition; the
+// engine's wide operations would recompute the whole parent stage (as
+// Spark does without checkpointing) — exposed as RecomputeAll.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "engine/dataset.h"
+
+namespace upa::engine {
+
+template <typename T>
+class LineageDataset {
+ public:
+  using Partition = std::vector<T>;
+
+  /// Root of a lineage chain: partitions are "re-read" from the retained
+  /// source dataset (standing in for durable input storage).
+  static LineageDataset MakeSource(Dataset<T> data) {
+    Dataset<T> copy = data;
+    return LineageDataset(
+        std::move(data),
+        [copy](size_t p) { return copy.partition(p); });
+  }
+
+  const Dataset<T>& data() const { return data_; }
+  size_t NumPartitions() const { return data_.NumPartitions(); }
+
+  /// Narrow transformation with lineage: the child's partition p depends
+  /// only on the parent's partition p.
+  template <typename Fn, typename U = std::invoke_result_t<Fn, const T&>>
+  LineageDataset<U> Map(Fn fn) const {
+    Dataset<U> mapped = data_.Map(fn);
+    auto parent_recompute = recompute_;
+    auto recompute = [parent_recompute, fn](size_t p) {
+      std::vector<U> out;
+      Partition parent = parent_recompute(p);
+      out.reserve(parent.size());
+      for (const T& v : parent) out.push_back(fn(v));
+      return out;
+    };
+    return LineageDataset<U>(std::move(mapped), std::move(recompute));
+  }
+
+  template <typename Pred>
+  LineageDataset<T> Filter(Pred pred) const {
+    Dataset<T> filtered = data_.Filter(pred);
+    auto parent_recompute = recompute_;
+    auto recompute = [parent_recompute, pred](size_t p) {
+      Partition out;
+      for (const T& v : parent_recompute(p)) {
+        if (pred(v)) out.push_back(v);
+      }
+      return out;
+    };
+    return LineageDataset<T>(std::move(filtered), std::move(recompute));
+  }
+
+  /// Rebuilds partition p purely from lineage (no access to the stored
+  /// partition). Recovery correctness = result equals data().partition(p).
+  Partition RecomputePartition(size_t p) const {
+    UPA_CHECK_MSG(p < NumPartitions(), "partition out of range");
+    return recompute_(p);
+  }
+
+  /// Full-stage recompute (what a wide dependency forces).
+  std::vector<Partition> RecomputeAll() const {
+    std::vector<Partition> out(NumPartitions());
+    for (size_t p = 0; p < NumPartitions(); ++p) out[p] = recompute_(p);
+    return out;
+  }
+
+  // Exposed for LineageDataset<U> interop.
+  LineageDataset(Dataset<T> data, std::function<Partition(size_t)> recompute)
+      : data_(std::move(data)), recompute_(std::move(recompute)) {
+    UPA_CHECK_MSG(recompute_ != nullptr, "lineage requires a recompute fn");
+  }
+
+ private:
+  Dataset<T> data_;
+  std::function<Partition(size_t)> recompute_;
+};
+
+}  // namespace upa::engine

@@ -1,0 +1,72 @@
+#include "engine/metrics.h"
+
+#include <cstdio>
+
+namespace upa::engine {
+
+MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
+  MetricsSnapshot d;
+  d.tasks_launched = tasks_launched - base.tasks_launched;
+  d.records_processed = records_processed - base.records_processed;
+  d.shuffle_rounds = shuffle_rounds - base.shuffle_rounds;
+  d.shuffle_records = shuffle_records - base.shuffle_records;
+  d.cache_hits = cache_hits - base.cache_hits;
+  d.cache_misses = cache_misses - base.cache_misses;
+  d.phase_seconds = phase_seconds;
+  for (const auto& [name, secs] : base.phase_seconds) {
+    d.phase_seconds[name] -= secs;
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tasks=%llu records=%llu shuffles=%llu shuffled_records=%llu "
+                "cache_hit_rate=%.1f%%",
+                static_cast<unsigned long long>(tasks_launched),
+                static_cast<unsigned long long>(records_processed),
+                static_cast<unsigned long long>(shuffle_rounds),
+                static_cast<unsigned long long>(shuffle_records),
+                cache_hit_rate() * 100.0);
+  std::string out = buf;
+  for (const auto& [name, secs] : phase_seconds) {
+    char pbuf[96];
+    std::snprintf(pbuf, sizeof(pbuf), " %s=%.3fms", name.c_str(), secs * 1e3);
+    out += pbuf;
+  }
+  return out;
+}
+
+void ExecMetrics::AddPhaseSeconds(const std::string& phase, double seconds) {
+  std::lock_guard lock(phase_mu_);
+  phase_seconds_[phase] += seconds;
+}
+
+MetricsSnapshot ExecMetrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.tasks_launched = tasks_.load(std::memory_order_relaxed);
+  s.records_processed = records_.load(std::memory_order_relaxed);
+  s.shuffle_rounds = shuffle_rounds_.load(std::memory_order_relaxed);
+  s.shuffle_records = shuffle_records_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(phase_mu_);
+    s.phase_seconds = phase_seconds_;
+  }
+  return s;
+}
+
+void ExecMetrics::Reset() {
+  tasks_.store(0);
+  records_.store(0);
+  shuffle_rounds_.store(0);
+  shuffle_records_.store(0);
+  cache_hits_.store(0);
+  cache_misses_.store(0);
+  std::lock_guard lock(phase_mu_);
+  phase_seconds_.clear();
+}
+
+}  // namespace upa::engine

@@ -1,0 +1,72 @@
+// Execution metrics for the mini-Spark engine.
+//
+// The paper's evaluation reasons about *where* UPA's overhead comes from
+// (shuffle rounds for joins and the Range Enforcer, §VI-D; cache hit rate in
+// the sampled-neighbour phase, Fig 4b). These counters make the same
+// attribution observable in this reproduction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace upa::engine {
+
+/// Point-in-time copy of all counters. Subtractable to get per-query deltas.
+struct MetricsSnapshot {
+  uint64_t tasks_launched = 0;
+  uint64_t records_processed = 0;
+  uint64_t shuffle_rounds = 0;
+  uint64_t shuffle_records = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::map<std::string, double> phase_seconds;
+
+  MetricsSnapshot operator-(const MetricsSnapshot& base) const;
+
+  double cache_hit_rate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe counters. One instance lives in each ExecContext.
+class ExecMetrics {
+ public:
+  void AddTasks(uint64_t n) { tasks_.fetch_add(n, std::memory_order_relaxed); }
+  void AddRecords(uint64_t n) {
+    records_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddShuffleRound() {
+    shuffle_rounds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShuffleRecords(uint64_t n) {
+    shuffle_records_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddPhaseSeconds(const std::string& phase, double seconds);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> tasks_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> shuffle_rounds_{0};
+  std::atomic<uint64_t> shuffle_records_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+
+  mutable std::mutex phase_mu_;
+  std::map<std::string, double> phase_seconds_;
+};
+
+}  // namespace upa::engine

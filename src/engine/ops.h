@@ -1,0 +1,103 @@
+// Additional dataset operators: the rest of the RDD surface the examples
+// and workloads use (union, zip-with-index, distinct, take, count-by-key,
+// cogroup). Narrow operators preserve partitioning; wide ones go through
+// the shuffle machinery in shuffle.h.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "engine/shuffle.h"
+
+namespace upa::engine {
+
+/// Concatenate two datasets (partitions are concatenated; no shuffle).
+template <typename T>
+Dataset<T> Union(const Dataset<T>& a, const Dataset<T>& b) {
+  UPA_CHECK_MSG(a.context() == b.context(),
+                "union requires datasets from the same context");
+  std::vector<std::vector<T>> parts;
+  parts.reserve(a.NumPartitions() + b.NumPartitions());
+  for (size_t p = 0; p < a.NumPartitions(); ++p) parts.push_back(a.partition(p));
+  for (size_t p = 0; p < b.NumPartitions(); ++p) parts.push_back(b.partition(p));
+  return Dataset<T>(a.context(), std::move(parts));
+}
+
+/// Pair each element with its global index (partition-major order).
+template <typename T>
+Dataset<std::pair<size_t, T>> ZipWithIndex(const Dataset<T>& input) {
+  std::vector<std::vector<std::pair<size_t, T>>> parts(input.NumPartitions());
+  size_t next = 0;
+  for (size_t p = 0; p < input.NumPartitions(); ++p) {
+    parts[p].reserve(input.partition(p).size());
+    for (const T& v : input.partition(p)) parts[p].push_back({next++, v});
+  }
+  return Dataset<std::pair<size_t, T>>(input.context(), std::move(parts));
+}
+
+/// Distinct elements (hash-based; a wide operation — equal elements are
+/// colocated by a shuffle first). T must be hashable.
+template <typename T>
+Dataset<T> Distinct(const Dataset<T>& input, size_t num_partitions = 0) {
+  auto keyed = input.Map([](const T& v) { return std::pair<T, char>{v, 0}; });
+  auto deduped =
+      ReduceByKey(keyed, [](char a, char) { return a; }, num_partitions);
+  return deduped.Map([](const std::pair<T, char>& kv) { return kv.first; });
+}
+
+/// First n elements in partition-major order.
+template <typename T>
+std::vector<T> Take(const Dataset<T>& input, size_t n) {
+  std::vector<T> out;
+  out.reserve(n);
+  for (size_t p = 0; p < input.NumPartitions() && out.size() < n; ++p) {
+    for (const T& v : input.partition(p)) {
+      out.push_back(v);
+      if (out.size() == n) break;
+    }
+  }
+  return out;
+}
+
+/// Count of records per key (shuffle + count). Returned as a sorted map
+/// for deterministic iteration.
+template <typename K, typename V>
+std::map<K, size_t> CountByKey(const Dataset<std::pair<K, V>>& input) {
+  auto ones = input.Map([](const std::pair<K, V>& kv) {
+    return std::pair<K, size_t>{kv.first, 1};
+  });
+  auto counted =
+      ReduceByKey(ones, [](size_t a, size_t b) { return a + b; });
+  std::map<K, size_t> out;
+  for (const auto& [k, c] : counted.Collect()) out[k] = c;
+  return out;
+}
+
+/// CoGroup: for each key, the values from both sides.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
+    const Dataset<std::pair<K, V>>& left,
+    const Dataset<std::pair<K, W>>& right, size_t num_partitions = 0) {
+  UPA_CHECK_MSG(left.context() == right.context(),
+                "cogroup requires datasets from the same context");
+  auto ls = ShuffleByKey(left, num_partitions);
+  auto rs = ShuffleByKey(right, ls.NumPartitions());
+  ExecContext* ctx = ls.context();
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  std::vector<std::vector<Out>> out(ls.NumPartitions());
+  ctx->metrics().AddTasks(ls.NumPartitions());
+  ctx->pool().ParallelFor(ls.NumPartitions(), [&](size_t p) {
+    std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>> groups;
+    for (const auto& [k, v] : ls.partition(p)) groups[k].first.push_back(v);
+    for (const auto& [k, w] : rs.partition(p)) groups[k].second.push_back(w);
+    out[p].reserve(groups.size());
+    for (auto& [k, vw] : groups) out[p].push_back({k, std::move(vw)});
+  });
+  return Dataset<Out>(ctx, std::move(out));
+}
+
+}  // namespace upa::engine

@@ -1,0 +1,103 @@
+#include "groundtruth/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upa::gt {
+
+void GroundTruth::FinalizeFrom(double fx) {
+  if (neighbour_outputs.empty()) {
+    min_output = max_output = fx;
+    local_sensitivity = 0.0;
+    return;
+  }
+  min_output = *std::min_element(neighbour_outputs.begin(),
+                                 neighbour_outputs.end());
+  max_output = *std::max_element(neighbour_outputs.begin(),
+                                 neighbour_outputs.end());
+  local_sensitivity = 0.0;
+  for (double y : neighbour_outputs) {
+    local_sensitivity = std::max(local_sensitivity, std::fabs(fx - y));
+  }
+}
+
+Result<GroundTruth> ExactPlanGroundTruth(
+    const rel::PlanExecutor& executor, const rel::PlanPtr& plan,
+    const std::string& private_table, size_t num_records,
+    const std::function<rel::Row(Rng&)>& sample_domain_row,
+    size_t n_additions, uint64_t seed,
+    const std::vector<rel::Row>* replace_private_rows) {
+  if (replace_private_rows != nullptr) {
+    UPA_CHECK_MSG(num_records == replace_private_rows->size(),
+                  "num_records must match the replacement row count");
+  }
+  // One provenance run gives f(x) and every record's additive influence.
+  rel::ExecOptions options;
+  options.private_table = private_table;
+  options.track_contributions = true;
+  options.replace_private_rows = replace_private_rows;
+  Result<rel::ExecResult> full = executor.Execute(plan, options);
+  if (!full.ok()) return full.status();
+
+  GroundTruth gt;
+  gt.output = full.value().output;
+  // Removal neighbours: f(x - r) = f(x) - influence(r), influence 0 for
+  // records that never reached the aggregate.
+  const auto& contributions = full.value().contributions;
+  gt.neighbour_outputs.reserve(num_records + n_additions);
+  for (size_t i = 0; i < num_records; ++i) {
+    auto it = contributions.find(i);
+    double influence = it == contributions.end() ? 0.0 : it->second;
+    gt.neighbour_outputs.push_back(gt.output - influence);
+  }
+
+  // Addition neighbours: run the plan once with the private table replaced
+  // by the synthetic rows; each row's contribution is its influence when
+  // added to x (the other tables are unchanged and joins are additive).
+  if (n_additions > 0) {
+    Rng rng = Rng::ForStream(seed, "gt/additions/" + private_table);
+    std::vector<rel::Row> synthetic;
+    synthetic.reserve(n_additions);
+    for (size_t i = 0; i < n_additions; ++i) {
+      synthetic.push_back(sample_domain_row(rng));
+    }
+    rel::ExecOptions add_options;
+    add_options.private_table = private_table;
+    add_options.track_contributions = true;
+    add_options.replace_private_rows = &synthetic;
+    Result<rel::ExecResult> added = executor.Execute(plan, add_options);
+    if (!added.ok()) return added.status();
+    for (size_t i = 0; i < n_additions; ++i) {
+      auto it = added.value().contributions.find(i);
+      double influence = it == added.value().contributions.end()
+                             ? 0.0
+                             : it->second;
+      gt.neighbour_outputs.push_back(gt.output + influence);
+    }
+  }
+  gt.FinalizeFrom(gt.output);
+  return gt;
+}
+
+GroundTruth NaiveGroundTruth(
+    size_t num_records,
+    const std::function<double(std::optional<size_t> excluded)>& run,
+    size_t n_additions, const std::function<double(Rng&)>& run_with_addition,
+    uint64_t seed) {
+  GroundTruth gt;
+  gt.output = run(std::nullopt);
+  gt.neighbour_outputs.reserve(num_records + n_additions);
+  for (size_t i = 0; i < num_records; ++i) {
+    gt.neighbour_outputs.push_back(run(i));
+  }
+  if (n_additions > 0 && run_with_addition) {
+    Rng rng = Rng::ForStream(seed, "gt/naive-additions");
+    for (size_t i = 0; i < n_additions; ++i) {
+      gt.neighbour_outputs.push_back(run_with_addition(rng));
+    }
+  }
+  gt.FinalizeFrom(gt.output);
+  return gt;
+}
+
+}  // namespace upa::gt

@@ -1,0 +1,48 @@
+#include "mlkit/datagen.h"
+
+#include "common/status.h"
+
+namespace upa::ml {
+
+MlDataset::MlDataset(MlDataConfig config) : config_(config) {
+  UPA_CHECK_MSG(config_.dims > 0, "dims must be positive");
+  UPA_CHECK_MSG(config_.mixture_components > 0,
+                "mixture needs at least one component");
+  Rng rng = Rng::ForStream(config_.seed, "ml/datagen");
+
+  means_.resize(config_.mixture_components);
+  for (auto& mean : means_) {
+    mean.resize(config_.dims);
+    for (double& m : mean) {
+      m = rng.UniformDouble(-config_.cluster_spacing, config_.cluster_spacing);
+    }
+  }
+
+  true_weights_.resize(config_.dims);
+  for (double& w : true_weights_) w = rng.UniformDouble(-2.0, 2.0);
+  true_bias_ = rng.UniformDouble(-1.0, 1.0);
+
+  auto points = std::make_shared<std::vector<MlPoint>>();
+  points->reserve(config_.num_points);
+  for (size_t i = 0; i < config_.num_points; ++i) {
+    points->push_back(DrawPoint(rng));
+  }
+  points_ = std::move(points);
+}
+
+MlPoint MlDataset::DrawPoint(Rng& rng) const {
+  const auto& mean = means_[rng.UniformU64(means_.size())];
+  MlPoint p;
+  p.x.resize(config_.dims);
+  double dot = true_bias_;
+  for (size_t d = 0; d < config_.dims; ++d) {
+    p.x[d] = rng.Normal(mean[d], config_.cluster_stddev);
+    dot += true_weights_[d] * p.x[d];
+  }
+  p.y = dot + rng.Normal(0.0, config_.response_noise);
+  return p;
+}
+
+MlPoint MlDataset::SamplePoint(Rng& rng) const { return DrawPoint(rng); }
+
+}  // namespace upa::ml

@@ -1,0 +1,63 @@
+// Synthetic "life science" dataset (substitute for the paper's ds1.10):
+// dense numeric feature vectors drawn from a Gaussian mixture, plus a
+// linear response with noise for regression tasks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upa::ml {
+
+/// One record: a feature vector and (for regression) a response value.
+struct MlPoint {
+  std::vector<double> x;
+  double y = 0.0;
+};
+
+struct MlDataConfig {
+  size_t num_points = 20000;
+  size_t dims = 4;
+  size_t mixture_components = 3;
+  /// Cluster spread and separation.
+  double cluster_stddev = 1.0;
+  double cluster_spacing = 6.0;
+  /// Response model: y = w·x + b + N(0, noise).
+  double response_noise = 0.5;
+  uint64_t seed = 7;
+};
+
+/// A generated dataset plus its distribution, so fresh domain records
+/// (the D \ x side of UPA's neighbour sampling) come from the same mixture.
+class MlDataset {
+ public:
+  explicit MlDataset(MlDataConfig config);
+
+  const MlDataConfig& config() const { return config_; }
+  const std::shared_ptr<const std::vector<MlPoint>>& points() const {
+    return points_;
+  }
+  /// The ground-truth regression weights used to synthesize y.
+  const std::vector<double>& true_weights() const { return true_weights_; }
+  double true_bias() const { return true_bias_; }
+  /// Mixture component means (useful as KMeans references).
+  const std::vector<std::vector<double>>& component_means() const {
+    return means_;
+  }
+
+  /// Draws a fresh point from the same mixture (not from the dataset).
+  MlPoint SamplePoint(Rng& rng) const;
+
+ private:
+  MlPoint DrawPoint(Rng& rng) const;
+
+  MlDataConfig config_;
+  std::vector<std::vector<double>> means_;
+  std::vector<double> true_weights_;
+  double true_bias_ = 0.0;
+  std::shared_ptr<const std::vector<MlPoint>> points_;
+};
+
+}  // namespace upa::ml

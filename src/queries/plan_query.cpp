@@ -1,0 +1,100 @@
+#include "queries/plan_query.h"
+
+#include <algorithm>
+
+namespace upa::queries {
+
+core::QueryInstance MakePlanQuery(
+    engine::ExecContext* ctx, std::shared_ptr<const rel::PlanExecutor> executor,
+    const tpch::TpchDataset* data, const tpch::TpchQuery& query,
+    std::shared_ptr<const std::vector<rel::Row>> private_rows_override) {
+  UPA_CHECK(ctx != nullptr && executor != nullptr && data != nullptr);
+
+  core::QueryInstance instance;
+  instance.name = query.name;
+  instance.ctx = ctx;
+  instance.num_records = private_rows_override != nullptr
+                             ? private_rows_override->size()
+                             : data->table(query.private_table).NumRows();
+  // Count/Sum queries release the aggregate itself: post = identity,
+  // scalarize = first coordinate (defaults).
+
+  instance.execute_phases =
+      [ctx, executor = std::move(executor), data, query,
+       rows_override = std::move(private_rows_override)](
+          std::span<const size_t> sample_indices, size_t num_partitions,
+          size_t num_domain, uint64_t seed) {
+        core::MappedBatches out;
+        std::vector<size_t> sample(sample_indices.begin(),
+                                   sample_indices.end());
+        const std::vector<rel::Row>* replacement =
+            rows_override != nullptr ? rows_override.get() : nullptr;
+
+        // --- 1. S' run: per-partition aggregates of the unsampled side.
+        {
+          rel::ExecOptions opts;
+          opts.private_table = query.private_table;
+          opts.replace_private_rows = replacement;
+          opts.exclude_rows = &sample;
+          opts.partitions = num_partitions;
+          opts.cache_epoch = seed;
+          Result<rel::ExecResult> r = ctx->TimePhase(
+              "upa/plan_sprime", [&] { return executor->Execute(query.plan, opts); });
+          UPA_CHECK_MSG(r.ok(), "S' run failed: " + r.status().ToString());
+          out.sprime_partials.reserve(num_partitions);
+          for (double partial : r.value().partition_outputs) {
+            out.sprime_partials.push_back(core::Vec{partial});
+          }
+        }
+
+        // --- 2. Sample run: joinDP's second join pass with contribution
+        //        (index) tracking.
+        {
+          rel::ExecOptions opts;
+          opts.private_table = query.private_table;
+          opts.replace_private_rows = replacement;
+          opts.include_rows = &sample;
+          opts.track_contributions = true;
+          opts.cache_epoch = seed;
+          Result<rel::ExecResult> r = ctx->TimePhase(
+              "upa/plan_sample", [&] { return executor->Execute(query.plan, opts); });
+          UPA_CHECK_MSG(r.ok(), "sample run failed: " + r.status().ToString());
+          out.sample_mapped.reserve(sample.size());
+          for (size_t idx : sample) {
+            auto it = r.value().contributions.find(idx);
+            out.sample_mapped.push_back(
+                core::Vec{it == r.value().contributions.end() ? 0.0
+                                                              : it->second});
+          }
+        }
+
+        // --- 3. Domain run: synthetic rows standing in for D \ x.
+        {
+          Rng rng = Rng::ForStream(seed, "upa/domain/" + query.name);
+          std::vector<rel::Row> synthetic;
+          synthetic.reserve(num_domain);
+          for (size_t i = 0; i < num_domain; ++i) {
+            synthetic.push_back(data->SampleRow(query.private_table, rng));
+          }
+          rel::ExecOptions opts;
+          opts.private_table = query.private_table;
+          opts.replace_private_rows = &synthetic;
+          opts.track_contributions = true;
+          opts.cache_epoch = seed;
+          Result<rel::ExecResult> r = ctx->TimePhase(
+              "upa/plan_domain", [&] { return executor->Execute(query.plan, opts); });
+          UPA_CHECK_MSG(r.ok(), "domain run failed: " + r.status().ToString());
+          out.domain_mapped.reserve(num_domain);
+          for (size_t i = 0; i < num_domain; ++i) {
+            auto it = r.value().contributions.find(i);
+            out.domain_mapped.push_back(
+                core::Vec{it == r.value().contributions.end() ? 0.0
+                                                              : it->second});
+          }
+        }
+        return out;
+      };
+  return instance;
+}
+
+}  // namespace upa::queries

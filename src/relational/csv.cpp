@@ -1,0 +1,192 @@
+#include "relational/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace upa::rel {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  return out + "\"";
+}
+
+/// Splits one CSV record (handles quoted fields; `pos` advances past the
+/// record's trailing newline). Returns false at end of input.
+bool NextRecord(const std::string& csv, size_t& pos,
+                std::vector<std::string>& fields, bool& bad_quoting) {
+  fields.clear();
+  bad_quoting = false;
+  if (pos >= csv.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < csv.size()) {
+    char c = csv[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < csv.size() && csv[pos + 1] == '"') {
+          field += '"';
+          pos += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++pos;
+        continue;
+      }
+      field += c;
+      ++pos;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++pos;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++pos;
+      continue;
+    }
+    if (c == '\n') {
+      ++pos;
+      fields.push_back(std::move(field));
+      return true;
+    }
+    if (c == '\r') {  // tolerate CRLF
+      ++pos;
+      continue;
+    }
+    field += c;
+    ++pos;
+  }
+  if (in_quotes) bad_quoting = true;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+Result<Value> ParseCell(const std::string& text, ValueType type,
+                        size_t line) {
+  switch (type) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": not an integer: '" + text + "'");
+      }
+      return Value{static_cast<int64_t>(v)};
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": not a number: '" + text + "'");
+      }
+      return Value{v};
+    }
+    case ValueType::kString:
+      return Value{text};
+  }
+  return Status::Internal("unknown value type");
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    out += QuoteField(schema.column(c).name);
+    out += (c + 1 < schema.NumColumns()) ? "," : "\n";
+  }
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += QuoteField(ToString(row[c]));
+      out += (c + 1 < row.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::Internal("cannot open for write: " + path);
+  std::string csv = TableToCsv(table);
+  file.write(csv.data(), static_cast<std::streamsize>(csv.size()));
+  if (!file) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
+                           const std::string& csv) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  bool bad_quoting = false;
+  if (!NextRecord(csv, pos, fields, bad_quoting)) {
+    return Status::InvalidArgument("empty CSV (missing header)");
+  }
+  if (bad_quoting) {
+    return Status::InvalidArgument("unterminated quote in header");
+  }
+  if (fields.size() != schema.NumColumns()) {
+    return Status::InvalidArgument("header arity mismatch: expected " +
+                                   std::to_string(schema.NumColumns()) +
+                                   ", got " + std::to_string(fields.size()));
+  }
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (fields[c] != schema.column(c).name) {
+      return Status::InvalidArgument("header column " + std::to_string(c) +
+                                     " is '" + fields[c] + "', expected '" +
+                                     schema.column(c).name + "'");
+    }
+  }
+
+  std::vector<Row> rows;
+  size_t line = 1;
+  while (NextRecord(csv, pos, fields, bad_quoting)) {
+    ++line;
+    if (bad_quoting) {
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": unterminated quote");
+    }
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.NumColumns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) + ": expected " +
+          std::to_string(schema.NumColumns()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Result<Value> cell = ParseCell(fields[c], schema.column(c).type, line);
+      if (!cell.ok()) return cell.status();
+      row.push_back(std::move(cell).value());
+    }
+    rows.push_back(std::move(row));
+  }
+  return Table(name, schema, std::move(rows));
+}
+
+Result<Table> ReadCsvFile(const std::string& name, const Schema& schema,
+                          const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return TableFromCsv(name, schema, buffer.str());
+}
+
+}  // namespace upa::rel

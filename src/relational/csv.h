@@ -1,0 +1,34 @@
+// CSV import/export for tables — the on-ramp for real datasets into the
+// relational layer (a data provider loads CSVs, then serves UPA queries
+// over them).
+//
+// Format: header row of column names, RFC-4180-style quoting for fields
+// containing commas/quotes/newlines. Types come from the caller-provided
+// schema on import (CSV itself is untyped).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace upa::rel {
+
+/// Serializes a table (header + rows).
+std::string TableToCsv(const Table& table);
+
+/// Writes TableToCsv to `path`.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Parses CSV text into a table named `name` with the given schema. The
+/// header must match the schema's column names (order included). Numeric
+/// parse failures and arity mismatches produce INVALID_ARGUMENT with the
+/// offending line number.
+Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
+                           const std::string& csv);
+
+/// Reads `path` and parses with TableFromCsv.
+Result<Table> ReadCsvFile(const std::string& name, const Schema& schema,
+                          const std::string& path);
+
+}  // namespace upa::rel

@@ -1,0 +1,87 @@
+// PlanExecutor: runs a logical plan on the engine, optionally tracking the
+// provenance of a designated *private table* so that per-record influence
+// falls out of the run.
+//
+// Provenance mirrors UPA's joinDP index tracking (§V-C): every row of the
+// private table carries its index through filters and joins; at the
+// aggregate, each result row's weight is attributed to the private record
+// it descends from. Because the evaluated plans are inner-join SPJ trees
+// with additive aggregates (Count/Sum), removing private record r changes
+// the output by exactly -contribution[r] — which powers
+//   * UPA's sampled-neighbour outputs (run the plan with the private table
+//     restricted to the sample: the second join/shuffle round),
+//   * the per-partition outputs the RANGE ENFORCER compares,
+//   * the exhaustive exact ground truth.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/context.h"
+#include "relational/plan.h"
+#include "relational/table.h"
+
+namespace upa::rel {
+
+struct ExecOptions {
+  /// Table whose rows are the privacy unit. Empty → no provenance.
+  /// The table must be scanned at most once in the plan.
+  std::string private_table;
+  /// If set: run with the private table restricted to exactly these row
+  /// indices (sorted). Mutually exclusive with exclude_rows. Indexes the
+  /// replacement rows when replace_private_rows is also set.
+  const std::vector<size_t>* include_rows = nullptr;
+  /// If set: run with these row indices (sorted) removed. Indexes the
+  /// replacement rows when replace_private_rows is also set.
+  const std::vector<size_t>* exclude_rows = nullptr;
+  /// If set: replace the private table's rows entirely (synthetic "record
+  /// added" neighbours; churned datasets). Provenance = position in this
+  /// vector. include/exclude compose on top.
+  const std::vector<Row>* replace_private_rows = nullptr;
+  /// Cache non-private scans and fully-public plan subtrees in the
+  /// context's block cache (keyed by table/plan identity + parallelism +
+  /// cache_epoch). UPA's phase runs of one execution share an epoch, so
+  /// the S' / sample / domain passes reuse the public side — the effect
+  /// behind the paper's Fig 4(b) — without leaking warm state across
+  /// independent executions.
+  bool use_scan_cache = true;
+  uint64_t cache_epoch = 0;
+  /// If > 0: also produce per-partition outputs, where private record i
+  /// belongs to partition i % partitions. Result rows with no private
+  /// provenance count toward every partition (they are unaffected by any
+  /// private record).
+  size_t partitions = 0;
+  /// Record per-private-record additive influence.
+  bool track_contributions = false;
+  /// Engine parallelism for this run (0 = context default).
+  size_t engine_partitions = 0;
+};
+
+struct ExecResult {
+  /// The scalar aggregate (Count or Sum at the plan root).
+  double output = 0.0;
+  /// Per-partition outputs (empty unless options.partitions > 0).
+  std::vector<double> partition_outputs;
+  /// Private row index → additive influence on `output` (only rows that
+  /// reached the aggregate appear; absent rows have influence 0).
+  std::unordered_map<size_t, double> contributions;
+  /// Rows that reached the aggregate.
+  size_t result_rows = 0;
+};
+
+class PlanExecutor {
+ public:
+  PlanExecutor(engine::ExecContext* ctx, const Catalog* catalog);
+
+  /// Executes a plan whose root is an Aggregate. Fails with
+  /// INVALID_ARGUMENT / NOT_FOUND / UNSUPPORTED on malformed plans.
+  Result<ExecResult> Execute(const PlanPtr& plan,
+                             const ExecOptions& options = {}) const;
+
+ private:
+  engine::ExecContext* ctx_;
+  const Catalog* catalog_;
+};
+
+}  // namespace upa::rel

@@ -1,0 +1,174 @@
+#include "relational/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/status.h"
+
+namespace upa::rel {
+namespace {
+
+void CollectColumns(const ExprPtr& expr, std::set<std::string>& out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == Expr::Kind::kColumn) {
+    out.insert(expr->column_name());
+    return;
+  }
+  CollectColumns(expr->lhs(), out);
+  CollectColumns(expr->rhs(), out);
+}
+
+void SplitInto(const ExprPtr& expr, std::vector<ExprPtr>& out) {
+  if (expr->kind() == Expr::Kind::kBinary && expr->op() == BinOp::kAnd) {
+    SplitInto(expr->lhs(), out);
+    SplitInto(expr->rhs(), out);
+    return;
+  }
+  out.push_back(expr);
+}
+
+ExprPtr Conjoin(const std::vector<ExprPtr>& conjuncts) {
+  UPA_CHECK(!conjuncts.empty());
+  ExprPtr e = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) e = And(e, conjuncts[i]);
+  return e;
+}
+
+/// The set of columns the relation produced by `plan` exposes.
+void OutputColumns(const PlanPtr& plan, const Catalog& catalog,
+                   std::set<std::string>& out) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      auto it = catalog.find(plan->table);
+      if (it == catalog.end()) return;
+      for (const auto& col : it->second->schema().columns()) {
+        out.insert(col.name);
+      }
+      return;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kAggregate:
+      OutputColumns(plan->left, catalog, out);
+      return;
+    case PlanKind::kJoin:
+      OutputColumns(plan->left, catalog, out);
+      OutputColumns(plan->right, catalog, out);
+      return;
+  }
+}
+
+bool Covers(const std::set<std::string>& columns, const ExprPtr& conjunct) {
+  std::set<std::string> needed;
+  CollectColumns(conjunct, needed);
+  return std::includes(columns.begin(), columns.end(), needed.begin(),
+                       needed.end());
+}
+
+/// Pushes each conjunct as deep as possible into `plan`; conjuncts that
+/// cannot be placed anywhere under this node are returned in `leftover`.
+PlanPtr Sink(const PlanPtr& plan, const Catalog& catalog,
+             std::vector<ExprPtr> conjuncts, std::vector<ExprPtr>& leftover) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      std::set<std::string> cols;
+      OutputColumns(plan, catalog, cols);
+      std::vector<ExprPtr> applicable;
+      for (const ExprPtr& c : conjuncts) {
+        if (Covers(cols, c)) {
+          applicable.push_back(c);
+        } else {
+          leftover.push_back(c);
+        }
+      }
+      if (applicable.empty()) return plan;
+      return FilterPlan(plan, Conjoin(applicable));
+    }
+    case PlanKind::kFilter: {
+      // Merge this node's own conjuncts into the batch and recurse; the
+      // child decides what it can absorb, the rest re-forms above.
+      std::vector<ExprPtr> merged = std::move(conjuncts);
+      SplitInto(plan->predicate, merged);
+      std::vector<ExprPtr> child_leftover;
+      PlanPtr child = Sink(plan->left, catalog, std::move(merged),
+                           child_leftover);
+      if (child_leftover.empty()) return child;
+      // Conjuncts the child couldn't host: if this filter sits under a
+      // join, they may still apply above — hand them upward.
+      std::vector<ExprPtr> still_here;
+      std::set<std::string> cols;
+      OutputColumns(plan->left, catalog, cols);
+      for (const ExprPtr& c : child_leftover) {
+        if (Covers(cols, c)) {
+          still_here.push_back(c);
+        } else {
+          leftover.push_back(c);
+        }
+      }
+      if (still_here.empty()) return child;
+      return FilterPlan(child, Conjoin(still_here));
+    }
+    case PlanKind::kJoin: {
+      std::vector<ExprPtr> left_leftover, right_leftover;
+      PlanPtr left = Sink(plan->left, catalog, conjuncts, left_leftover);
+      // Conjuncts the left side rejected get offered to the right side.
+      PlanPtr right =
+          Sink(plan->right, catalog, std::move(left_leftover),
+               right_leftover);
+      PlanPtr joined = JoinPlan(left, right, plan->left_key, plan->right_key);
+      // Whatever neither side could host: applies here if this join's
+      // combined schema covers it, else bubbles further up.
+      std::set<std::string> cols;
+      OutputColumns(joined, catalog, cols);
+      std::vector<ExprPtr> here;
+      for (const ExprPtr& c : right_leftover) {
+        if (Covers(cols, c)) {
+          here.push_back(c);
+        } else {
+          leftover.push_back(c);
+        }
+      }
+      if (here.empty()) return joined;
+      return FilterPlan(joined, Conjoin(here));
+    }
+    case PlanKind::kAggregate:
+      UPA_CHECK_MSG(false, "Sink below an aggregate");
+      return plan;
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr != nullptr) SplitInto(expr, out);
+  return out;
+}
+
+std::vector<std::string> ReferencedColumns(const ExprPtr& expr) {
+  std::set<std::string> cols;
+  CollectColumns(expr, cols);
+  return {cols.begin(), cols.end()};
+}
+
+PlanPtr PushDownFilters(const PlanPtr& plan, const Catalog& catalog) {
+  UPA_CHECK(plan != nullptr);
+  // Conjuncts that fit nowhere (e.g. unknown columns) re-attach at the
+  // top, where execution reports the schema error as it would have before
+  // optimization.
+  auto reattach = [](PlanPtr p, std::vector<ExprPtr> leftover) {
+    return leftover.empty() ? p : FilterPlan(p, Conjoin(leftover));
+  };
+  if (plan->kind != PlanKind::kAggregate) {
+    std::vector<ExprPtr> leftover;
+    PlanPtr optimized = Sink(plan, catalog, {}, leftover);
+    return reattach(optimized, std::move(leftover));
+  }
+  std::vector<ExprPtr> leftover;
+  PlanPtr child = Sink(plan->left, catalog, {}, leftover);
+  auto root = std::make_shared<PlanNode>(*plan);
+  root->left = reattach(child, std::move(leftover));
+  return root;
+}
+
+}  // namespace upa::rel

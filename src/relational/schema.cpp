@@ -1,0 +1,45 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace upa::rel {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  std::unordered_set<std::string> seen;
+  for (const auto& c : columns_) {
+    UPA_CHECK_MSG(seen.insert(c.name).second,
+                  "duplicate column name: " + c.name);
+  }
+}
+
+std::optional<size_t> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t Schema::IndexOf(const std::string& name) const {
+  auto idx = Find(name);
+  UPA_CHECK_MSG(idx.has_value(), "unknown column: " + name);
+  return *idx;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name + ":" + TypeName(columns_[i].type);
+  }
+  return out + ")";
+}
+
+}  // namespace upa::rel

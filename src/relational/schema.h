@@ -1,0 +1,46 @@
+// Schema and Row for the relational layer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace upa::rel {
+
+/// A row is a flat cell vector positioned against a Schema.
+using Row = std::vector<Value>;
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Position of `name`, or nullopt.
+  std::optional<size_t> Find(const std::string& name) const;
+  /// Position of `name`; aborts if absent (schema bugs are programming
+  /// errors, not data errors).
+  size_t IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name).has_value(); }
+
+  /// Concatenation for joins. Column names must stay unique (TPC-H's
+  /// l_/o_/p_ prefixes guarantee this).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace upa::rel

@@ -1,0 +1,403 @@
+#include "relational/sql_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace upa::rel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // unquoted word (may be a keyword; matched case-insensitively)
+  kInt,
+  kDouble,
+  kString,   // 'quoted'
+  kSymbol,   // operators and punctuation, text holds the lexeme
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier / symbol lexeme / string body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t pos = 0;       // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = sql_.size();
+    while (i < n) {
+      char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < n && (std::isalnum(static_cast<unsigned char>(sql_[i])) ||
+                         sql_[i] == '_')) {
+          ++i;
+        }
+        out.push_back({TokKind::kIdent, sql_.substr(start, i - start), 0, 0.0,
+                       start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        bool is_double = false;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(sql_[i])) ||
+                         sql_[i] == '.')) {
+          if (sql_[i] == '.') is_double = true;
+          ++i;
+        }
+        std::string num = sql_.substr(start, i - start);
+        Token t;
+        t.pos = start;
+        if (is_double) {
+          t.kind = TokKind::kDouble;
+          t.double_value = std::strtod(num.c_str(), nullptr);
+        } else {
+          t.kind = TokKind::kInt;
+          t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+        }
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (c == '\'') {
+        ++i;
+        std::string body;
+        while (i < n && sql_[i] != '\'') body.push_back(sql_[i++]);
+        if (i >= n) {
+          return Status::InvalidArgument("unterminated string literal at " +
+                                         std::to_string(start));
+        }
+        ++i;  // closing quote
+        out.push_back({TokKind::kString, std::move(body), 0, 0.0, start});
+        continue;
+      }
+      // Multi-char operators first.
+      auto two = sql_.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        out.push_back({TokKind::kSymbol, two, 0, 0.0, start});
+        i += 2;
+        continue;
+      }
+      if (std::string("()=<>*+-/,").find(c) != std::string::npos) {
+        out.push_back({TokKind::kSymbol, std::string(1, c), 0, 0.0, start});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at position " +
+                                     std::to_string(i));
+    }
+    out.push_back({TokKind::kEnd, "", 0, 0.0, n});
+    return out;
+  }
+
+ private:
+  const std::string& sql_;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PlanPtr> ParseQuery() {
+    UPA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    AggKind agg;
+    ExprPtr agg_expr;
+    UPA_RETURN_IF_ERROR(ParseAggregate(agg, agg_expr));
+
+    UPA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    std::string table;
+    UPA_RETURN_IF_ERROR(ExpectIdent(table));
+    PlanPtr rel = ScanPlan(table);
+
+    while (AcceptKeyword("JOIN")) {
+      std::string right;
+      UPA_RETURN_IF_ERROR(ExpectIdent(right));
+      UPA_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      std::string lk, rk;
+      UPA_RETURN_IF_ERROR(ExpectIdent(lk));
+      UPA_RETURN_IF_ERROR(ExpectSymbol("="));
+      UPA_RETURN_IF_ERROR(ExpectIdent(rk));
+      rel = JoinPlan(rel, ScanPlan(right), lk, rk);
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      Result<ExprPtr> pred = ParseExpr();
+      if (!pred.ok()) return pred.status();
+      rel = FilterPlan(rel, pred.value());
+    }
+
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input after query");
+    }
+
+    switch (agg) {
+      case AggKind::kCount:
+        return CountPlan(rel);
+      case AggKind::kSum:
+        return SumPlan(rel, agg_expr);
+      case AggKind::kAvg:
+        return AvgPlan(rel, agg_expr);
+      case AggKind::kMin:
+        return MinPlan(rel, agg_expr);
+      case AggKind::kMax:
+        return MaxPlan(rel, agg_expr);
+    }
+    return Status::Internal("unreachable aggregate kind");
+  }
+
+ private:
+  // -- token helpers --------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == s) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Err("expected " + kw);
+    return Status::Ok();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) return Err("expected '" + s + "'");
+    return Status::Ok();
+  }
+  Status ExpectIdent(std::string& out) {
+    if (Peek().kind != TokKind::kIdent) return Err("expected identifier");
+    out = Advance().text;
+    return Status::Ok();
+  }
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        what + " near position " + std::to_string(Peek().pos) +
+        (Peek().text.empty() ? "" : " ('" + Peek().text + "')"));
+  }
+
+  static bool IsKeyword(const Token& t, const char* kw) {
+    return t.kind == TokKind::kIdent && Upper(t.text) == kw;
+  }
+
+  // -- grammar --------------------------------------------------------------
+  Status ParseAggregate(AggKind& agg, ExprPtr& expr) {
+    if (AcceptKeyword("COUNT")) {
+      UPA_RETURN_IF_ERROR(ExpectSymbol("("));
+      UPA_RETURN_IF_ERROR(ExpectSymbol("*"));
+      UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      agg = AggKind::kCount;
+      return Status::Ok();
+    }
+    for (auto [kw, kind] :
+         {std::pair{"SUM", AggKind::kSum}, std::pair{"AVG", AggKind::kAvg},
+          std::pair{"MIN", AggKind::kMin}, std::pair{"MAX", AggKind::kMax}}) {
+      if (AcceptKeyword(kw)) {
+        UPA_RETURN_IF_ERROR(ExpectSymbol("("));
+        Result<ExprPtr> inner = ParseExpr();
+        if (!inner.ok()) return inner.status();
+        UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
+        agg = kind;
+        expr = inner.value();
+        return Status::Ok();
+      }
+    }
+    return Err("expected COUNT(*), SUM(...), AVG(...), MIN(...) or MAX(...)");
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = lhs.value();
+    while (AcceptKeyword("OR")) {
+      Result<ExprPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      e = Or(e, rhs.value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = lhs.value();
+    while (AcceptKeyword("AND")) {
+      Result<ExprPtr> rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      e = And(e, rhs.value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      Result<ExprPtr> inner = ParseNot();
+      if (!inner.ok()) return inner;
+      return Not(inner.value());
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    Result<ExprPtr> lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = lhs.value();
+
+    if (AcceptKeyword("IN")) {
+      UPA_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> set;
+      for (;;) {
+        std::optional<Value> lit = AcceptLiteral();
+        if (!lit.has_value()) return Err("expected literal in IN list");
+        set.push_back(std::move(*lit));
+        if (AcceptSymbol(",")) continue;
+        break;
+      }
+      UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return In(e, std::move(set));
+    }
+
+    for (auto [sym, op] :
+         {std::pair{"=", BinOp::kEq}, std::pair{"!=", BinOp::kNe},
+          std::pair{"<>", BinOp::kNe}, std::pair{"<=", BinOp::kLe},
+          std::pair{">=", BinOp::kGe}, std::pair{"<", BinOp::kLt},
+          std::pair{">", BinOp::kGt}}) {
+      if (AcceptSymbol(sym)) {
+        Result<ExprPtr> rhs = ParseAdditive();
+        if (!rhs.ok()) return rhs;
+        return Expr::Binary(op, e, rhs.value());
+      }
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    Result<ExprPtr> lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = lhs.value();
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        Result<ExprPtr> rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        e = Add(e, rhs.value());
+      } else if (AcceptSymbol("-")) {
+        Result<ExprPtr> rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        e = Sub(e, rhs.value());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    Result<ExprPtr> lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = lhs.value();
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        Result<ExprPtr> rhs = ParsePrimary();
+        if (!rhs.ok()) return rhs;
+        e = Mul(e, rhs.value());
+      } else if (AcceptSymbol("/")) {
+        Result<ExprPtr> rhs = ParsePrimary();
+        if (!rhs.ok()) return rhs;
+        e = Div(e, rhs.value());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::optional<Value> AcceptLiteral() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kInt) {
+      Advance();
+      return Value{t.int_value};
+    }
+    if (t.kind == TokKind::kDouble) {
+      Advance();
+      return Value{t.double_value};
+    }
+    if (t.kind == TokKind::kString) {
+      Advance();
+      return Value{t.text};
+    }
+    return std::nullopt;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (AcceptSymbol("(")) {
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (std::optional<Value> lit = AcceptLiteral()) {
+      return Expr::Literal(std::move(*lit));
+    }
+    if (Peek().kind == TokKind::kIdent) {
+      // Reject keywords in value position for clearer errors.
+      std::string up = Upper(Peek().text);
+      if (up == "AND" || up == "OR" || up == "NOT" || up == "WHERE" ||
+          up == "JOIN" || up == "ON" || up == "FROM" || up == "IN") {
+        return Err("expected a value or column");
+      }
+      return Col(Advance().text);
+    }
+    return Err("expected a value, column or parenthesized expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PlanPtr> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseQuery();
+}
+
+}  // namespace upa::rel

@@ -1,0 +1,36 @@
+// A small SQL front-end for the relational layer, covering the query class
+// the paper evaluates (and that FLEX consumes): single-block aggregates
+// over scans, equi-joins and filters.
+//
+//   SELECT COUNT(*) FROM lineitem
+//   SELECT SUM(l_extendedprice * l_discount) FROM lineitem
+//          WHERE l_shipdate >= 365 AND l_shipdate < 730
+//   SELECT COUNT(*) FROM orders JOIN lineitem ON o_orderkey = l_orderkey
+//          WHERE l_commitdate < l_receiptdate
+//
+// Grammar (case-insensitive keywords):
+//   query   := SELECT agg FROM ident (JOIN ident ON ident '=' ident)*
+//              (WHERE expr)?
+//   agg     := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' expr ')'
+//   expr    := or; or := and (OR and)*; and := not (AND not)*
+//   not     := NOT not | cmp
+//   cmp     := add (cmpop add)? | add IN '(' literal (',' literal)* ')'
+//   add     := mul (('+'|'-') mul)*; mul := prim (('*'|'/') prim)*
+//   prim    := number | 'string' | ident | '(' expr ')'
+//
+// WHERE applies above the joins (no predicate pushdown — the optimizer is
+// out of scope; the executor handles post-join filters fine).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/plan.h"
+
+namespace upa::rel {
+
+/// Parses one SQL statement into a logical plan. Errors carry the offending
+/// position/token in the message.
+Result<PlanPtr> ParseSql(const std::string& sql);
+
+}  // namespace upa::rel

@@ -1,0 +1,44 @@
+#include "relational/table.h"
+
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace upa::rel {
+
+Table::Table(std::string name, Schema schema, std::vector<Row> rows)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      rows_(std::move(rows)) {
+  for (const Row& row : rows_) {
+    UPA_CHECK_MSG(row.size() == schema_.NumColumns(),
+                  "row arity mismatch in table " + name_);
+  }
+}
+
+const Table::ColumnStats& Table::StatsFor(const std::string& column) const {
+  auto it = stats_cache_.find(column);
+  if (it != stats_cache_.end()) return it->second;
+
+  size_t idx = schema_.IndexOf(column);
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> freq;
+  freq.reserve(rows_.size());
+  for (const Row& row : rows_) ++freq[row[idx]];
+
+  ColumnStats stats;
+  stats.distinct = freq.size();
+  for (const auto& [value, count] : freq) {
+    stats.max_frequency = std::max(stats.max_frequency, count);
+  }
+  return stats_cache_.emplace(column, stats).first->second;
+}
+
+size_t Table::MaxFrequency(const std::string& column) const {
+  return StatsFor(column).max_frequency;
+}
+
+size_t Table::DistinctCount(const std::string& column) const {
+  return StatsFor(column).distinct;
+}
+
+}  // namespace upa::rel

@@ -1,0 +1,47 @@
+// Table: a named, schema'd row store plus the column statistics FLEX's
+// static analysis consumes (max join-key frequency per column).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace upa::rel {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema, std::vector<Row> rows);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Frequency of the most frequent value in `column` — the dataset
+  /// metadata FLEX multiplies across joins (paper §II-B). Computed on
+  /// first use and cached (metadata maintenance, as a real catalog would).
+  size_t MaxFrequency(const std::string& column) const;
+
+  /// Number of distinct values in `column`.
+  size_t DistinctCount(const std::string& column) const;
+
+ private:
+  struct ColumnStats {
+    size_t max_frequency = 0;
+    size_t distinct = 0;
+  };
+  const ColumnStats& StatsFor(const std::string& column) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  mutable std::map<std::string, ColumnStats> stats_cache_;
+};
+
+/// Name → table lookup used by plan execution and FLEX analysis.
+using Catalog = std::map<std::string, const Table*>;
+
+}  // namespace upa::rel

@@ -1,0 +1,307 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace upa::tpch {
+
+using rel::ColumnDef;
+using rel::Row;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", ValueType::kInt},
+                 {"l_partkey", ValueType::kInt},
+                 {"l_suppkey", ValueType::kInt},
+                 {"l_quantity", ValueType::kDouble},
+                 {"l_extendedprice", ValueType::kDouble},
+                 {"l_discount", ValueType::kDouble},
+                 {"l_shipdate", ValueType::kInt},
+                 {"l_commitdate", ValueType::kInt},
+                 {"l_receiptdate", ValueType::kInt},
+                 {"l_returnflag", ValueType::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", ValueType::kInt},
+                 {"o_custkey", ValueType::kInt},
+                 {"o_orderdate", ValueType::kInt},
+                 {"o_orderpriority", ValueType::kString},
+                 {"o_orderstatus", ValueType::kString}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", ValueType::kInt},
+                 {"c_nationkey", ValueType::kInt},
+                 {"c_mktsegment", ValueType::kString}});
+}
+
+Schema PartSchema() {
+  return Schema({{"p_partkey", ValueType::kInt},
+                 {"p_brand", ValueType::kString},
+                 {"p_type", ValueType::kString},
+                 {"p_size", ValueType::kInt}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", ValueType::kInt},
+                 {"s_nationkey", ValueType::kInt},
+                 {"s_complaint", ValueType::kInt}});
+}
+
+Schema PartsuppSchema() {
+  return Schema({{"ps_partkey", ValueType::kInt},
+                 {"ps_suppkey", ValueType::kInt},
+                 {"ps_availqty", ValueType::kInt},
+                 {"ps_supplycost", ValueType::kDouble}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", ValueType::kInt},
+                 {"n_name", ValueType::kString}});
+}
+
+template <typename T>
+const T& PickUniform(const std::vector<T>& pool, Rng& rng) {
+  return pool[rng.UniformU64(pool.size())];
+}
+
+}  // namespace
+
+const std::vector<std::string>& Brands() {
+  static const std::vector<std::string> kBrands = {
+      "Brand#11", "Brand#12", "Brand#21", "Brand#23", "Brand#31",
+      "Brand#34", "Brand#41", "Brand#45", "Brand#52", "Brand#55"};
+  return kBrands;
+}
+
+const std::vector<std::string>& PartTypes() {
+  static const std::vector<std::string> kTypes = {
+      "STANDARD BRUSHED", "MEDIUM POLISHED", "ECONOMY ANODIZED",
+      "SMALL PLATED",     "LARGE BURNISHED", "PROMO BRUSHED",
+      "STANDARD POLISHED"};
+  return kTypes;
+}
+
+const std::vector<std::string>& MarketSegments() {
+  static const std::vector<std::string> kSegs = {
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+  return kSegs;
+}
+
+const std::vector<std::string>& OrderPriorities() {
+  static const std::vector<std::string> kPrios = {
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  return kPrios;
+}
+
+const std::vector<std::string>& NationNames() {
+  static const std::vector<std::string> kNations = {
+      "ALGERIA",    "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+      "ETHIOPIA",   "FRANCE",    "GERMANY", "INDIA",          "INDONESIA",
+      "IRAN",       "IRAQ",      "JAPAN",   "JORDAN",         "KENYA",
+      "MOROCCO",    "MOZAMBIQUE", "PERU",   "CHINA",          "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM", "RUSSIA",  "UNITED KINGDOM", "UNITED STATES"};
+  return kNations;
+}
+
+Row TpchDataset::MakeLineitemRow(Rng& rng, int64_t orderkey) const {
+  int64_t partkey = static_cast<int64_t>(
+      rng.Zipf(config_.num_parts(), config_.reference_skew));
+  int64_t suppkey = static_cast<int64_t>(
+      rng.Zipf(config_.num_suppliers(), config_.reference_skew));
+  double quantity = 1.0 + static_cast<double>(rng.UniformU64(50));
+  double price = quantity * rng.UniformDouble(900.0, 1100.0);
+  double discount = 0.01 * static_cast<double>(rng.UniformU64(11));  // 0..0.10
+  int64_t shipdate = rng.UniformInt(0, kDateSpanDays - 1);
+  int64_t commitdate =
+      std::min<int64_t>(kDateSpanDays - 1, shipdate + rng.UniformInt(0, 60));
+  int64_t receiptdate =
+      std::min<int64_t>(kDateSpanDays - 1, shipdate + rng.UniformInt(1, 45));
+  std::string returnflag = rng.Bernoulli(0.25) ? "R" : "N";
+  return Row{Value{orderkey},    Value{partkey},    Value{suppkey},
+             Value{quantity},    Value{price},      Value{discount},
+             Value{shipdate},    Value{commitdate}, Value{receiptdate},
+             Value{returnflag}};
+}
+
+Row TpchDataset::MakeOrdersRow(Rng& rng, int64_t orderkey) const {
+  int64_t custkey =
+      static_cast<int64_t>(1 + rng.UniformU64(config_.num_customers()));
+  int64_t orderdate = rng.UniformInt(0, kDateSpanDays - 1);
+  std::string priority = PickUniform(OrderPriorities(), rng);
+  std::string status = rng.Bernoulli(0.45) ? "F" : "O";
+  return Row{Value{orderkey}, Value{custkey}, Value{orderdate},
+             Value{priority}, Value{status}};
+}
+
+Row TpchDataset::MakeCustomerRow(Rng& rng, int64_t custkey) const {
+  int64_t nationkey =
+      static_cast<int64_t>(rng.UniformU64(TpchConfig::kNumNations));
+  return Row{Value{custkey}, Value{nationkey},
+             Value{PickUniform(MarketSegments(), rng)}};
+}
+
+Row TpchDataset::MakePartRow(Rng& rng, int64_t partkey) const {
+  return Row{Value{partkey}, Value{PickUniform(Brands(), rng)},
+             Value{PickUniform(PartTypes(), rng)},
+             Value{static_cast<int64_t>(1 + rng.UniformU64(50))}};
+}
+
+Row TpchDataset::MakeSupplierRow(Rng& rng, int64_t suppkey) const {
+  // Round-robin nation assignment guarantees every nation has suppliers at
+  // any scale (Q11/Q21 filter on specific nations).
+  int64_t nationkey = (suppkey - 1) % TpchConfig::kNumNations;
+  int64_t complaint = rng.Bernoulli(0.05) ? 1 : 0;
+  return Row{Value{suppkey}, Value{nationkey}, Value{complaint}};
+}
+
+Row TpchDataset::MakePartsuppRow(Rng& rng, int64_t partkey,
+                                 int64_t suppkey) const {
+  return Row{Value{partkey}, Value{suppkey},
+             Value{static_cast<int64_t>(1 + rng.UniformU64(9999))},
+             Value{rng.UniformDouble(1.0, 1000.0)}};
+}
+
+TpchDataset::TpchDataset(TpchConfig config) : config_(config) {
+  Rng rng = Rng::ForStream(config_.seed, "tpch/generator");
+
+  // nation
+  std::vector<Row> nations;
+  for (size_t i = 0; i < TpchConfig::kNumNations; ++i) {
+    nations.push_back(Row{Value{static_cast<int64_t>(i)},
+                          Value{NationNames()[i]}});
+  }
+  nation_ = std::make_unique<Table>("nation", NationSchema(),
+                                    std::move(nations));
+
+  // supplier
+  std::vector<Row> suppliers;
+  for (size_t i = 1; i <= config_.num_suppliers(); ++i) {
+    suppliers.push_back(MakeSupplierRow(rng, static_cast<int64_t>(i)));
+  }
+  supplier_ = std::make_unique<Table>("supplier", SupplierSchema(),
+                                      std::move(suppliers));
+
+  // part
+  std::vector<Row> parts;
+  for (size_t i = 1; i <= config_.num_parts(); ++i) {
+    parts.push_back(MakePartRow(rng, static_cast<int64_t>(i)));
+  }
+  part_ = std::make_unique<Table>("part", PartSchema(), std::move(parts));
+
+  // partsupp: each part supplied by 1-4 Zipf-picked suppliers.
+  std::vector<Row> partsupps;
+  for (size_t p = 1; p <= config_.num_parts(); ++p) {
+    size_t n_sup = 1 + rng.UniformU64(4);
+    for (size_t s = 0; s < n_sup; ++s) {
+      int64_t suppkey = static_cast<int64_t>(
+          rng.Zipf(config_.num_suppliers(), config_.reference_skew));
+      partsupps.push_back(
+          MakePartsuppRow(rng, static_cast<int64_t>(p), suppkey));
+    }
+  }
+  partsupp_ = std::make_unique<Table>("partsupp", PartsuppSchema(),
+                                      std::move(partsupps));
+
+  // customer
+  std::vector<Row> customers;
+  for (size_t i = 1; i <= config_.num_customers(); ++i) {
+    customers.push_back(MakeCustomerRow(rng, static_cast<int64_t>(i)));
+  }
+  customer_ = std::make_unique<Table>("customer", CustomerSchema(),
+                                      std::move(customers));
+
+  // orders + lineitem (Zipf-skewed lineitems per order).
+  std::vector<Row> orders;
+  std::vector<Row> lineitems;
+  for (size_t o = 1; o <= config_.num_orders; ++o) {
+    orders.push_back(MakeOrdersRow(rng, static_cast<int64_t>(o)));
+    size_t n_items = rng.Zipf(config_.max_lineitems_per_order, 0.8);
+    for (size_t l = 0; l < n_items; ++l) {
+      lineitems.push_back(MakeLineitemRow(rng, static_cast<int64_t>(o)));
+    }
+  }
+  orders_ = std::make_unique<Table>("orders", OrdersSchema(),
+                                    std::move(orders));
+  lineitem_ = std::make_unique<Table>("lineitem", LineitemSchema(),
+                                      std::move(lineitems));
+}
+
+rel::Catalog TpchDataset::catalog() const {
+  return rel::Catalog{
+      {"lineitem", lineitem_.get()}, {"orders", orders_.get()},
+      {"customer", customer_.get()}, {"part", part_.get()},
+      {"supplier", supplier_.get()}, {"partsupp", partsupp_.get()},
+      {"nation", nation_.get()}};
+}
+
+const rel::Table& TpchDataset::table(const std::string& name) const {
+  rel::Catalog cat = catalog();
+  auto it = cat.find(name);
+  UPA_CHECK_MSG(it != cat.end(), "unknown TPC-H table: " + name);
+  return *it->second;
+}
+
+rel::Row TpchDataset::SampleRow(const std::string& name, Rng& rng) const {
+  if (name == "lineitem") {
+    int64_t orderkey =
+        static_cast<int64_t>(1 + rng.UniformU64(config_.num_orders));
+    return MakeLineitemRow(rng, orderkey);
+  }
+  if (name == "orders") {
+    // A fresh order gets a fresh key beyond the existing range (a new
+    // record, not a duplicate of an existing one).
+    int64_t orderkey = static_cast<int64_t>(
+        config_.num_orders + 1 + rng.UniformU64(config_.num_orders));
+    return MakeOrdersRow(rng, orderkey);
+  }
+  if (name == "partsupp") {
+    int64_t partkey = static_cast<int64_t>(
+        rng.Zipf(config_.num_parts(), config_.reference_skew));
+    int64_t suppkey = static_cast<int64_t>(
+        rng.Zipf(config_.num_suppliers(), config_.reference_skew));
+    return MakePartsuppRow(rng, partkey, suppkey);
+  }
+  if (name == "customer") {
+    return MakeCustomerRow(
+        rng, static_cast<int64_t>(config_.num_customers() + 1 +
+                                  rng.UniformU64(config_.num_customers())));
+  }
+  if (name == "supplier") {
+    return MakeSupplierRow(
+        rng, static_cast<int64_t>(config_.num_suppliers() + 1 +
+                                  rng.UniformU64(config_.num_suppliers())));
+  }
+  if (name == "part") {
+    return MakePartRow(
+        rng, static_cast<int64_t>(config_.num_parts() + 1 +
+                                  rng.UniformU64(config_.num_parts())));
+  }
+  UPA_CHECK_MSG(false, "SampleRow: unsupported table " + name);
+  return {};
+}
+
+std::vector<rel::Row> TpchDataset::RowsWithout(
+    const std::string& name, const std::vector<size_t>& indices) const {
+  const rel::Table& t = table(name);
+  std::vector<rel::Row> out;
+  out.reserve(t.NumRows() - indices.size());
+  size_t cursor = 0;
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    if (cursor < indices.size() && indices[cursor] == i) {
+      ++cursor;
+      continue;
+    }
+    out.push_back(t.rows()[i]);
+  }
+  return out;
+}
+
+}  // namespace upa::tpch

@@ -1,0 +1,138 @@
+#include "tpch/queries.h"
+
+#include "tpch/generator.h"
+
+namespace upa::tpch {
+
+using rel::And;
+using rel::Col;
+using rel::CountPlan;
+using rel::FilterPlan;
+using rel::Ge;
+using rel::Gt;
+using rel::In;
+using rel::JoinPlan;
+using rel::Le;
+using rel::Lit;
+using rel::Lt;
+using rel::Mul;
+using rel::Ne;
+using rel::PlanPtr;
+using rel::ScanPlan;
+using rel::SumPlan;
+using rel::Value;
+
+// Q1: pricing summary collapsed to its row count. No filter, no join —
+// the query FLEX gets exactly right (sensitivity 1).
+TpchQuery MakeQ1() {
+  PlanPtr plan = CountPlan(ScanPlan("lineitem"));
+  return {"TPCH1", plan, "lineitem", "Count", /*flex_supported=*/true};
+}
+
+// Q4: order-priority checking. Orders in a quarter joined with lineitems
+// whose commitdate < receiptdate; one join, two filters.
+TpchQuery MakeQ4() {
+  PlanPtr orders = FilterPlan(
+      ScanPlan("orders"),
+      And(Ge(Col("o_orderdate"), Lit(int64_t{400})),
+          Lt(Col("o_orderdate"), Lit(int64_t{490}))));  // one quarter
+  PlanPtr late_items = FilterPlan(
+      ScanPlan("lineitem"),
+      Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  PlanPtr plan =
+      CountPlan(JoinPlan(orders, late_items, "o_orderkey", "l_orderkey"));
+  return {"TPCH4", plan, "orders", "Count", /*flex_supported=*/true};
+}
+
+// Q6: forecasting revenue change — pure arithmetic over one table.
+TpchQuery MakeQ6() {
+  PlanPtr filtered = FilterPlan(
+      ScanPlan("lineitem"),
+      And(And(Ge(Col("l_shipdate"), Lit(int64_t{365})),
+              Lt(Col("l_shipdate"), Lit(int64_t{730}))),
+          And(And(Ge(Col("l_discount"), Lit(0.05)),
+                  Le(Col("l_discount"), Lit(0.07))),
+              Lt(Col("l_quantity"), Lit(24.0)))));
+  PlanPtr plan =
+      SumPlan(filtered, Mul(Col("l_extendedprice"), Col("l_discount")));
+  return {"TPCH6", plan, "lineitem", "Arithmetic", /*flex_supported=*/false};
+}
+
+// Q11: important stock identification — value of stock supplied from one
+// nation. Two joins, one filter, arithmetic aggregate.
+TpchQuery MakeQ11() {
+  PlanPtr germany =
+      FilterPlan(ScanPlan("nation"), rel::Eq(Col("n_name"), Lit("GERMANY")));
+  PlanPtr suppliers =
+      JoinPlan(germany, ScanPlan("supplier"), "n_nationkey", "s_nationkey");
+  PlanPtr stock =
+      JoinPlan(suppliers, ScanPlan("partsupp"), "s_suppkey", "ps_suppkey");
+  PlanPtr plan =
+      SumPlan(stock, Mul(Col("ps_supplycost"), Col("ps_availqty")));
+  return {"TPCH11", plan, "partsupp", "Arithmetic", /*flex_supported=*/false};
+}
+
+// Q13: customer distribution, collapsed to counting qualifying
+// (customer, order) pairs; the comment-pattern exclusion becomes a
+// priority exclusion over the generator's vocabulary.
+TpchQuery MakeQ13() {
+  PlanPtr orders = FilterPlan(
+      ScanPlan("orders"), Ne(Col("o_orderpriority"), Lit("1-URGENT")));
+  PlanPtr plan = CountPlan(
+      JoinPlan(ScanPlan("customer"), orders, "c_custkey", "o_custkey"));
+  return {"TPCH13", plan, "orders", "Count", /*flex_supported=*/true};
+}
+
+// Q16: parts/supplier relationship — heavily filtered part catalog joined
+// through partsupp to non-complaint suppliers. Two joins, three filter
+// predicates; most records are filtered before joining (the property the
+// paper uses to explain Q16's low UPA overhead).
+TpchQuery MakeQ16() {
+  PlanPtr parts = FilterPlan(
+      ScanPlan("part"),
+      And(And(Ne(Col("p_brand"), Lit("Brand#45")),
+              Ne(Col("p_type"), Lit("MEDIUM POLISHED"))),
+          In(Col("p_size"),
+             {Value{int64_t{1}}, Value{int64_t{4}}, Value{int64_t{7}},
+              Value{int64_t{13}}, Value{int64_t{19}}, Value{int64_t{23}},
+              Value{int64_t{36}}, Value{int64_t{49}}})));
+  PlanPtr supplied =
+      JoinPlan(parts, ScanPlan("partsupp"), "p_partkey", "ps_partkey");
+  PlanPtr good_suppliers = FilterPlan(
+      ScanPlan("supplier"), rel::Eq(Col("s_complaint"), Lit(int64_t{0})));
+  PlanPtr plan = CountPlan(
+      JoinPlan(supplied, good_suppliers, "ps_suppkey", "s_suppkey"));
+  return {"TPCH16", plan, "partsupp", "Count", /*flex_supported=*/true};
+}
+
+// Q21: suppliers who kept orders waiting — the paper's hardest query:
+// three joins and three filters chained over four tables (the original's
+// exists/not-exists self-joins are collapsed into the late-line predicate;
+// see queries.h faithfulness notes).
+TpchQuery MakeQ21() {
+  PlanPtr late_lines = FilterPlan(
+      ScanPlan("lineitem"),
+      Gt(Col("l_receiptdate"), Col("l_commitdate")));
+  PlanPtr with_supplier =
+      JoinPlan(ScanPlan("supplier"), late_lines, "s_suppkey", "l_suppkey");
+  PlanPtr failed_orders = FilterPlan(
+      ScanPlan("orders"), rel::Eq(Col("o_orderstatus"), Lit("F")));
+  PlanPtr with_orders =
+      JoinPlan(with_supplier, failed_orders, "l_orderkey", "o_orderkey");
+  PlanPtr saudi =
+      FilterPlan(ScanPlan("nation"),
+                 rel::Eq(Col("n_name"), Lit("SAUDI ARABIA")));
+  PlanPtr plan = CountPlan(
+      JoinPlan(with_orders, saudi, "s_nationkey", "n_nationkey"));
+  // Privacy unit: an order — removing one order removes all of its late
+  // lineitems from the count, giving the heavy-tailed per-record influence
+  // the paper attributes to Q21 (outliers that sampling tends to miss).
+  return {"TPCH21", plan, "orders", "Count", /*flex_supported=*/true};
+}
+
+std::vector<TpchQuery> AllTpchQueries() {
+  return {MakeQ1(), MakeQ4(), MakeQ13(), MakeQ16(), MakeQ21(),
+          MakeQ6(), MakeQ11()};
+}
+
+}  // namespace upa::tpch

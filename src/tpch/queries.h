@@ -1,0 +1,44 @@
+// The seven evaluated TPC-H queries (Table II of the paper), as logical
+// plans reduced to the scalar each query releases.
+//
+// Faithfulness notes (see DESIGN.md substitutions):
+//   * Group-bys are collapsed to the total aggregate the paper perturbs.
+//   * Q4/Q13/Q16/Q21 use pair-counting join semantics (each qualifying
+//     joined tuple counts once) so that every query is an additive
+//     commutative-associative aggregation — the class UPA targets.
+//   * Q16's "p_type NOT LIKE prefix" and Q13's comment regex become
+//     categorical inequalities over the generator's vocabularies.
+//   * Each query designates the private table whose records are the
+//     privacy unit (the table a record is added to / removed from).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/plan.h"
+
+namespace upa::tpch {
+
+struct TpchQuery {
+  std::string name;         // "TPCH1", ...
+  rel::PlanPtr plan;        // root is Count or Sum
+  std::string private_table;
+  /// "Count" / "Arithmetic" — Table II's query type.
+  std::string query_type;
+  /// True iff the query is in FLEX's supported class (count queries built
+  /// from Select/Join/Filter/Count).
+  bool flex_supported = false;
+};
+
+TpchQuery MakeQ1();
+TpchQuery MakeQ4();
+TpchQuery MakeQ6();
+TpchQuery MakeQ11();
+TpchQuery MakeQ13();
+TpchQuery MakeQ16();
+TpchQuery MakeQ21();
+
+/// All seven, in the paper's Table II order.
+std::vector<TpchQuery> AllTpchQueries();
+
+}  // namespace upa::tpch

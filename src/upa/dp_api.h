@@ -1,0 +1,321 @@
+// The user-facing, Spark-style API (paper Table I).
+//
+// A data provider loads records with `UpaSystem::dpread`, getting a
+// DpObject; analysts chain `mapDP` / `filterDP` transformations (which run
+// on the engine like ordinary RDD ops) and finish with a reduceDP-style
+// release, which runs the full UPA pipeline — Partition & Sample, Parallel
+// Map, Union-Preserving Reduce, sensitivity inference, RANGE ENFORCER,
+// Laplace noise — and charges the privacy accountant.
+//
+// Table I mapping:
+//   dpread            → UpaSystem::dpread
+//   dpobject.mapDP    → DpObject::mapDP (also filterDP, the Select of SQL)
+//   dpobject.reduceDP → DpObject::reduceSumDP / reduceVecDP
+//   dpobjectKV / mapDPKV / reduceByKeyDP
+//                     → DpObjectKV over a public key universe
+//   joinDP            → DpObjectKV::joinPublicDP (private records against a
+//                       public dimension table; private×private joins are
+//                       exercised through the relational plan path, see
+//                       queries/plan_query.h)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "dp/mechanism.h"
+#include "engine/dataset.h"
+#include "upa/runner.h"
+#include "upa/simple_query.h"
+
+namespace upa::api {
+
+/// One released, noised value plus its provenance metadata.
+struct DpRelease {
+  double value = 0.0;            // what the analyst sees
+  double epsilon = 0.0;          // budget charged
+  double local_sensitivity = 0;  // inferred by Algorithm 1
+  Interval out_range;            // the enforcer's clamping range Ô_f
+  bool attack_suspected = false;
+  size_t records_removed = 0;
+};
+
+template <typename T>
+class DpObject;
+
+/// The deployed UPA service: engine context, persistent RANGE ENFORCER
+/// registry (via the runner) and a privacy accountant.
+class UpaSystem {
+ public:
+  UpaSystem(engine::ExecContext* ctx, core::UpaConfig config,
+            double total_budget)
+      : ctx_(ctx), runner_(config), accountant_(total_budget) {
+    UPA_CHECK(ctx != nullptr);
+  }
+
+  /// Load a private dataset. `sample_domain` draws a plausible fresh
+  /// record from the record domain D \ x (needed for the "record added"
+  /// neighbours); `dataset_id` scopes the privacy budget.
+  template <typename T>
+  DpObject<T> dpread(std::vector<T> records,
+                     std::function<T(Rng&)> sample_domain,
+                     std::string dataset_id);
+
+  engine::ExecContext* ctx() { return ctx_; }
+  core::UpaRunner& runner() { return runner_; }
+  dp::PrivacyAccountant& accountant() { return accountant_; }
+
+ private:
+  engine::ExecContext* ctx_;
+  core::UpaRunner runner_;
+  dp::PrivacyAccountant accountant_;
+  uint64_t next_seed_ = 1;
+
+  template <typename T>
+  friend class DpObject;
+
+  uint64_t NextSeed() { return next_seed_++; }
+};
+
+/// A private dataset with composed (lazy-on-domain, eager-on-data)
+/// transformations. Copies are cheap (records are shared).
+template <typename T>
+class DpObject {
+ public:
+  size_t count_upper_bound() const { return records_->size(); }
+
+  /// Table I mapDP: transform each record. Runs on the engine like an RDD
+  /// map; the domain sampler is composed through the same function so
+  /// synthetic neighbours stay distribution-correct.
+  template <typename F, typename U = std::invoke_result_t<F, const T&>>
+  DpObject<U> mapDP(F f) const {
+    auto mapped = std::make_shared<std::vector<U>>(
+        engine::Dataset<T>::FromVector(sys_->ctx_, *records_)
+            .Map([&f](const T& v) { return f(v); })
+            .Collect());
+    std::function<T(Rng&)> parent_domain = sample_domain_;
+    std::function<U(Rng&)> domain = [parent_domain, f](Rng& rng) {
+      return f(parent_domain(rng));
+    };
+    return DpObject<U>(sys_, std::move(mapped), std::move(domain),
+                       dataset_id_, name_ + "|map");
+  }
+
+  /// Select/Filter: keep records matching `pred`. The domain sampler
+  /// rejection-samples (bounded) so fresh records also satisfy the
+  /// predicate.
+  template <typename Pred>
+  DpObject<T> filterDP(Pred pred) const {
+    auto filtered = std::make_shared<std::vector<T>>(
+        engine::Dataset<T>::FromVector(sys_->ctx_, *records_)
+            .Filter([&pred](const T& v) { return pred(v); })
+            .Collect());
+    std::function<T(Rng&)> parent_domain = sample_domain_;
+    std::function<T(Rng&)> domain = [parent_domain, pred](Rng& rng) {
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        T candidate = parent_domain(rng);
+        if (pred(candidate)) return candidate;
+      }
+      // Domain almost never satisfies the predicate: fall back to an
+      // unfiltered record; its mapped influence is still plausible.
+      return parent_domain(rng);
+    };
+    return DpObject<T>(sys_, std::move(filtered), std::move(domain),
+                       dataset_id_, name_ + "|filter");
+  }
+
+  /// Table I reduceDP for scalar aggregation: releases
+  /// Σ to_value(record) under ε-iDP. Fails (without charging budget) if
+  /// the accountant would be exceeded.
+  template <typename F>
+  Result<DpRelease> reduceSumDP(F to_value, double epsilon) const {
+    return Release(
+        [to_value](const T& v) { return core::Vec{to_value(v)}; }, nullptr,
+        nullptr, epsilon);
+  }
+
+  /// Count release: sensitivity-inferred private count.
+  Result<DpRelease> countDP(double epsilon) const {
+    return reduceSumDP([](const T&) { return 1.0; }, epsilon);
+  }
+
+  /// Vector-valued reduceDP with optional post-processing; the released
+  /// scalar is scalarize(post(Σ map(record))) — e.g. an updated model's
+  /// norm — and `out_vec` (if non-null) receives the noisy post vector.
+  Result<DpRelease> reduceVecDP(
+      std::function<core::Vec(const T&)> map_record,
+      std::function<core::Vec(const core::Vec&)> post,
+      std::function<double(const core::Vec&)> scalarize, double epsilon,
+      core::Vec* out_vec = nullptr) const {
+    return Release(std::move(map_record), std::move(post),
+                   std::move(scalarize), epsilon, out_vec);
+  }
+
+  const std::vector<T>& records() const { return *records_; }
+  const std::string& dataset_id() const { return dataset_id_; }
+
+ private:
+  friend class UpaSystem;
+  template <typename U>
+  friend class DpObject;
+
+  DpObject(UpaSystem* sys, std::shared_ptr<const std::vector<T>> records,
+           std::function<T(Rng&)> sample_domain, std::string dataset_id,
+           std::string name)
+      : sys_(sys),
+        records_(std::move(records)),
+        sample_domain_(std::move(sample_domain)),
+        dataset_id_(std::move(dataset_id)),
+        name_(std::move(name)) {}
+
+  Result<DpRelease> Release(
+      std::function<core::Vec(const T&)> map_record,
+      std::function<core::Vec(const core::Vec&)> post,
+      std::function<double(const core::Vec&)> scalarize, double epsilon,
+      core::Vec* out_vec = nullptr) const {
+    if (records_->empty()) {
+      return Status::FailedPrecondition("empty private dataset");
+    }
+    UPA_RETURN_IF_ERROR(sys_->accountant_.Charge(dataset_id_, epsilon));
+
+    core::SimpleQuerySpec<T> spec;
+    spec.name = name_;
+    spec.ctx = sys_->ctx_;
+    spec.records = records_;
+    spec.map_record = std::move(map_record);
+    spec.sample_domain = sample_domain_;
+    spec.post = std::move(post);
+    spec.scalarize = std::move(scalarize);
+
+    // Keep the post step for the optional noisy-vector output: `spec` is
+    // consumed by MakeSimpleQuery below.
+    std::function<core::Vec(const core::Vec&)> post_copy = spec.post;
+
+    // Per-release ε: rebuild the runner config with the caller's budget.
+    core::UpaConfig cfg = sys_->runner_.config();
+    cfg.epsilon = epsilon;
+    core::UpaRunner release_runner(cfg);
+    // Share the persistent enforcer registry.
+    release_runner.enforcer() = sys_->runner_.enforcer();
+    Result<core::UpaRunResult> result = release_runner.Run(
+        core::MakeSimpleQuery(std::move(spec)), sys_->NextSeed());
+    if (!result.ok()) return result.status();
+    sys_->runner_.enforcer() = release_runner.enforcer();
+
+    DpRelease release;
+    release.value = result.value().released_output;
+    release.epsilon = epsilon;
+    release.local_sensitivity = result.value().local_sensitivity;
+    release.out_range = result.value().out_range;
+    release.attack_suspected = result.value().enforcer.attack_suspected;
+    release.records_removed = result.value().enforcer.records_removed;
+    if (out_vec != nullptr) {
+      Rng noise(sys_->NextSeed());
+      core::Vec posted = result.value().reduced;
+      if (post_copy) posted = post_copy(posted);
+      *out_vec = dp::LaplaceMechanism(posted, release.local_sensitivity,
+                                      epsilon, noise);
+    }
+    return release;
+  }
+
+  UpaSystem* sys_;
+  std::shared_ptr<const std::vector<T>> records_;
+  std::function<T(Rng&)> sample_domain_;
+  std::string dataset_id_;
+  std::string name_;
+};
+
+template <typename T>
+DpObject<T> UpaSystem::dpread(std::vector<T> records,
+                              std::function<T(Rng&)> sample_domain,
+                              std::string dataset_id) {
+  UPA_CHECK_MSG(sample_domain != nullptr, "dpread needs a domain sampler");
+  auto shared =
+      std::make_shared<const std::vector<T>>(std::move(records));
+  return DpObject<T>(this, std::move(shared), std::move(sample_domain),
+                     dataset_id, dataset_id);
+}
+
+/// Keyed private data over a *public, finite* key universe (group-by keys
+/// an analyst may legitimately know: categories, regions, clusters).
+/// reduceByKeyDP releases one noisy aggregate per key from a single UPA
+/// run (the reduce value is the per-key vector), charging ε once.
+template <typename T, typename K>
+class DpObjectKV {
+ public:
+  DpObjectKV(DpObject<T> base, std::function<K(const T&)> key_of,
+             std::vector<K> universe)
+      : base_(std::move(base)),
+        key_of_(std::move(key_of)),
+        universe_(std::move(universe)) {
+    UPA_CHECK_MSG(!universe_.empty(), "key universe must be non-empty");
+  }
+
+  /// Table I reduceByKeyDP: per-key noisy sums (value_of summed per key).
+  Result<std::map<K, double>> reduceByKeyDP(
+      std::function<double(const T&)> value_of, double epsilon) const {
+    std::map<K, size_t> index;
+    for (size_t i = 0; i < universe_.size(); ++i) index[universe_[i]] = i;
+    size_t dim = universe_.size();
+    auto key_of = key_of_;
+
+    core::Vec noisy;
+    auto release = base_.reduceVecDP(
+        [index, key_of, value_of, dim](const T& v) {
+          core::Vec out(dim, 0.0);
+          auto it = index.find(key_of(v));
+          if (it != index.end()) out[it->second] = value_of(v);
+          return out;
+        },
+        /*post=*/nullptr,
+        [](const core::Vec& v) { return core::L2Norm(v); }, epsilon, &noisy);
+    if (!release.ok()) return release.status();
+
+    std::map<K, double> out;
+    for (size_t i = 0; i < universe_.size(); ++i) {
+      out[universe_[i]] = i < noisy.size() ? noisy[i] : 0.0;
+    }
+    return out;
+  }
+
+  /// Table I joinDP against a *public* dimension table: each private
+  /// record is joined with the matching public rows (hash join on the
+  /// engine), and the joined object remains private.
+  template <typename W>
+  DpObject<std::pair<T, W>> joinPublicDP(
+      const std::vector<std::pair<K, W>>& public_table) const {
+    auto lookup = std::make_shared<std::multimap<K, W>>();
+    for (const auto& [k, w] : public_table) lookup->emplace(k, w);
+    auto key_of = key_of_;
+    // One private record can join multiple public rows; keep the first
+    // match per record so the privacy unit stays one record. (Multi-match
+    // fan-out is the relational path's job, with index tracking.)
+    return base_.mapDP([lookup, key_of](const T& v) {
+      auto it = lookup->find(key_of(v));
+      UPA_CHECK_MSG(it != lookup->end(),
+                    "joinPublicDP: key missing from public table");
+      return std::pair<T, W>{v, it->second};
+    });
+  }
+
+ private:
+  DpObject<T> base_;
+  std::function<K(const T&)> key_of_;
+  std::vector<K> universe_;
+};
+
+/// Table I mapDPKV: key a DpObject by a public key universe.
+template <typename T, typename F,
+          typename K = std::invoke_result_t<F, const T&>>
+DpObjectKV<T, K> mapDPKV(DpObject<T> object, F key_of,
+                         std::vector<K> universe) {
+  return DpObjectKV<T, K>(std::move(object), std::move(key_of),
+                          std::move(universe));
+}
+
+}  // namespace upa::api

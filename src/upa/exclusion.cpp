@@ -1,0 +1,60 @@
+#include "upa/exclusion.h"
+
+#include "common/status.h"
+
+namespace upa::core {
+namespace {
+
+std::vector<Vec> NaiveExclusion(const std::vector<Vec>& mapped) {
+  const size_t n = mapped.size();
+  std::vector<Vec> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec acc = VecSum::Identity();
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      acc = VecSum::Combine(std::move(acc), mapped[j]);
+    }
+    out[i] = std::move(acc);
+  }
+  return out;
+}
+
+std::vector<Vec> ScanExclusion(const std::vector<Vec>& mapped) {
+  const size_t n = mapped.size();
+  // prefix[i] = m[0] ⊕ ... ⊕ m[i-1]  (prefix[0] = identity)
+  // suffix[i] = m[i] ⊕ ... ⊕ m[n-1]  (suffix[n] = identity)
+  std::vector<Vec> prefix(n + 1), suffix(n + 1);
+  prefix[0] = VecSum::Identity();
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = VecSum::Combine(prefix[i], mapped[i]);
+  }
+  suffix[n] = VecSum::Identity();
+  for (size_t i = n; i-- > 0;) {
+    suffix[i] = VecSum::Combine(suffix[i + 1], mapped[i]);
+  }
+  std::vector<Vec> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = VecSum::Combine(prefix[i], suffix[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Vec> ExclusionAggregate(const std::vector<Vec>& mapped,
+                                    ExclusionStrategy strategy) {
+  UPA_CHECK_MSG(!mapped.empty(), "exclusion over an empty sample");
+  switch (strategy) {
+    case ExclusionStrategy::kNaive:
+      return NaiveExclusion(mapped);
+    case ExclusionStrategy::kScan:
+      return ScanExclusion(mapped);
+  }
+  return {};
+}
+
+Vec TotalAggregate(const std::vector<Vec>& mapped) {
+  return VecSum::Reduce(mapped);
+}
+
+}  // namespace upa::core

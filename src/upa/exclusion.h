@@ -1,0 +1,33 @@
+// Exclusion aggregation: R(S \ s_i) for every i.
+//
+// Algorithm 1 (lines 10–11) computes, for each sampled record s_i, the
+// reduction of the sample set with s_i excluded. The paper's loop does this
+// naively — O(n²) combines. Because the reducer is associative and
+// commutative, the same n values can be obtained from prefix and suffix
+// scans in O(n) combines:
+//
+//   excl[i] = prefix[i-1] ⊕ suffix[i+1]
+//
+// Both strategies are implemented; they must agree exactly (tested), and
+// bench_ablation measures the gap the scan buys.
+#pragma once
+
+#include <vector>
+
+#include "upa/types.h"
+
+namespace upa::core {
+
+enum class ExclusionStrategy {
+  kNaive,  // the paper's loop: recombine n-1 values for each i
+  kScan,   // prefix/suffix scans: O(n) combines total
+};
+
+/// excl[i] = R over {mapped[j] : j != i}. mapped must be non-empty.
+std::vector<Vec> ExclusionAggregate(const std::vector<Vec>& mapped,
+                                    ExclusionStrategy strategy);
+
+/// Total reduction R(mapped) (shared by both strategies).
+Vec TotalAggregate(const std::vector<Vec>& mapped);
+
+}  // namespace upa::core

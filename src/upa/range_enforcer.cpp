@@ -1,0 +1,63 @@
+#include "upa/range_enforcer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace upa::core {
+
+bool RangeEnforcer::NearlyEqual(double a, double b) const {
+  if (a == b) return true;
+  double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= tolerance_ * scale;
+}
+
+size_t RangeEnforcer::CountDifferences(const std::vector<double>& current,
+                                       const std::vector<double>& prior) const {
+  // Partition counts always match within one enforcer instance; a prior
+  // entry of different arity (different partitioning config) trivially
+  // differs everywhere.
+  if (current.size() != prior.size()) return current.size();
+  size_t diff = 0;
+  for (size_t j = 0; j < current.size(); ++j) {
+    if (!NearlyEqual(current[j], prior[j])) ++diff;
+  }
+  return diff;
+}
+
+EnforcerDecision RangeEnforcer::Enforce(
+    std::vector<double>& partition_outputs,
+    const std::function<std::vector<double>(size_t total_removed)>&
+        recompute) {
+  EnforcerDecision decision;
+  decision.prior_queries_checked = prior_.size();
+  UPA_CHECK_MSG(partition_outputs.size() >= 2,
+                "enforcer needs at least two partitions");
+
+  size_t total_removed = 0;
+  for (const auto& prior : prior_) {
+    size_t diff = CountDifferences(partition_outputs, prior);
+    // Algorithm 2 lines 8-15: while fewer than two partitions differ, the
+    // two inputs may be neighbouring — remove two records and recompute.
+    while (diff < 2) {
+      decision.attack_suspected = true;
+      if (total_removed + 2 > max_removals_) {
+        decision.removal_capped = true;
+        break;
+      }
+      total_removed += 2;
+      partition_outputs = recompute(total_removed);
+      diff = CountDifferences(partition_outputs, prior);
+    }
+    if (decision.removal_capped) break;
+  }
+  decision.records_removed = total_removed;
+  return decision;
+}
+
+void RangeEnforcer::Register(std::vector<double> partition_outputs) {
+  prior_.push_back(std::move(partition_outputs));
+}
+
+}  // namespace upa::core

@@ -1,0 +1,78 @@
+// RANGE ENFORCER (paper Algorithm 2).
+//
+// Detects whether the submitted query is a repeat of a prior query on the
+// same or a neighbouring dataset — the attack in UPA's threat model — by
+// comparing the query's per-partition output values against a registry of
+// all previously answered queries. Two queries whose outputs differ on
+// fewer than two partitions may be the same query on neighbouring inputs
+// (the overlapped partition reduces to the same value because MapReduce
+// operators process records independently); in that case the enforcer
+// removes records from the current input (two at a time) until every prior
+// query differs on at least two partitions, guaranteeing non-neighbourhood.
+//
+// The released value is then clamped into the inferred output range Ô_f,
+// which upper-bounds the achievable local sensitivity and yields the ε-iDP
+// proof of §IV-C.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace upa::core {
+
+/// Outcome of one enforcement pass.
+struct EnforcerDecision {
+  /// True if any prior query matched on >= P-1 partitions (Algorithm 2's
+  /// "Case 2": a potential repeat-query attack).
+  bool attack_suspected = false;
+  /// Records removed from the current input to force non-neighbourhood.
+  size_t records_removed = 0;
+  /// Prior queries the current one was compared against.
+  size_t prior_queries_checked = 0;
+  /// True if the removal loop hit its cap without separating the outputs
+  /// (possible for degenerate constant queries); the release still goes
+  /// through the clamp, which is what carries the privacy guarantee.
+  bool removal_capped = false;
+};
+
+class RangeEnforcer {
+ public:
+  /// `tolerance` is the relative tolerance for "same output value" —
+  /// deterministic re-aggregation of identical partitions is bitwise
+  /// equal, so this only needs to absorb benign float noise.
+  /// `max_removals` caps the total records removed per enforcement.
+  explicit RangeEnforcer(double tolerance = 1e-9, size_t max_removals = 64)
+      : tolerance_(tolerance), max_removals_(max_removals) {}
+
+  /// Runs Algorithm 2's comparison + removal loop.
+  ///
+  /// `partition_outputs` is the current query's per-partition output value
+  /// (updated in place if records are removed). `recompute(total_removed)`
+  /// must return the partition outputs after removing `total_removed`
+  /// records from the current input's sample set.
+  EnforcerDecision Enforce(
+      std::vector<double>& partition_outputs,
+      const std::function<std::vector<double>(size_t total_removed)>&
+          recompute);
+
+  /// Records the final partition outputs of an answered query
+  /// (Algorithm 2 lines 19–21).
+  void Register(std::vector<double> partition_outputs);
+
+  size_t registry_size() const { return prior_.size(); }
+  void Reset() { prior_.clear(); }
+
+  /// Exposed for tests: the "same value" predicate used in comparisons.
+  bool NearlyEqual(double a, double b) const;
+
+ private:
+  size_t CountDifferences(const std::vector<double>& current,
+                          const std::vector<double>& prior) const;
+
+  double tolerance_;
+  size_t max_removals_;
+  std::vector<std::vector<double>> prior_;
+};
+
+}  // namespace upa::core

@@ -1,0 +1,190 @@
+#include "upa/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "dp/mechanism.h"
+
+namespace upa::core {
+namespace {
+
+/// Reduces the sampled records of each enforcer partition, optionally
+/// excluding the last `removed` sample records (the enforcer's removal
+/// order is deterministic: newest-index first).
+std::vector<Vec> SamplePartitionPartials(
+    const std::vector<Vec>& sample_mapped,
+    const std::vector<size_t>& sample_partition, size_t num_partitions,
+    size_t removed) {
+  std::vector<Vec> partials(num_partitions, VecSum::Identity());
+  size_t keep = sample_mapped.size() > removed
+                    ? sample_mapped.size() - removed
+                    : 0;
+  for (size_t i = 0; i < keep; ++i) {
+    partials[sample_partition[i]] =
+        VecSum::Combine(std::move(partials[sample_partition[i]]),
+                        sample_mapped[i]);
+  }
+  return partials;
+}
+
+}  // namespace
+
+Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
+                                    uint64_t seed) {
+  if (query.num_records == 0) {
+    return Status::InvalidArgument("query '" + query.name +
+                                   "': empty input dataset");
+  }
+  if (!query.execute_phases) {
+    return Status::InvalidArgument("query '" + query.name +
+                                   "': missing execute_phases");
+  }
+  if (query.ctx == nullptr) {
+    return Status::InvalidArgument("query '" + query.name +
+                                   "': missing ExecContext");
+  }
+  const size_t num_partitions = std::max<size_t>(2, config_.enforcer_partitions);
+
+  UpaRunResult result;
+  Stopwatch total_watch;
+  engine::MetricsSnapshot metrics_before = query.ctx->metrics().Snapshot();
+
+  // ---- Phase 1: Partition & Sample -------------------------------------
+  Stopwatch phase_watch;
+  const size_t n = std::min(config_.sample_n, query.num_records);
+  result.sample_size = n;
+  Rng sampler = Rng::ForStream(seed, "upa/sampler/" + query.name);
+  std::vector<size_t> sample_indices =
+      sampler.SampleWithoutReplacement(query.num_records, n);
+  std::vector<size_t> sample_partition(n);
+  for (size_t i = 0; i < n; ++i) {
+    sample_partition[i] = sample_indices[i] % num_partitions;
+  }
+  result.seconds.sample = phase_watch.ElapsedSeconds();
+
+  // ---- Phase 2 + S'-side of phase 3 (delegated to the query) -----------
+  phase_watch.Reset();
+  MappedBatches batches =
+      query.execute_phases(sample_indices, num_partitions, n, seed);
+  result.seconds.map = phase_watch.ElapsedSeconds();
+  if (batches.sample_mapped.size() != n) {
+    return Status::Internal(
+        "query '" + query.name +
+        "': execute_phases returned wrong sample batch size");
+  }
+  if (batches.sprime_partials.size() != num_partitions) {
+    return Status::Internal(
+        "query '" + query.name +
+        "': execute_phases returned wrong partition count");
+  }
+
+  // ---- Phase 3b: Union-Preserving Reduce --------------------------------
+  phase_watch.Reset();
+  Vec r_sprime = VecSum::Identity();
+  for (const Vec& partial : batches.sprime_partials) {
+    r_sprime = VecSum::Combine(std::move(r_sprime), partial);
+  }
+  // R(S) and the per-exclusion reductions R(S \ s_i), reusing R(M(S')).
+  std::vector<Vec> excl =
+      ExclusionAggregate(batches.sample_mapped, config_.exclusion);
+  Vec r_s = TotalAggregate(batches.sample_mapped);
+  Vec f_vec = VecSum::Combine(r_sprime, r_s);
+
+  // Sampled-neighbour outputs: removals f(x - s_i), additions f(x + s̄_i).
+  result.neighbour_outputs.reserve(n + batches.domain_mapped.size());
+  for (size_t i = 0; i < n; ++i) {
+    result.neighbour_outputs.push_back(
+        query.OutputOf(VecSum::Combine(r_sprime, excl[i])));
+  }
+  for (const Vec& added : batches.domain_mapped) {
+    result.neighbour_outputs.push_back(
+        query.OutputOf(VecSum::Combine(f_vec, added)));
+  }
+  result.seconds.reduce = phase_watch.ElapsedSeconds();
+
+  // ---- Phase 4: iDP Enforcement -----------------------------------------
+  phase_watch.Reset();
+  const double f_x = query.OutputOf(f_vec);
+  if (config_.sensitivity_rule == SensitivityRule::kOutputRange) {
+    result.out_range =
+        NormalPercentileInterval(result.neighbour_outputs,
+                                 config_.lo_percentile, config_.hi_percentile);
+    result.local_sensitivity = result.out_range.width();
+  } else {
+    // Influence rules: Definition II.1 evaluated on the sampled
+    // neighbours. kSampledMax is the greatest observed |f(x) - f(y)|;
+    // kInfluencePercentile additionally extrapolates the tail with the
+    // fitted normal's P99 (useful for smooth influence distributions,
+    // overshooting for binary ones). Either way this is an *estimate* of
+    // the true maximum; soundness comes from the Range Enforcer's clamp,
+    // not from here.
+    std::vector<double> influences;
+    influences.reserve(result.neighbour_outputs.size());
+    double max_influence = 0.0;
+    for (double o : result.neighbour_outputs) {
+      double infl = std::fabs(o - f_x);
+      influences.push_back(infl);
+      max_influence = std::max(max_influence, infl);
+    }
+    result.local_sensitivity = max_influence;
+    if (config_.sensitivity_rule == SensitivityRule::kInfluencePercentile) {
+      NormalParams fit = FitNormalMle(influences);
+      result.local_sensitivity = std::max(
+          result.local_sensitivity,
+          std::max(0.0, NormalQuantile(fit, config_.hi_percentile / 100.0)));
+    }
+    result.out_range = Interval{f_x - result.local_sensitivity,
+                                f_x + result.local_sensitivity};
+  }
+
+  // Per-partition outputs f(x_j) = output of R(S'_j) ⊕ R(S_j).
+  auto partition_outputs_for = [&](size_t removed) {
+    std::vector<Vec> sample_partials = SamplePartitionPartials(
+        batches.sample_mapped, sample_partition, num_partitions, removed);
+    std::vector<double> outs(num_partitions);
+    for (size_t j = 0; j < num_partitions; ++j) {
+      outs[j] = query.OutputOf(
+          VecSum::Combine(batches.sprime_partials[j], sample_partials[j]));
+    }
+    return outs;
+  };
+  result.partition_outputs = partition_outputs_for(0);
+
+  if (config_.enable_enforcer) {
+    result.enforcer =
+        enforcer_.Enforce(result.partition_outputs, partition_outputs_for);
+    if (result.enforcer.records_removed > 0) {
+      // x was shrunk: recompute the reduced value without the removed
+      // sample records (newest-index-first removal order).
+      std::vector<Vec> kept_partials = SamplePartitionPartials(
+          batches.sample_mapped, sample_partition, num_partitions,
+          result.enforcer.records_removed);
+      Vec r_s_kept = VecSum::Identity();
+      for (Vec& p : kept_partials) {
+        r_s_kept = VecSum::Combine(std::move(r_s_kept), p);
+      }
+      f_vec = VecSum::Combine(r_sprime, r_s_kept);
+    }
+    enforcer_.Register(result.partition_outputs);
+  }
+
+  result.reduced = f_vec;
+  result.raw_output = query.OutputOf(f_vec);
+
+  double clamped = result.out_range.Clamp(result.raw_output);
+  if (config_.add_noise) {
+    Rng noise = Rng::ForStream(seed, "upa/noise/" + query.name);
+    result.released_output = dp::LaplaceMechanism(
+        clamped, result.local_sensitivity, config_.epsilon, noise);
+  } else {
+    result.released_output = clamped;
+  }
+  result.seconds.enforce = phase_watch.ElapsedSeconds();
+
+  result.seconds.total = total_watch.ElapsedSeconds();
+  result.metrics = query.ctx->metrics().Snapshot() - metrics_before;
+  return result;
+}
+
+}  // namespace upa::core

@@ -1,0 +1,75 @@
+// Core value types for UPA's union-preserving aggregation.
+//
+// Every UPA query is decomposed as f(x) = scalarize(post(R(M(x)))) where
+//   M : record -> Vec          (the Mapper; pure, per-record)
+//   R : (Vec, Vec) -> Vec      (the Reducer; commutative + associative)
+//   post : Vec -> Vec          (record-independent post-processing, e.g.
+//                               turning gradient sums into updated weights)
+//   scalarize : Vec -> double  (the released output value, the quantity the
+//                               paper perturbs and plots)
+//
+// The reduce value is a fixed-dimension vector of doubles: dimension 1 for
+// counts/sums (TPC-H), k*d+k for KMeans partial sums, d+1 for LR gradients.
+// The shipped reducer is element-wise addition (VecSum), whose monoid
+// properties are what justify Algorithm 1's reuse of R(M(S')) — and what
+// the property tests verify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upa::core {
+
+using Vec = std::vector<double>;
+
+/// Element-wise-sum monoid over Vec. The empty vector is the identity, so
+/// reductions over empty partitions need no special casing.
+struct VecSum {
+  /// Identity element.
+  static Vec Identity() { return {}; }
+
+  /// a ⊕ b. Either side may be the empty identity.
+  static Vec Combine(Vec a, const Vec& b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    UPA_CHECK_MSG(a.size() == b.size(), "VecSum requires equal dimensions");
+    for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    return a;
+  }
+
+  /// Inverse of Combine on the second argument: a ⊖ b. Exists because the
+  /// monoid is actually a group; the exact-incremental ground truth and
+  /// some fast paths use it, but Algorithm 1 itself never requires it.
+  static Vec Subtract(Vec a, const Vec& b) {
+    if (b.empty()) return a;
+    if (a.empty()) {
+      Vec neg(b.size());
+      for (size_t i = 0; i < b.size(); ++i) neg[i] = -b[i];
+      return neg;
+    }
+    UPA_CHECK_MSG(a.size() == b.size(), "VecSum requires equal dimensions");
+    for (size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+    return a;
+  }
+
+  /// Reduce a sequence.
+  static Vec Reduce(const std::vector<Vec>& values) {
+    Vec acc = Identity();
+    for (const Vec& v : values) acc = Combine(std::move(acc), v);
+    return acc;
+  }
+};
+
+/// Returns v[0] for 1-dimensional values; the default scalarizer for
+/// count/sum queries. Empty (identity) values scalarize to 0.
+inline double ScalarOf(const Vec& v) { return v.empty() ? 0.0 : v[0]; }
+
+/// L2 norm — the default scalarizer for vector-valued ML outputs.
+double L2Norm(const Vec& v);
+
+/// L1 distance between two vectors of equal dimension (empty = zeros).
+double L1Distance(const Vec& a, const Vec& b);
+
+}  // namespace upa::core

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace upa {
+namespace {
+
+TEST(ThreadPoolTest, DefaultHasAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto fut = pool.Submit([&] { counter.fetch_add(1); });
+  fut.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, [&](size_t i) { touched[i].fetch_add(1); });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionExactly) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelForChunks(103, [&](size_t b, size_t e) {
+    std::lock_guard lock(mu);
+    chunks.push_back({b, e});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  size_t expected_begin = 0;
+  for (auto [b, e] : chunks) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_GT(e, b);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<long> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(values.size(), [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(10,
+                       [&](size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto outer = pool.Submit([&] {
+    counter.fetch_add(1);
+    // Do not wait on the inner future inside the worker; just enqueue.
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  outer.get();
+  // Give the inner task a chance to run by submitting a barrier task.
+  pool.Submit([] {}).get();
+  EXPECT_GE(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace upa

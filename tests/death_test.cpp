@@ -1,0 +1,78 @@
+// Precondition-violation (UPA_CHECK) death tests: programming errors must
+// abort loudly, not corrupt privacy state silently.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dp/mechanism.h"
+#include "engine/dataset.h"
+#include "relational/value.h"
+#include "upa/types.h"
+
+namespace upa {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, RngRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformU64(0), "n > 0");
+}
+
+TEST(DeathTest, RngRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(5, 2), "lo <= hi");
+}
+
+TEST(DeathTest, RngRejectsOversample) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.SampleWithoutReplacement(3, 5), "population");
+}
+
+TEST(DeathTest, PercentileRejectsEmpty) {
+  std::vector<double> empty;
+  EXPECT_DEATH(Percentile(empty, 50.0), "empty");
+}
+
+TEST(DeathTest, PercentileRejectsOutOfRangeP) {
+  std::vector<double> xs{1.0};
+  EXPECT_DEATH(Percentile(xs, 101.0), "percentile");
+}
+
+TEST(DeathTest, LaplaceRejectsNonPositiveEpsilon) {
+  Rng rng(1);
+  EXPECT_DEATH(dp::LaplaceMechanism(1.0, 1.0, 0.0, rng), "epsilon");
+}
+
+TEST(DeathTest, LaplaceRejectsNegativeSensitivity) {
+  Rng rng(1);
+  EXPECT_DEATH(dp::LaplaceMechanism(1.0, -1.0, 0.5, rng), "sensitivity");
+}
+
+TEST(DeathTest, VecSumRejectsDimensionMismatch) {
+  core::Vec a{1.0, 2.0};
+  core::Vec b{1.0, 2.0, 3.0};
+  EXPECT_DEATH(core::VecSum::Combine(a, b), "dimensions");
+}
+
+TEST(DeathTest, DatasetRejectsNullContext) {
+  EXPECT_DEATH(engine::Dataset<int>::FromVector(nullptr, {1, 2}),
+               "ctx != nullptr");
+}
+
+TEST(DeathTest, ValueAccessorsRejectWrongType) {
+  rel::Value s{std::string("x")};
+  EXPECT_DEATH(rel::AsInt(s), "not an int");
+  EXPECT_DEATH(rel::AsNumeric(s), "not numeric");
+  rel::Value i{int64_t{1}};
+  EXPECT_DEATH(rel::AsString(i), "not a string");
+}
+
+TEST(DeathTest, ValueCompareRejectsMixedStringNumeric) {
+  EXPECT_DEATH(
+      rel::Compare(rel::Value{int64_t{1}}, rel::Value{std::string("1")}),
+      "cannot compare");
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,73 @@
+#include "dp/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace upa::dp {
+namespace {
+
+TEST(AccountantTest, ChargesWithinBudget) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge("ds", 0.4).ok());
+  EXPECT_TRUE(acc.Charge("ds", 0.4).ok());
+  EXPECT_DOUBLE_EQ(acc.Spent("ds"), 0.8);
+  EXPECT_NEAR(acc.Remaining("ds"), 0.2, 1e-12);
+}
+
+TEST(AccountantTest, RejectsOverBudget) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge("ds", 0.9).ok());
+  Status s = acc.Charge("ds", 0.2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  // Failed charge must not consume budget.
+  EXPECT_DOUBLE_EQ(acc.Spent("ds"), 0.9);
+}
+
+TEST(AccountantTest, ExactBudgetBoundaryAllowed) {
+  PrivacyAccountant acc(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(acc.Charge("ds", 0.1).ok()) << "charge " << i;
+  }
+  EXPECT_FALSE(acc.Charge("ds", 0.01).ok());
+}
+
+TEST(AccountantTest, DatasetsHaveIndependentBudgets) {
+  PrivacyAccountant acc(0.5);
+  EXPECT_TRUE(acc.Charge("a", 0.5).ok());
+  EXPECT_TRUE(acc.Charge("b", 0.5).ok());
+  EXPECT_FALSE(acc.Charge("a", 0.1).ok());
+}
+
+TEST(AccountantTest, RejectsNonPositiveEpsilon) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_EQ(acc.Charge("ds", 0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(acc.Charge("ds", -0.1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AccountantTest, UnknownDatasetHasZeroSpent) {
+  PrivacyAccountant acc(2.0);
+  EXPECT_DOUBLE_EQ(acc.Spent("never-seen"), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Remaining("never-seen"), 2.0);
+}
+
+TEST(AccountantTest, ConcurrentChargesNeverOverspend) {
+  PrivacyAccountant acc(1.0);
+  std::vector<std::thread> threads;
+  std::atomic<int> granted{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (acc.Charge("ds", 0.01).ok()) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(acc.Spent("ds"), 1.0 + 1e-9);
+  EXPECT_EQ(granted.load(), 100);  // exactly 100 x 0.01 fit in 1.0
+}
+
+}  // namespace
+}  // namespace upa::dp

@@ -1,0 +1,183 @@
+// The Table I user-facing API: dpread / mapDP / filterDP / reduceDP /
+// countDP / mapDPKV / reduceByKeyDP / joinPublicDP, with budget accounting
+// and the persistent enforcer.
+#include "upa/dp_api.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace upa::api {
+namespace {
+
+engine::ExecContext& Ctx() {
+  static engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 4});
+  return ctx;
+}
+
+core::UpaConfig TestConfig() {
+  core::UpaConfig cfg;
+  cfg.sample_n = 200;
+  return cfg;
+}
+
+std::vector<double> SomeValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble(0.0, 10.0);
+  return v;
+}
+
+std::function<double(Rng&)> UniformDomain() {
+  return [](Rng& rng) { return rng.UniformDouble(0.0, 10.0); };
+}
+
+TEST(DpApiTest, CountReleaseIsClose) {
+  UpaSystem sys(&Ctx(), TestConfig(), /*total_budget=*/10.0);
+  auto data = sys.dpread(SomeValues(5000, 1), UniformDomain(), "ds1");
+  auto release = data.countDP(/*epsilon=*/1.0);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  // Sensitivity ~1, eps 1 → noise scale 1; within ±30 whp.
+  EXPECT_NEAR(release.value().value, 5000.0, 30.0);
+  EXPECT_NEAR(release.value().local_sensitivity, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(release.value().epsilon, 1.0);
+}
+
+TEST(DpApiTest, SumReleaseIsClose) {
+  UpaSystem sys(&Ctx(), TestConfig(), 10.0);
+  auto values = SomeValues(5000, 2);
+  double truth = std::accumulate(values.begin(), values.end(), 0.0);
+  auto data = sys.dpread(values, UniformDomain(), "ds2");
+  auto release =
+      data.reduceSumDP([](const double& v) { return v; }, 1.0);
+  ASSERT_TRUE(release.ok());
+  EXPECT_NEAR(release.value().value, truth, 300.0);
+  EXPECT_LE(release.value().local_sensitivity, 12.0);
+}
+
+TEST(DpApiTest, MapComposesIntoRelease) {
+  UpaSystem sys(&Ctx(), TestConfig(), 10.0);
+  auto data = sys.dpread(SomeValues(4000, 3), UniformDomain(), "ds3");
+  auto squared = data.mapDP([](const double& v) { return v * v; });
+  auto release =
+      squared.reduceSumDP([](const double& v) { return v; }, 2.0);
+  ASSERT_TRUE(release.ok());
+  EXPECT_GT(release.value().value, 0.0);
+  // max per-record influence is ~100 (v up to 10, squared).
+  EXPECT_LE(release.value().local_sensitivity, 130.0);
+}
+
+TEST(DpApiTest, FilterRestrictsRecordsAndDomain) {
+  UpaSystem sys(&Ctx(), TestConfig(), 10.0);
+  auto data = sys.dpread(SomeValues(6000, 4), UniformDomain(), "ds4");
+  auto small = data.filterDP([](const double& v) { return v < 5.0; });
+  EXPECT_LT(small.count_upper_bound(), 4000u);
+  EXPECT_GT(small.count_upper_bound(), 2000u);
+  auto release = small.countDP(1.0);
+  ASSERT_TRUE(release.ok());
+  EXPECT_NEAR(release.value().value,
+              static_cast<double>(small.count_upper_bound()), 30.0);
+}
+
+TEST(DpApiTest, BudgetIsEnforcedAcrossReleases) {
+  UpaSystem sys(&Ctx(), TestConfig(), /*total_budget=*/1.0);
+  auto data = sys.dpread(SomeValues(3000, 5), UniformDomain(), "ds5");
+  EXPECT_TRUE(data.countDP(0.6).ok());
+  auto denied = data.countDP(0.6);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kOutOfRange);
+  // A smaller charge still fits.
+  EXPECT_TRUE(data.countDP(0.4).ok());
+}
+
+TEST(DpApiTest, BudgetIsPerDataset) {
+  UpaSystem sys(&Ctx(), TestConfig(), 1.0);
+  auto a = sys.dpread(SomeValues(3000, 6), UniformDomain(), "dsA");
+  auto b = sys.dpread(SomeValues(3000, 7), UniformDomain(), "dsB");
+  EXPECT_TRUE(a.countDP(1.0).ok());
+  EXPECT_TRUE(b.countDP(1.0).ok());
+  EXPECT_FALSE(a.countDP(0.1).ok());
+}
+
+TEST(DpApiTest, RepeatedIdenticalQueryIsFlaggedByEnforcer) {
+  UpaSystem sys(&Ctx(), TestConfig(), 100.0);
+  auto data = sys.dpread(SomeValues(4000, 8), UniformDomain(), "ds8");
+  auto first = data.countDP(1.0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().attack_suspected);
+  auto second = data.countDP(1.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().attack_suspected);
+  EXPECT_GE(second.value().records_removed, 2u);
+}
+
+TEST(DpApiTest, EmptyDatasetIsRejectedWithoutCharging) {
+  UpaSystem sys(&Ctx(), TestConfig(), 1.0);
+  auto data = sys.dpread(std::vector<double>{}, UniformDomain(), "ds9");
+  auto release = data.countDP(0.5);
+  EXPECT_FALSE(release.ok());
+  EXPECT_DOUBLE_EQ(sys.accountant().Spent("ds9"), 0.0);
+}
+
+TEST(DpApiTest, ReduceVecReturnsNoisyVector) {
+  UpaSystem sys(&Ctx(), TestConfig(), 10.0);
+  auto data = sys.dpread(SomeValues(4000, 10), UniformDomain(), "ds10");
+  core::Vec noisy;
+  auto release = data.reduceVecDP(
+      [](const double& v) {
+        return core::Vec{v, 1.0};
+      },
+      [](const core::Vec& r) {
+        // mean = sum / count
+        return core::Vec{r.empty() ? 0.0 : r[0] / r[1]};
+      },
+      [](const core::Vec& v) { return core::ScalarOf(v); }, 1.0, &noisy);
+  ASSERT_TRUE(release.ok());
+  ASSERT_EQ(noisy.size(), 1u);
+  EXPECT_NEAR(noisy[0], 5.0, 1.0);  // mean of U[0,10]
+}
+
+TEST(DpApiKVTest, ReduceByKeyReleasesPerKey) {
+  UpaSystem sys(&Ctx(), TestConfig(), 10.0);
+  Rng rng(11);
+  std::vector<int> records(6000);
+  for (auto& r : records) r = static_cast<int>(rng.UniformU64(3));
+  auto data = sys.dpread<int>(
+      std::move(records),
+      [](Rng& rg) { return static_cast<int>(rg.UniformU64(3)); }, "ds11");
+  auto keyed =
+      mapDPKV(data, [](const int& v) { return v; }, std::vector<int>{0, 1, 2});
+  auto result = keyed.reduceByKeyDP([](const int&) { return 1.0; }, 1.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  double total = 0;
+  for (const auto& [k, v] : result.value()) {
+    EXPECT_NEAR(v, 2000.0, 150.0) << "key " << k;
+    total += v;
+  }
+  EXPECT_NEAR(total, 6000.0, 300.0);
+}
+
+TEST(DpApiKVTest, JoinPublicEnrichesRecords) {
+  UpaSystem sys(&Ctx(), TestConfig(), 10.0);
+  Rng rng(12);
+  std::vector<int> records(5000);
+  for (auto& r : records) r = static_cast<int>(rng.UniformU64(2));
+  auto data = sys.dpread<int>(
+      std::move(records),
+      [](Rng& rg) { return static_cast<int>(rg.UniformU64(2)); }, "ds12");
+  auto keyed =
+      mapDPKV(data, [](const int& v) { return v; }, std::vector<int>{0, 1});
+  std::vector<std::pair<int, double>> weights{{0, 1.5}, {1, 4.0}};
+  auto joined = keyed.joinPublicDP(weights);
+  auto release = joined.reduceSumDP(
+      [](const std::pair<int, double>& vw) { return vw.second; }, 1.0);
+  ASSERT_TRUE(release.ok());
+  // ~2500 of each → 2500*1.5 + 2500*4.0 = 13750 ± noise.
+  EXPECT_NEAR(release.value().value, 13750.0, 800.0);
+}
+
+}  // namespace
+}  // namespace upa::api

@@ -1,0 +1,126 @@
+#include "dp/exponential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace upa::dp {
+namespace {
+
+TEST(ExponentialMechanismTest, PrefersHighScores) {
+  Rng rng(1);
+  std::vector<double> scores{0.0, 0.0, 10.0};
+  std::map<size_t, int> picks;
+  for (int t = 0; t < 2000; ++t) {
+    picks[ExponentialMechanism(scores, 1.0, 2.0, rng)]++;
+  }
+  EXPECT_GT(picks[2], 1900);  // exp(10) >> exp(0)
+}
+
+TEST(ExponentialMechanismTest, UniformScoresAreUniformPicks) {
+  Rng rng(2);
+  std::vector<double> scores(4, 1.0);
+  std::map<size_t, int> picks;
+  const int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    picks[ExponentialMechanism(scores, 1.0, 1.0, rng)]++;
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(picks[i] / static_cast<double>(kTrials), 0.25, 0.02);
+  }
+}
+
+TEST(ExponentialMechanismTest, DistributionMatchesTheory) {
+  // P(i) ∝ exp(ε·s_i / 2Δ); with ε=2, Δ=1, scores {0, ln(4)} → odds 1:4.
+  Rng rng(3);
+  std::vector<double> scores{0.0, std::log(4.0)};
+  int second = 0;
+  const int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    second += ExponentialMechanism(scores, 1.0, 2.0, rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(second / static_cast<double>(kTrials), 0.8, 0.01);
+}
+
+TEST(ExponentialMechanismTest, LowEpsilonFlattensChoice) {
+  Rng rng(4);
+  std::vector<double> scores{0.0, 5.0};
+  int second = 0;
+  const int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    second += ExponentialMechanism(scores, 1.0, 0.01, rng) == 1 ? 1 : 0;
+  }
+  // ε→0: nearly uniform.
+  EXPECT_NEAR(second / static_cast<double>(kTrials), 0.5, 0.03);
+}
+
+TEST(ExponentialMechanismTest, SingleCandidateAlwaysPicked) {
+  Rng rng(5);
+  std::vector<double> scores{3.0};
+  EXPECT_EQ(ExponentialMechanism(scores, 1.0, 1.0, rng), 0u);
+}
+
+TEST(NoisyHistogramTest, UnbiasedPerBin) {
+  Rng rng(6);
+  std::vector<double> counts{100.0, 50.0, 0.0};
+  std::vector<double> sums(3, 0.0);
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto noisy = NoisyHistogram(counts, 1.0, rng);
+    for (size_t i = 0; i < 3; ++i) sums[i] += noisy[i];
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sums[i] / kTrials, counts[i], 0.15) << "bin " << i;
+  }
+}
+
+TEST(NoisyHistogramTest, NoiseScaleIsOneOverEpsilon) {
+  Rng rng(7);
+  std::vector<double> counts{0.0};
+  std::vector<double> draws(30000);
+  for (auto& d : draws) d = NoisyHistogram(counts, 0.5, rng)[0];
+  // Laplace(2) → sd = 2·sqrt(2).
+  EXPECT_NEAR(StdDevSample(draws), 2.0 * std::sqrt(2.0), 0.1);
+}
+
+TEST(PrivateMedianTest, HighEpsilonFindsMedian) {
+  Rng rng(8);
+  std::vector<double> data(1001);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  std::vector<double> candidates;
+  for (double c = 0; c <= 1000; c += 50) candidates.push_back(c);
+  double released = PrivateMedian(data, candidates, /*epsilon=*/50.0, rng);
+  EXPECT_NEAR(released, 500.0, 50.0);
+}
+
+TEST(PrivateMedianTest, ReleaseIsAlwaysFromCandidateDomain) {
+  Rng rng(9);
+  std::vector<double> data{1.0, 2.0, 3.0};
+  std::vector<double> candidates{0.0, 2.0, 9.0};
+  for (int t = 0; t < 200; ++t) {
+    double r = PrivateMedian(data, candidates, 0.5, rng);
+    EXPECT_TRUE(r == 0.0 || r == 2.0 || r == 9.0);
+  }
+}
+
+TEST(PrivateMedianTest, SkewedDataStillCentres) {
+  Rng rng(10);
+  std::vector<double> data;
+  for (int i = 0; i < 900; ++i) data.push_back(1.0);
+  for (int i = 0; i < 100; ++i) data.push_back(100.0);
+  std::sort(data.begin(), data.end());
+  std::vector<double> candidates{1.0, 50.0, 100.0};
+  int at_one = 0;
+  for (int t = 0; t < 200; ++t) {
+    at_one += PrivateMedian(data, candidates, 5.0, rng) == 1.0 ? 1 : 0;
+  }
+  EXPECT_GT(at_one, 150);  // true median is 1
+}
+
+}  // namespace
+}  // namespace upa::dp

@@ -1,0 +1,79 @@
+#include "dp/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace upa::dp {
+namespace {
+
+TEST(GaussianSigmaTest, MatchesClosedForm) {
+  double sigma = GaussianSigma(1.0, 0.5, 1e-5);
+  EXPECT_NEAR(sigma, std::sqrt(2.0 * std::log(1.25 / 1e-5)) / 0.5, 1e-12);
+  // Scales linearly in sensitivity, inversely in epsilon.
+  EXPECT_NEAR(GaussianSigma(2.0, 0.5, 1e-5), 2.0 * sigma, 1e-9);
+  EXPECT_NEAR(GaussianSigma(1.0, 0.25, 1e-5), 2.0 * sigma, 1e-9);
+}
+
+TEST(GaussianSigmaTest, ZeroSensitivityIsZeroSigma) {
+  EXPECT_DOUBLE_EQ(GaussianSigma(0.0, 0.5, 1e-5), 0.0);
+}
+
+TEST(GaussianMechanismTest, EmpiricalMomentsMatch) {
+  Rng rng(1);
+  std::vector<double> noisy(60000);
+  for (auto& x : noisy) x = GaussianMechanism(7.0, 1.0, 0.5, 1e-5, rng);
+  double sigma = GaussianSigma(1.0, 0.5, 1e-5);
+  EXPECT_NEAR(Mean(noisy), 7.0, sigma * 0.02);
+  EXPECT_NEAR(StdDevSample(noisy), sigma, sigma * 0.02);
+}
+
+TEST(GaussianMechanismTest, ZeroSensitivityIsNoiseless) {
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(GaussianMechanism(3.0, 0.0, 0.5, 1e-5, rng), 3.0);
+}
+
+TEST(GaussianMechanismTest, VectorPerturbsAllCoordinates) {
+  Rng rng(3);
+  std::vector<double> v{1.0, 2.0, 3.0};
+  auto noisy = GaussianMechanism(v, 0.1, 0.9, 1e-6, rng);
+  ASSERT_EQ(noisy.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NE(noisy[i], v[i]);
+}
+
+TEST(CompositionTest, BasicIsLinear) {
+  PrivacyParams total = BasicComposition({0.1, 1e-6}, 10);
+  EXPECT_NEAR(total.epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(total.delta, 1e-5, 1e-18);
+}
+
+TEST(CompositionTest, AdvancedBeatsBasicForManyReleases) {
+  PrivacyParams per{0.1, 0.0};
+  size_t k = 100;
+  PrivacyParams basic = BasicComposition(per, k);
+  PrivacyParams advanced = AdvancedComposition(per, k, 1e-5);
+  EXPECT_LT(advanced.epsilon, basic.epsilon);
+  EXPECT_DOUBLE_EQ(advanced.delta, 1e-5);
+}
+
+TEST(CompositionTest, AdvancedMatchesFormula) {
+  PrivacyParams per{0.2, 1e-7};
+  PrivacyParams adv = AdvancedComposition(per, 4, 1e-6);
+  double expect = 0.2 * std::sqrt(2.0 * 4.0 * std::log(1e6)) +
+                  4.0 * 0.2 * (std::exp(0.2) - 1.0);
+  EXPECT_NEAR(adv.epsilon, expect, 1e-12);
+  EXPECT_NEAR(adv.delta, 4e-7 + 1e-6, 1e-18);
+}
+
+TEST(CompositionTest, SingleReleaseIsIdentityForBasic) {
+  PrivacyParams per{0.3, 1e-8};
+  PrivacyParams one = BasicComposition(per, 1);
+  EXPECT_DOUBLE_EQ(one.epsilon, 0.3);
+  EXPECT_DOUBLE_EQ(one.delta, 1e-8);
+}
+
+}  // namespace
+}  // namespace upa::dp

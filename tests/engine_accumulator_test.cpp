@@ -1,0 +1,63 @@
+#include "engine/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "engine/dataset.h"
+
+namespace upa::engine {
+namespace {
+
+ExecContext& Ctx() {
+  static ExecContext ctx(ExecConfig{.threads = 4, .default_partitions = 4});
+  return ctx;
+}
+
+TEST(CounterAccumulatorTest, CountsAndResets) {
+  CounterAccumulator acc;
+  acc.Add();
+  acc.Add(5);
+  EXPECT_EQ(acc.value(), 6u);
+  acc.Reset();
+  EXPECT_EQ(acc.value(), 0u);
+}
+
+TEST(CounterAccumulatorTest, CountsFromParallelTasks) {
+  CounterAccumulator filtered;
+  std::vector<int> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  auto ds = Dataset<int>::FromVector(&Ctx(), values, 8);
+  ds.Filter([&filtered](const int& v) {
+      bool keep = v % 3 == 0;
+      if (!keep) filtered.Add();
+      return keep;
+    }).Count();
+  EXPECT_EQ(filtered.value(), 10000u - (10000u + 2) / 3);
+}
+
+TEST(GenericAccumulatorTest, MaxMonoid) {
+  Accumulator acc(0.0, [](double a, double b) { return std::max(a, b); });
+  acc.Add(3.5);
+  acc.Add(1.0);
+  acc.Add(9.25);
+  EXPECT_DOUBLE_EQ(acc.value(), 9.25);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(GenericAccumulatorTest, ParallelSumMatchesSerial) {
+  Accumulator acc(0L, [](long a, long b) { return a + b; });
+  std::vector<int> values(5000);
+  std::iota(values.begin(), values.end(), 1);
+  auto ds = Dataset<int>::FromVector(&Ctx(), values, 8);
+  ds.Map([&acc](const int& v) {
+      acc.Add(v);
+      return v;
+    }).Count();
+  EXPECT_EQ(acc.value(), 5000L * 5001 / 2);
+}
+
+}  // namespace
+}  // namespace upa::engine

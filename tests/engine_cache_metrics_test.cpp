@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/cache.h"
+#include "engine/context.h"
+#include "engine/metrics.h"
+
+namespace upa::engine {
+namespace {
+
+TEST(BlockCacheTest, MissThenHit) {
+  ExecMetrics metrics;
+  BlockCache cache(&metrics);
+  int computes = 0;
+  auto v1 = cache.GetOrCompute<int>(7, [&] {
+    ++computes;
+    return 42;
+  });
+  auto v2 = cache.GetOrCompute<int>(7, [&] {
+    ++computes;
+    return 42;
+  });
+  EXPECT_EQ(*v1, 42);
+  EXPECT_EQ(*v2, 42);
+  EXPECT_EQ(computes, 1);
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_rate(), 0.5);
+}
+
+TEST(BlockCacheTest, DistinctKeysAreDistinctBlocks) {
+  ExecMetrics metrics;
+  BlockCache cache(&metrics);
+  cache.Put<int>(1, 10);
+  cache.Put<int>(2, 20);
+  EXPECT_EQ(*cache.Get<int>(1), 10);
+  EXPECT_EQ(*cache.Get<int>(2), 20);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BlockCacheTest, GetOnMissingReturnsNull) {
+  ExecMetrics metrics;
+  BlockCache cache(&metrics);
+  EXPECT_EQ(cache.Get<int>(99), nullptr);
+  EXPECT_EQ(metrics.Snapshot().cache_misses, 1u);
+}
+
+TEST(BlockCacheTest, ClearEmptiesCache) {
+  ExecMetrics metrics;
+  BlockCache cache(&metrics);
+  cache.Put<std::string>(1, "x");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get<std::string>(1), nullptr);
+}
+
+TEST(BlockCacheTest, StoresComplexTypes) {
+  ExecMetrics metrics;
+  BlockCache cache(&metrics);
+  std::vector<double> payload{1.0, 2.0, 3.0};
+  cache.Put<std::vector<double>>(5, payload);
+  auto got = cache.Get<std::vector<double>>(5);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(BlockCacheTest, WorksWithoutMetrics) {
+  BlockCache cache(nullptr);
+  auto v = cache.GetOrCompute<int>(1, [] { return 5; });
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ExecMetricsTest, SnapshotDeltaArithmetic) {
+  ExecMetrics m;
+  m.AddTasks(3);
+  m.AddRecords(100);
+  auto before = m.Snapshot();
+  m.AddTasks(2);
+  m.AddRecords(50);
+  m.AddShuffleRound();
+  m.AddShuffleRecords(25);
+  auto delta = m.Snapshot() - before;
+  EXPECT_EQ(delta.tasks_launched, 2u);
+  EXPECT_EQ(delta.records_processed, 50u);
+  EXPECT_EQ(delta.shuffle_rounds, 1u);
+  EXPECT_EQ(delta.shuffle_records, 25u);
+}
+
+TEST(ExecMetricsTest, PhaseSecondsAccumulate) {
+  ExecMetrics m;
+  m.AddPhaseSeconds("map", 0.5);
+  m.AddPhaseSeconds("map", 0.25);
+  m.AddPhaseSeconds("reduce", 1.0);
+  auto snap = m.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.phase_seconds.at("map"), 0.75);
+  EXPECT_DOUBLE_EQ(snap.phase_seconds.at("reduce"), 1.0);
+}
+
+TEST(ExecMetricsTest, PhaseDeltaSubtracts) {
+  ExecMetrics m;
+  m.AddPhaseSeconds("map", 1.0);
+  auto before = m.Snapshot();
+  m.AddPhaseSeconds("map", 0.5);
+  auto delta = m.Snapshot() - before;
+  EXPECT_DOUBLE_EQ(delta.phase_seconds.at("map"), 0.5);
+}
+
+TEST(ExecMetricsTest, ResetZeroesEverything) {
+  ExecMetrics m;
+  m.AddTasks(1);
+  m.AddCacheHit();
+  m.AddPhaseSeconds("x", 1.0);
+  m.Reset();
+  auto snap = m.Snapshot();
+  EXPECT_EQ(snap.tasks_launched, 0u);
+  EXPECT_EQ(snap.cache_hits, 0u);
+  EXPECT_TRUE(snap.phase_seconds.empty());
+}
+
+TEST(ExecMetricsTest, HitRateEdgeCases) {
+  MetricsSnapshot s;
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate(), 0.0);
+  s.cache_hits = 3;
+  s.cache_misses = 1;
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate(), 0.75);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(ExecContextTest, TimePhaseAttributesTime) {
+  ExecContext ctx(ExecConfig{.threads = 1, .default_partitions = 2});
+  int result = ctx.TimePhase("work", [] { return 7; });
+  EXPECT_EQ(result, 7);
+  auto snap = ctx.metrics().Snapshot();
+  EXPECT_GE(snap.phase_seconds.at("work"), 0.0);
+}
+
+TEST(ExecContextTest, TimePhaseVoidVariant) {
+  ExecContext ctx(ExecConfig{.threads = 1, .default_partitions = 2});
+  bool ran = false;
+  ctx.TimePhase("void_work", [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(ctx.metrics().Snapshot().phase_seconds.contains("void_work"));
+}
+
+}  // namespace
+}  // namespace upa::engine

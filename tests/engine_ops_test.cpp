@@ -1,0 +1,148 @@
+#include "engine/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace upa::engine {
+namespace {
+
+ExecContext& Ctx() {
+  static ExecContext ctx(ExecConfig{.threads = 4, .default_partitions = 3});
+  return ctx;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(UnionTest, ConcatenatesAllElements) {
+  auto a = Dataset<int>::FromVector(&Ctx(), Iota(10), 2);
+  auto b = Dataset<int>::FromVector(&Ctx(), Iota(5), 3);
+  auto u = Union(a, b);
+  EXPECT_EQ(u.Count(), 15u);
+  EXPECT_EQ(u.NumPartitions(), 5u);
+}
+
+TEST(UnionTest, EmptySides) {
+  auto a = Dataset<int>::FromVector(&Ctx(), {}, 2);
+  auto b = Dataset<int>::FromVector(&Ctx(), Iota(4), 2);
+  EXPECT_EQ(Union(a, b).Count(), 4u);
+  EXPECT_EQ(Union(b, a).Count(), 4u);
+}
+
+TEST(ZipWithIndexTest, IndicesAreSequential) {
+  auto ds = Dataset<int>::FromVector(&Ctx(), Iota(20), 4);
+  auto zipped = ZipWithIndex(ds);
+  auto all = zipped.Collect();
+  ASSERT_EQ(all.size(), 20u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first, i);
+  }
+}
+
+TEST(ZipWithIndexTest, PreservesValuesInPartitionOrder) {
+  auto ds = Dataset<int>::FromVector(&Ctx(), {7, 8, 9}, 1);
+  auto zipped = ZipWithIndex(ds).Collect();
+  EXPECT_EQ(zipped[0], (std::pair<size_t, int>{0, 7}));
+  EXPECT_EQ(zipped[2], (std::pair<size_t, int>{2, 9}));
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  std::vector<int> data{1, 2, 2, 3, 3, 3, 4};
+  auto ds = Dataset<int>::FromVector(&Ctx(), data, 3);
+  auto distinct = Distinct(ds);
+  auto out = distinct.Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(DistinctTest, AlreadyDistinctUnchangedInSize) {
+  auto ds = Dataset<int>::FromVector(&Ctx(), Iota(50), 4);
+  EXPECT_EQ(Distinct(ds).Count(), 50u);
+}
+
+TEST(TakeTest, TakesFirstN) {
+  auto ds = Dataset<int>::FromVector(&Ctx(), Iota(100), 4);
+  auto taken = Take(ds, 7);
+  EXPECT_EQ(taken.size(), 7u);
+  // Partition-major order: first partition's records come first.
+  EXPECT_EQ(taken[0], ds.partition(0)[0]);
+}
+
+TEST(TakeTest, TakeMoreThanAvailable) {
+  auto ds = Dataset<int>::FromVector(&Ctx(), Iota(3), 2);
+  EXPECT_EQ(Take(ds, 10).size(), 3u);
+}
+
+TEST(CountByKeyTest, CountsPerKey) {
+  std::vector<std::pair<std::string, int>> data{
+      {"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"a", 5}};
+  auto ds =
+      Dataset<std::pair<std::string, int>>::FromVector(&Ctx(), data, 3);
+  auto counts = CountByKey(ds);
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 1u);
+  EXPECT_EQ(counts["c"], 1u);
+}
+
+TEST(CoGroupTest, GroupsBothSidesByKey) {
+  std::vector<std::pair<int, int>> left{{1, 10}, {1, 11}, {2, 20}};
+  std::vector<std::pair<int, std::string>> right{{1, "x"}, {3, "z"}};
+  auto l = Dataset<std::pair<int, int>>::FromVector(&Ctx(), left, 2);
+  auto r =
+      Dataset<std::pair<int, std::string>>::FromVector(&Ctx(), right, 2);
+  auto grouped = CoGroup(l, r, 2);
+  std::map<int, std::pair<std::vector<int>, std::vector<std::string>>> by_key;
+  for (auto& [k, vw] : grouped.Collect()) {
+    std::sort(vw.first.begin(), vw.first.end());
+    by_key[k] = vw;
+  }
+  ASSERT_EQ(by_key.size(), 3u);
+  EXPECT_EQ(by_key[1].first, (std::vector<int>{10, 11}));
+  EXPECT_EQ(by_key[1].second, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(by_key[2].first, (std::vector<int>{20}));
+  EXPECT_TRUE(by_key[2].second.empty());
+  EXPECT_TRUE(by_key[3].first.empty());
+  EXPECT_EQ(by_key[3].second, (std::vector<std::string>{"z"}));
+}
+
+TEST(CoGroupTest, CountsOneShufflePerSide) {
+  ExecContext local(ExecConfig{.threads = 2, .default_partitions = 2});
+  std::vector<std::pair<int, int>> data{{1, 1}};
+  auto l = Dataset<std::pair<int, int>>::FromVector(&local, data, 1);
+  auto r = Dataset<std::pair<int, int>>::FromVector(&local, data, 1);
+  auto before = local.metrics().Snapshot();
+  CoGroup(l, r, 2);
+  EXPECT_EQ((local.metrics().Snapshot() - before).shuffle_rounds, 2u);
+}
+
+// Property: Union then Distinct == set union, across partition layouts.
+class SetAlgebraSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetAlgebraSweep, UnionDistinctIsSetUnion) {
+  Rng rng(40 + GetParam());
+  std::vector<int> a(60), b(60);
+  for (auto& v : a) v = static_cast<int>(rng.UniformU64(40));
+  for (auto& v : b) v = static_cast<int>(rng.UniformU64(40));
+  std::set<int> expected(a.begin(), a.end());
+  expected.insert(b.begin(), b.end());
+
+  auto da = Dataset<int>::FromVector(&Ctx(), a, GetParam());
+  auto db = Dataset<int>::FromVector(&Ctx(), b, 3);
+  auto out = Distinct(Union(da, db)).Collect();
+  std::set<int> got(out.begin(), out.end());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(out.size(), got.size());  // no duplicates survived
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, SetAlgebraSweep,
+                         ::testing::Values(1, 2, 5, 8));
+
+}  // namespace
+}  // namespace upa::engine

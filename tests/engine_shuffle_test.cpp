@@ -1,0 +1,170 @@
+#include "engine/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace upa::engine {
+namespace {
+
+using KV = std::pair<int, int>;
+
+ExecContext& Ctx() {
+  static ExecContext ctx(ExecConfig{.threads = 4, .default_partitions = 4});
+  return ctx;
+}
+
+TEST(ShuffleByKeyTest, EqualKeysColocate) {
+  std::vector<KV> data;
+  for (int i = 0; i < 100; ++i) data.push_back({i % 10, i});
+  auto ds = Dataset<KV>::FromVector(&Ctx(), data, 5);
+  auto shuffled = ShuffleByKey(ds, 3);
+  EXPECT_EQ(shuffled.NumPartitions(), 3u);
+  EXPECT_EQ(shuffled.Count(), 100u);
+  // Every key must live in exactly one partition.
+  std::map<int, std::set<size_t>> key_parts;
+  for (size_t p = 0; p < shuffled.NumPartitions(); ++p) {
+    for (const auto& [k, v] : shuffled.partition(p)) key_parts[k].insert(p);
+  }
+  for (const auto& [k, parts] : key_parts) {
+    EXPECT_EQ(parts.size(), 1u) << "key " << k;
+  }
+}
+
+TEST(ShuffleByKeyTest, CountsShuffleMetrics) {
+  ExecContext local(ExecConfig{.threads = 2, .default_partitions = 2});
+  std::vector<KV> data{{1, 1}, {2, 2}, {3, 3}};
+  auto ds = Dataset<KV>::FromVector(&local, data, 2);
+  auto before = local.metrics().Snapshot();
+  ShuffleByKey(ds, 2);
+  auto delta = local.metrics().Snapshot() - before;
+  EXPECT_EQ(delta.shuffle_rounds, 1u);
+  EXPECT_EQ(delta.shuffle_records, 3u);
+}
+
+TEST(ReduceByKeyTest, SumsPerKey) {
+  std::vector<KV> data;
+  for (int i = 0; i < 60; ++i) data.push_back({i % 3, 1});
+  auto ds = Dataset<KV>::FromVector(&Ctx(), data, 4);
+  auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; }, 4);
+  auto out = reduced.Collect();
+  std::map<int, int> by_key(out.begin(), out.end());
+  EXPECT_EQ(by_key.size(), 3u);
+  EXPECT_EQ(by_key[0], 20);
+  EXPECT_EQ(by_key[1], 20);
+  EXPECT_EQ(by_key[2], 20);
+}
+
+TEST(ReduceByKeyTest, OnePairPerDistinctKey) {
+  std::vector<KV> data{{5, 1}, {5, 2}, {6, 3}};
+  auto ds = Dataset<KV>::FromVector(&Ctx(), data, 2);
+  auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; });
+  EXPECT_EQ(reduced.Count(), 2u);
+}
+
+TEST(ReduceByKeyTest, EmptyInput) {
+  auto ds = Dataset<KV>::FromVector(&Ctx(), {}, 2);
+  auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; });
+  EXPECT_EQ(reduced.Count(), 0u);
+}
+
+TEST(ReduceByKeyTest, MapSideCombinerCutsShuffleVolume) {
+  ExecContext local(ExecConfig{.threads = 2, .default_partitions = 2});
+  // 1000 records but only 4 distinct keys: the combiner should shrink the
+  // shuffle to at most keys x partitions records.
+  std::vector<KV> data;
+  for (int i = 0; i < 1000; ++i) data.push_back({i % 4, 1});
+  auto ds = Dataset<KV>::FromVector(&local, data, 2);
+  auto before = local.metrics().Snapshot();
+  ReduceByKey(ds, [](int a, int b) { return a + b; }, 2);
+  auto delta = local.metrics().Snapshot() - before;
+  EXPECT_LE(delta.shuffle_records, 8u);  // 4 keys x 2 map partitions
+  EXPECT_EQ(delta.shuffle_rounds, 1u);
+}
+
+TEST(HashJoinTest, InnerJoinProducesAllPairs) {
+  std::vector<std::pair<int, std::string>> left{{1, "a"}, {2, "b"}, {2, "c"}};
+  std::vector<std::pair<int, double>> right{{2, 0.5}, {2, 1.5}, {3, 9.0}};
+  auto l = Dataset<std::pair<int, std::string>>::FromVector(&Ctx(), left, 2);
+  auto r = Dataset<std::pair<int, double>>::FromVector(&Ctx(), right, 2);
+  auto joined = HashJoin(l, r, 3);
+  auto out = joined.Collect();
+  // key 2: 2 left x 2 right = 4 pairs; keys 1 and 3 don't match.
+  EXPECT_EQ(out.size(), 4u);
+  for (const auto& [k, vw] : out) {
+    EXPECT_EQ(k, 2);
+    EXPECT_TRUE(vw.first == "b" || vw.first == "c");
+    EXPECT_TRUE(vw.second == 0.5 || vw.second == 1.5);
+  }
+}
+
+TEST(HashJoinTest, NoMatchesYieldsEmpty) {
+  std::vector<KV> left{{1, 1}};
+  std::vector<KV> right{{2, 2}};
+  auto l = Dataset<KV>::FromVector(&Ctx(), left, 1);
+  auto r = Dataset<KV>::FromVector(&Ctx(), right, 1);
+  EXPECT_EQ(HashJoin(l, r).Count(), 0u);
+}
+
+TEST(HashJoinTest, TriggersTwoShuffleRounds) {
+  // One per side — UPA's joinDP doubles this (asserted in upa tests).
+  ExecContext local(ExecConfig{.threads = 2, .default_partitions = 2});
+  std::vector<KV> data{{1, 1}, {2, 2}};
+  auto l = Dataset<KV>::FromVector(&local, data, 2);
+  auto r = Dataset<KV>::FromVector(&local, data, 2);
+  auto before = local.metrics().Snapshot();
+  HashJoin(l, r, 2);
+  auto delta = local.metrics().Snapshot() - before;
+  EXPECT_EQ(delta.shuffle_rounds, 2u);
+}
+
+TEST(GroupByKeyTest, GathersAllValues) {
+  std::vector<KV> data{{1, 10}, {2, 20}, {1, 11}, {1, 12}};
+  auto ds = Dataset<KV>::FromVector(&Ctx(), data, 3);
+  auto grouped = GroupByKey(ds, 2);
+  std::map<int, std::vector<int>> by_key;
+  for (auto& [k, vs] : grouped.Collect()) {
+    std::sort(vs.begin(), vs.end());
+    by_key[k] = vs;
+  }
+  EXPECT_EQ(by_key[1], (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(by_key[2], (std::vector<int>{20}));
+}
+
+// Join-cardinality property sweep: |join| == sum over keys of
+// left_count(k) * right_count(k), independent of partitioning.
+class JoinCardinalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinCardinalitySweep, MatchesAnalyticCardinality) {
+  Rng rng(200 + GetParam());
+  std::vector<KV> left, right;
+  std::map<int, int> lc, rc;
+  for (int i = 0; i < 300; ++i) {
+    int k = static_cast<int>(rng.UniformU64(20));
+    left.push_back({k, i});
+    lc[k]++;
+  }
+  for (int i = 0; i < 200; ++i) {
+    int k = static_cast<int>(rng.UniformU64(20));
+    right.push_back({k, i});
+    rc[k]++;
+  }
+  size_t expected = 0;
+  for (auto& [k, c] : lc) expected += static_cast<size_t>(c) * rc[k];
+
+  auto l = Dataset<KV>::FromVector(&Ctx(), left, GetParam());
+  auto r = Dataset<KV>::FromVector(&Ctx(), right, 3);
+  EXPECT_EQ(HashJoin(l, r, GetParam()).Count(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, JoinCardinalitySweep,
+                         ::testing::Values(1, 2, 4, 7, 16));
+
+}  // namespace
+}  // namespace upa::engine

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlkit/kmeans.h"
+#include "mlkit/linreg.h"
+
+namespace upa::ml {
+namespace {
+
+MlDataConfig SmallConfig(uint64_t seed = 7) {
+  MlDataConfig cfg;
+  cfg.num_points = 2000;
+  cfg.dims = 3;
+  cfg.mixture_components = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(MlDatasetTest, GeneratesRequestedShape) {
+  MlDataset data(SmallConfig());
+  EXPECT_EQ(data.points()->size(), 2000u);
+  for (const MlPoint& p : *data.points()) {
+    EXPECT_EQ(p.x.size(), 3u);
+    EXPECT_TRUE(std::isfinite(p.y));
+  }
+  EXPECT_EQ(data.component_means().size(), 2u);
+  EXPECT_EQ(data.true_weights().size(), 3u);
+}
+
+TEST(MlDatasetTest, Deterministic) {
+  MlDataset a(SmallConfig()), b(SmallConfig());
+  EXPECT_EQ((*a.points())[0].x, (*b.points())[0].x);
+  EXPECT_DOUBLE_EQ((*a.points())[0].y, (*b.points())[0].y);
+  MlDataset c(SmallConfig(8));
+  EXPECT_NE((*a.points())[0].x, (*c.points())[0].x);
+}
+
+TEST(MlDatasetTest, ResponseFollowsLinearModel) {
+  MlDataset data(SmallConfig());
+  // Residual of y against the true model should match the noise scale.
+  double ss = 0.0;
+  for (const MlPoint& p : *data.points()) {
+    double pred = data.true_bias();
+    for (size_t j = 0; j < p.x.size(); ++j) {
+      pred += data.true_weights()[j] * p.x[j];
+    }
+    ss += (p.y - pred) * (p.y - pred);
+  }
+  double rmse = std::sqrt(ss / data.points()->size());
+  EXPECT_NEAR(rmse, data.config().response_noise, 0.05);
+}
+
+TEST(MlDatasetTest, SamplePointHasSameShape) {
+  MlDataset data(SmallConfig());
+  Rng rng(3);
+  MlPoint p = data.SamplePoint(rng);
+  EXPECT_EQ(p.x.size(), 3u);
+  EXPECT_TRUE(std::isfinite(p.y));
+}
+
+TEST(LinRegTest, MapLayoutAndCount) {
+  LinRegSpec spec;
+  spec.w0 = {0.0, 0.0};
+  MlPoint p{{1.0, 2.0}, 3.0};
+  core::Vec m = LinRegMap(spec, p);
+  ASSERT_EQ(m.size(), 4u);  // d grads + bias grad + count
+  // pred = 0, err = -3 → grads = [-3, -6], bias grad -3, count 1.
+  EXPECT_DOUBLE_EQ(m[0], -3.0);
+  EXPECT_DOUBLE_EQ(m[1], -6.0);
+  EXPECT_DOUBLE_EQ(m[2], -3.0);
+  EXPECT_DOUBLE_EQ(m[3], 1.0);
+}
+
+TEST(LinRegTest, PostAppliesUpdateRule) {
+  LinRegSpec spec;
+  spec.w0 = {1.0};
+  spec.b0 = 0.5;
+  spec.learning_rate = 0.1;
+  // reduced: grad_w = 10 over 5 records, grad_b = 5.
+  core::Vec updated = LinRegPost(spec, {10.0, 5.0, 5.0});
+  ASSERT_EQ(updated.size(), 2u);
+  EXPECT_DOUBLE_EQ(updated[0], 1.0 - 0.1 * 10.0 / 5.0);
+  EXPECT_DOUBLE_EQ(updated[1], 0.5 - 0.1 * 5.0 / 5.0);
+}
+
+TEST(LinRegTest, PostOfIdentityKeepsWeights) {
+  LinRegSpec spec;
+  spec.w0 = {2.0, 3.0};
+  spec.b0 = -1.0;
+  core::Vec updated = LinRegPost(spec, core::VecSum::Identity());
+  EXPECT_EQ(updated, (core::Vec{2.0, 3.0, -1.0}));
+}
+
+TEST(LinRegTest, GradientStepsReduceLoss) {
+  MlDataset data(SmallConfig());
+  LinRegSpec spec;
+  spec.w0.assign(3, 0.0);
+  spec.learning_rate = 0.02;
+
+  auto loss_of = [&](const std::vector<double>& wb) {
+    double ss = 0.0;
+    for (const MlPoint& p : *data.points()) {
+      double pred = wb[3];
+      for (size_t j = 0; j < 3; ++j) pred += wb[j] * p.x[j];
+      ss += (pred - p.y) * (pred - p.y);
+    }
+    return ss / data.points()->size();
+  };
+
+  std::vector<double> w0{0.0, 0.0, 0.0, 0.0};
+  double loss_before = loss_of(w0);
+  std::vector<double> w1 = LinRegStep(spec, *data.points());
+  double loss_after = loss_of(w1);
+  EXPECT_LT(loss_after, loss_before);
+}
+
+TEST(KMeansTest, NearestCentroidPicksClosest) {
+  Centroids cs{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(NearestCentroid(cs, {1.0, 1.0}), 0u);
+  EXPECT_EQ(NearestCentroid(cs, {9.0, 9.0}), 1u);
+  EXPECT_EQ(NearestCentroid(cs, {5.0, 5.0}), 0u);  // tie → lowest index
+}
+
+TEST(KMeansTest, MapEmitsOneHotPartialSums) {
+  KMeansSpec spec{{{0.0, 0.0}, {10.0, 10.0}}};
+  MlPoint p{{9.0, 8.0}, 0.0};
+  core::Vec m = KMeansMap(spec, p);
+  ASSERT_EQ(m.size(), 6u);  // 2*2 sums + 2 counts
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+  EXPECT_DOUBLE_EQ(m[1], 0.0);
+  EXPECT_DOUBLE_EQ(m[2], 9.0);
+  EXPECT_DOUBLE_EQ(m[3], 8.0);
+  EXPECT_DOUBLE_EQ(m[4], 0.0);
+  EXPECT_DOUBLE_EQ(m[5], 1.0);
+}
+
+TEST(KMeansTest, PostComputesMeansAndKeepsEmptyClusters) {
+  KMeansSpec spec{{{0.0, 0.0}, {10.0, 10.0}}};
+  // Cluster 0: two points summing to (2, 4); cluster 1 empty.
+  core::Vec reduced{2.0, 4.0, 0.0, 0.0, 2.0, 0.0};
+  core::Vec updated = KMeansPost(spec, reduced);
+  EXPECT_EQ(updated, (core::Vec{1.0, 2.0, 10.0, 10.0}));
+}
+
+TEST(KMeansTest, InitCentroidsDistinct) {
+  std::vector<MlPoint> points{{{1.0}, 0}, {{1.0}, 0}, {{2.0}, 0}, {{3.0}, 0}};
+  Centroids init = InitCentroids(points, 3);
+  ASSERT_EQ(init.size(), 3u);
+  EXPECT_EQ(init[0], (std::vector<double>{1.0}));
+  EXPECT_EQ(init[1], (std::vector<double>{2.0}));
+  EXPECT_EQ(init[2], (std::vector<double>{3.0}));
+}
+
+TEST(KMeansTest, LloydRecoversWellSeparatedClusters) {
+  MlDataConfig cfg = SmallConfig();
+  cfg.cluster_spacing = 20.0;
+  cfg.cluster_stddev = 0.5;
+  MlDataset data(cfg);
+  Centroids final = LloydIterations(
+      *data.points(), InitCentroids(*data.points(), 2), 10);
+  // Each learned centroid should be close to some true component mean.
+  for (const auto& mean : data.component_means()) {
+    double best = 1e18;
+    for (const auto& c : final) {
+      double ss = 0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        ss += (c[j] - mean[j]) * (c[j] - mean[j]);
+      }
+      best = std::min(best, std::sqrt(ss));
+    }
+    EXPECT_LT(best, 2.0);
+  }
+}
+
+TEST(KMeansTest, LloydIsMonotoneInDistortion) {
+  MlDataset data(SmallConfig());
+  auto distortion = [&](const Centroids& cs) {
+    double total = 0;
+    for (const MlPoint& p : *data.points()) {
+      size_t c = NearestCentroid(cs, p.x);
+      for (size_t j = 0; j < p.x.size(); ++j) {
+        total += (p.x[j] - cs[c][j]) * (p.x[j] - cs[c][j]);
+      }
+    }
+    return total;
+  };
+  Centroids c0 = InitCentroids(*data.points(), 2);
+  double prev = distortion(c0);
+  Centroids c = c0;
+  for (int it = 0; it < 5; ++it) {
+    c = LloydIterations(*data.points(), c, 1);
+    double cur = distortion(c);
+    EXPECT_LE(cur, prev + 1e-9) << "iteration " << it;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace upa::ml

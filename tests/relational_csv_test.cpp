@@ -1,0 +1,118 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace upa::rel {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"score", ValueType::kDouble},
+                 {"label", ValueType::kString}});
+}
+
+Table TestTable() {
+  return Table("t", TestSchema(),
+               std::vector<Row>{
+                   {Value{int64_t{1}}, Value{2.5}, Value{std::string("a")}},
+                   {Value{int64_t{2}}, Value{-1.0},
+                    Value{std::string("needs,quoting")}},
+                   {Value{int64_t{3}}, Value{0.0},
+                    Value{std::string("has \"quotes\"")}},
+               });
+}
+
+TEST(CsvTest, SerializesHeaderAndRows) {
+  std::string csv = TableToCsv(TestTable());
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "id,score,label");
+  EXPECT_NE(csv.find("\"needs,quoting\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has \"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Table original = TestTable();
+  auto parsed = TableFromCsv("t", TestSchema(), TableToCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().NumRows(), original.NumRows());
+  for (size_t r = 0; r < original.NumRows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(ValueEquals(parsed.value().rows()[r][c],
+                              original.rows()[r][c]))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/upa_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(TestTable(), path).ok());
+  auto parsed = ReadCsvFile("t", TestSchema(), path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumRows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto parsed = ReadCsvFile("t", TestSchema(), "/nonexistent/nope.csv");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  auto parsed = TableFromCsv("t", TestSchema(), "");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  auto parsed = TableFromCsv("t", TestSchema(), "id,wrong,label\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("wrong"), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchCarriesLineNumber) {
+  auto parsed =
+      TableFromCsv("t", TestSchema(), "id,score,label\n1,2.5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, BadIntegerCarriesValue) {
+  auto parsed =
+      TableFromCsv("t", TestSchema(), "id,score,label\nxyz,1.0,a\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("xyz"), std::string::npos);
+}
+
+TEST(CsvTest, BlankLinesIgnored) {
+  auto parsed = TableFromCsv("t", TestSchema(),
+                             "id,score,label\n1,1.0,a\n\n2,2.0,b\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().NumRows(), 2u);
+}
+
+TEST(CsvTest, CrlfTolerated) {
+  auto parsed = TableFromCsv("t", TestSchema(),
+                             "id,score,label\r\n1,1.0,a\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumRows(), 1u);
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  auto parsed = TableFromCsv("t", TestSchema(),
+                             "id,score,label\n1,1.0,\"oops\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, QuotedFieldWithNewlineRoundTrips) {
+  Table t("t", Schema({{"s", ValueType::kString}}),
+          std::vector<Row>{{Value{std::string("two\nlines")}}});
+  auto parsed = TableFromCsv("t", t.schema(), TableToCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().NumRows(), 1u);
+  EXPECT_EQ(AsString(parsed.value().rows()[0][0]), "two\nlines");
+}
+
+}  // namespace
+}  // namespace upa::rel

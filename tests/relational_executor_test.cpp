@@ -1,0 +1,273 @@
+// PlanExecutor correctness: SPJ semantics, provenance contributions,
+// partition outputs, and option handling — all validated against
+// straightforward hand computations and naive re-execution.
+#include "relational/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "relational/plan.h"
+
+namespace upa::rel {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : ctx_(engine::ExecConfig{.threads = 2, .default_partitions = 3}) {
+    // users(uid, age); clicks(cid, uid_ref, weight)
+    users_ = std::make_unique<Table>(
+        "users",
+        Schema({{"uid", ValueType::kInt}, {"age", ValueType::kInt}}),
+        std::vector<Row>{
+            {Value{int64_t{1}}, Value{int64_t{20}}},
+            {Value{int64_t{2}}, Value{int64_t{30}}},
+            {Value{int64_t{3}}, Value{int64_t{40}}},
+            {Value{int64_t{4}}, Value{int64_t{50}}},
+        });
+    clicks_ = std::make_unique<Table>(
+        "clicks",
+        Schema({{"cid", ValueType::kInt},
+                {"uid_ref", ValueType::kInt},
+                {"weight", ValueType::kDouble}}),
+        std::vector<Row>{
+            {Value{int64_t{100}}, Value{int64_t{1}}, Value{1.5}},
+            {Value{int64_t{101}}, Value{int64_t{1}}, Value{2.5}},
+            {Value{int64_t{102}}, Value{int64_t{2}}, Value{4.0}},
+            {Value{int64_t{103}}, Value{int64_t{3}}, Value{8.0}},
+            {Value{int64_t{104}}, Value{int64_t{9}}, Value{16.0}},  // dangling
+        });
+    catalog_ = {{"users", users_.get()}, {"clicks", clicks_.get()}};
+    executor_ = std::make_unique<PlanExecutor>(&ctx_, &catalog_);
+  }
+
+  engine::ExecContext ctx_;
+  std::unique_ptr<Table> users_, clicks_;
+  Catalog catalog_;
+  std::unique_ptr<PlanExecutor> executor_;
+};
+
+TEST_F(ExecutorTest, CountScan) {
+  auto r = executor_->Execute(CountPlan(ScanPlan("users")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().output, 4.0);
+  EXPECT_EQ(r.value().result_rows, 4u);
+}
+
+TEST_F(ExecutorTest, CountWithFilter) {
+  auto plan = CountPlan(
+      FilterPlan(ScanPlan("users"), Ge(Col("age"), Lit(int64_t{30}))));
+  auto r = executor_->Execute(plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().output, 3.0);
+}
+
+TEST_F(ExecutorTest, SumWithExpression) {
+  auto plan = SumPlan(ScanPlan("clicks"), Mul(Col("weight"), Lit(2.0)));
+  auto r = executor_->Execute(plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().output, 2.0 * (1.5 + 2.5 + 4.0 + 8.0 + 16.0));
+}
+
+TEST_F(ExecutorTest, JoinCount) {
+  auto plan = CountPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"));
+  auto r = executor_->Execute(plan);
+  ASSERT_TRUE(r.ok());
+  // user 1 ↔ 2 clicks, user 2 ↔ 1, user 3 ↔ 1; uid 9 dangles.
+  EXPECT_DOUBLE_EQ(r.value().output, 4.0);
+}
+
+TEST_F(ExecutorTest, JoinThenFilterOnBothSides) {
+  auto plan = CountPlan(FilterPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"),
+      And(Ge(Col("age"), Lit(int64_t{20})), Gt(Col("weight"), Lit(2.0)))));
+  auto r = executor_->Execute(plan);
+  ASSERT_TRUE(r.ok());
+  // qualifying: (1,101,2.5), (2,102,4.0), (3,103,8.0).
+  EXPECT_DOUBLE_EQ(r.value().output, 3.0);
+}
+
+TEST_F(ExecutorTest, ContributionsMatchPerRecordInfluence) {
+  auto plan = CountPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"));
+  ExecOptions opts;
+  opts.private_table = "users";
+  opts.track_contributions = true;
+  auto r = executor_->Execute(plan, opts);
+  ASSERT_TRUE(r.ok());
+  // user row 0 (uid 1) contributes 2 joined rows, rows 1 and 2 one each,
+  // row 3 (uid 4) zero.
+  EXPECT_DOUBLE_EQ(r.value().contributions.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(r.value().contributions.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.value().contributions.at(2), 1.0);
+  EXPECT_EQ(r.value().contributions.count(3), 0u);
+}
+
+TEST_F(ExecutorTest, ContributionsEqualNaiveRemoval) {
+  auto plan = SumPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"),
+      Col("weight"));
+  ExecOptions opts;
+  opts.private_table = "clicks";
+  opts.track_contributions = true;
+  auto full = executor_->Execute(plan, opts);
+  ASSERT_TRUE(full.ok());
+
+  for (size_t excluded = 0; excluded < clicks_->NumRows(); ++excluded) {
+    std::vector<size_t> excl{excluded};
+    ExecOptions opts2;
+    opts2.private_table = "clicks";
+    opts2.exclude_rows = &excl;
+    auto without = executor_->Execute(plan, opts2);
+    ASSERT_TRUE(without.ok());
+    auto it = full.value().contributions.find(excluded);
+    double influence = it == full.value().contributions.end() ? 0.0
+                                                              : it->second;
+    EXPECT_NEAR(without.value().output, full.value().output - influence,
+                1e-9)
+        << "excluded row " << excluded;
+  }
+}
+
+TEST_F(ExecutorTest, IncludeRowsRestrictsPrivateTable) {
+  auto plan = CountPlan(ScanPlan("users"));
+  std::vector<size_t> include{0, 2};
+  ExecOptions opts;
+  opts.private_table = "users";
+  opts.include_rows = &include;
+  auto r = executor_->Execute(plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().output, 2.0);
+}
+
+TEST_F(ExecutorTest, ReplacePrivateRowsSubstitutesContent) {
+  auto plan = SumPlan(ScanPlan("clicks"), Col("weight"));
+  std::vector<Row> synthetic{
+      {Value{int64_t{900}}, Value{int64_t{1}}, Value{100.0}},
+      {Value{int64_t{901}}, Value{int64_t{2}}, Value{200.0}},
+  };
+  ExecOptions opts;
+  opts.private_table = "clicks";
+  opts.replace_private_rows = &synthetic;
+  opts.track_contributions = true;
+  auto r = executor_->Execute(plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().output, 300.0);
+  EXPECT_DOUBLE_EQ(r.value().contributions.at(0), 100.0);
+  EXPECT_DOUBLE_EQ(r.value().contributions.at(1), 200.0);
+}
+
+TEST_F(ExecutorTest, ReplacePlusIncludeComposes) {
+  auto plan = SumPlan(ScanPlan("clicks"), Col("weight"));
+  std::vector<Row> synthetic{
+      {Value{int64_t{900}}, Value{int64_t{1}}, Value{100.0}},
+      {Value{int64_t{901}}, Value{int64_t{2}}, Value{200.0}},
+      {Value{int64_t{902}}, Value{int64_t{3}}, Value{400.0}},
+  };
+  std::vector<size_t> include{1};
+  ExecOptions opts;
+  opts.private_table = "clicks";
+  opts.replace_private_rows = &synthetic;
+  opts.include_rows = &include;
+  auto r = executor_->Execute(plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().output, 200.0);
+}
+
+TEST_F(ExecutorTest, PartitionOutputsSumToTotal) {
+  auto plan = CountPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"));
+  ExecOptions opts;
+  opts.private_table = "users";
+  opts.partitions = 2;
+  auto r = executor_->Execute(plan, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().partition_outputs.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      r.value().partition_outputs[0] + r.value().partition_outputs[1],
+      r.value().output);
+  // Partition 0 holds users rows 0, 2 (uid 1 → 2 rows, uid 3 → 1 row).
+  EXPECT_DOUBLE_EQ(r.value().partition_outputs[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.value().partition_outputs[1], 1.0);
+}
+
+TEST_F(ExecutorTest, RejectsNonAggregateRoot) {
+  auto r = executor_->Execute(ScanPlan("users"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, RejectsUnknownTable) {
+  auto r = executor_->Execute(CountPlan(ScanPlan("nope")));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, RejectsUnknownJoinKey) {
+  auto plan = CountPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "bogus"));
+  auto r = executor_->Execute(plan);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, RejectsPrivateTableNotInPlan) {
+  auto plan = CountPlan(ScanPlan("users"));
+  ExecOptions opts;
+  opts.private_table = "clicks";
+  auto r = executor_->Execute(plan, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, RejectsPrivateSelfJoin) {
+  auto plan = CountPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("users"), "uid", "uid"));
+  ExecOptions opts;
+  opts.private_table = "users";
+  auto r = executor_->Execute(plan, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorTest, RejectsIncludeAndExcludeTogether) {
+  auto plan = CountPlan(ScanPlan("users"));
+  std::vector<size_t> v{0};
+  ExecOptions opts;
+  opts.private_table = "users";
+  opts.include_rows = &v;
+  opts.exclude_rows = &v;
+  auto r = executor_->Execute(plan, opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, ScanCacheHitsOnRepeatedRuns) {
+  auto plan = CountPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"));
+  ExecOptions opts;
+  opts.private_table = "users";
+  auto before = ctx_.metrics().Snapshot();
+  ASSERT_TRUE(executor_->Execute(plan, opts).ok());
+  ASSERT_TRUE(executor_->Execute(plan, opts).ok());
+  auto delta = ctx_.metrics().Snapshot() - before;
+  EXPECT_GE(delta.cache_hits, 1u);  // clicks scan cached across runs
+}
+
+TEST_F(ExecutorTest, DeterministicOutputsAcrossRuns) {
+  auto plan = SumPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"),
+      Col("weight"));
+  ExecOptions opts;
+  opts.private_table = "users";
+  opts.partitions = 2;
+  auto a = executor_->Execute(plan, opts);
+  auto b = executor_->Execute(plan, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().partition_outputs, b.value().partition_outputs);
+}
+
+}  // namespace
+}  // namespace upa::rel

@@ -1,0 +1,159 @@
+#include "relational/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "relational/executor.h"
+
+namespace upa::rel {
+namespace {
+
+TEST(SqlParserTest, CountStar) {
+  auto plan = ParseSql("SELECT COUNT(*) FROM lineitem");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(PlanToString(plan.value()), "Count(Scan(lineitem))");
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  auto plan = ParseSql("select count(*) from lineitem");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(PlanToString(plan.value()), "Count(Scan(lineitem))");
+}
+
+TEST(SqlParserTest, SumWithArithmetic) {
+  auto plan =
+      ParseSql("SELECT SUM(l_extendedprice * l_discount) FROM lineitem");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(PlanToString(plan.value()),
+            "Sum(Scan(lineitem), (l_extendedprice * l_discount))");
+}
+
+TEST(SqlParserTest, AvgMinMax) {
+  for (auto [sql, prefix] :
+       {std::pair{"SELECT AVG(x) FROM t", "Avg"},
+        std::pair{"SELECT MIN(x) FROM t", "Min"},
+        std::pair{"SELECT MAX(x) FROM t", "Max"}}) {
+    auto plan = ParseSql(sql);
+    ASSERT_TRUE(plan.ok()) << sql;
+    EXPECT_EQ(PlanToString(plan.value()),
+              std::string(prefix) + "(Scan(t), x)");
+  }
+}
+
+TEST(SqlParserTest, WhereWithComparisons) {
+  auto plan = ParseSql(
+      "SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= 365 AND "
+      "l_shipdate < 730");
+  ASSERT_TRUE(plan.ok());
+  std::string s = PlanToString(plan.value());
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find(">="), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+}
+
+TEST(SqlParserTest, JoinChain) {
+  auto plan = ParseSql(
+      "SELECT COUNT(*) FROM orders JOIN lineitem ON o_orderkey = l_orderkey "
+      "JOIN supplier ON l_suppkey = s_suppkey");
+  ASSERT_TRUE(plan.ok());
+  PlanStats stats = AnalyzePlan(plan.value());
+  EXPECT_EQ(stats.num_joins, 2u);
+  EXPECT_EQ(stats.num_scans, 3u);
+}
+
+TEST(SqlParserTest, InListAndStrings) {
+  auto plan = ParseSql(
+      "SELECT COUNT(*) FROM part WHERE p_size IN (1, 4, 7) AND "
+      "p_brand != 'Brand#45'");
+  ASSERT_TRUE(plan.ok());
+  std::string s = PlanToString(plan.value());
+  EXPECT_NE(s.find("IN (1, 4, 7)"), std::string::npos);
+  EXPECT_NE(s.find("Brand#45"), std::string::npos);
+}
+
+TEST(SqlParserTest, NotAndOrPrecedence) {
+  auto plan = ParseSql(
+      "SELECT COUNT(*) FROM t WHERE NOT a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(plan.ok());
+  // OR binds loosest: ((NOT(a=1) AND b=2) OR c=3).
+  std::string s = PlanToString(plan.value());
+  EXPECT_NE(s.find("OR"), std::string::npos);
+}
+
+TEST(SqlParserTest, ParenthesizedExpressions) {
+  auto plan =
+      ParseSql("SELECT SUM((a + b) * 2.5) FROM t WHERE (a = 1 OR b = 2)");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(PlanToString(plan.value()).find("2.5"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorsCarryPosition) {
+  for (const char* bad :
+       {"", "SELECT", "SELECT COUNT(*)", "SELECT COUNT(*) FROM",
+        "SELECT FROM t", "SELECT COUNT(*) FROM t WHERE",
+        "SELECT COUNT(*) FROM t extra", "SELECT COUNT(x) FROM t",
+        "SELECT COUNT(*) FROM t WHERE a IN ()",
+        "SELECT SUM( FROM t", "SELECT COUNT(*) FROM t WHERE 'unterminated"}) {
+    auto plan = ParseSql(bad);
+    EXPECT_FALSE(plan.ok()) << bad;
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(SqlParserTest, ParsedPlanExecutes) {
+  Table t("t",
+          Schema({{"k", ValueType::kInt},
+                  {"x", ValueType::kDouble},
+                  {"name", ValueType::kString}}),
+          std::vector<Row>{
+              {Value{int64_t{1}}, Value{2.0}, Value{std::string("a")}},
+              {Value{int64_t{2}}, Value{4.0}, Value{std::string("b")}},
+              {Value{int64_t{3}}, Value{6.0}, Value{std::string("a")}},
+          });
+  Catalog catalog{{"t", &t}};
+  engine::ExecContext ctx(engine::ExecConfig{.threads = 1});
+  PlanExecutor executor(&ctx, &catalog);
+
+  auto count = ParseSql("SELECT COUNT(*) FROM t WHERE name = 'a'");
+  ASSERT_TRUE(count.ok());
+  auto r1 = executor.Execute(count.value());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_DOUBLE_EQ(r1.value().output, 2.0);
+
+  auto sum = ParseSql("SELECT SUM(x * 10) FROM t WHERE k >= 2");
+  ASSERT_TRUE(sum.ok());
+  auto r2 = executor.Execute(sum.value());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r2.value().output, 100.0);
+
+  auto avg = ParseSql("SELECT AVG(x) FROM t");
+  ASSERT_TRUE(avg.ok());
+  auto r3 = executor.Execute(avg.value());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_DOUBLE_EQ(r3.value().output, 4.0);
+}
+
+TEST(SqlParserTest, RoundTripsTpchStyleQueries) {
+  // The paper's query shapes, in SQL form, all parse.
+  for (const char* sql : {
+           "SELECT COUNT(*) FROM lineitem",
+           "SELECT COUNT(*) FROM orders JOIN lineitem ON o_orderkey = "
+           "l_orderkey WHERE o_orderdate >= 400 AND o_orderdate < 490 AND "
+           "l_commitdate < l_receiptdate",
+           "SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE "
+           "l_shipdate >= 365 AND l_shipdate < 730 AND l_discount >= 0.05 "
+           "AND l_discount <= 0.07 AND l_quantity < 24",
+           "SELECT COUNT(*) FROM customer JOIN orders ON c_custkey = "
+           "o_custkey WHERE o_orderpriority <> '1-URGENT'",
+           "SELECT SUM(ps_supplycost * ps_availqty) FROM nation JOIN "
+           "supplier ON n_nationkey = s_nationkey JOIN partsupp ON "
+           "s_suppkey = ps_suppkey WHERE n_name = 'GERMANY'",
+       }) {
+    auto plan = ParseSql(sql);
+    EXPECT_TRUE(plan.ok()) << sql << ": " << plan.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace upa::rel

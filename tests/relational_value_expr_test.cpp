@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "relational/expr.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace upa::rel {
+namespace {
+
+TEST(ValueTest, TypeOfAndNames) {
+  EXPECT_EQ(TypeOf(Value{int64_t{1}}), ValueType::kInt);
+  EXPECT_EQ(TypeOf(Value{1.5}), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("x")}), ValueType::kString);
+  EXPECT_EQ(TypeName(ValueType::kInt), "int");
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(AsInt(Value{int64_t{42}}), 42);
+  EXPECT_EQ(AsString(Value{std::string("hi")}), "hi");
+  EXPECT_DOUBLE_EQ(AsNumeric(Value{int64_t{3}}), 3.0);
+  EXPECT_DOUBLE_EQ(AsNumeric(Value{2.5}), 2.5);
+  EXPECT_TRUE(IsNumeric(Value{int64_t{0}}));
+  EXPECT_FALSE(IsNumeric(Value{std::string("0")}));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(ToString(Value{int64_t{7}}), "7");
+  EXPECT_EQ(ToString(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(ToString(Value{2.5}), "2.5");
+}
+
+TEST(ValueTest, NumericCompareCrossesTypes) {
+  EXPECT_EQ(Compare(Value{int64_t{1}}, Value{1.0}), 0);
+  EXPECT_LT(Compare(Value{int64_t{1}}, Value{1.5}), 0);
+  EXPECT_GT(Compare(Value{2.5}, Value{int64_t{2}}), 0);
+  EXPECT_TRUE(ValueEquals(Value{int64_t{1}}, Value{1.0}));
+  EXPECT_FALSE(ValueEquals(Value{int64_t{1}}, Value{std::string("1")}));
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Compare(Value{std::string("a")}, Value{std::string("b")}), 0);
+  EXPECT_EQ(Compare(Value{std::string("a")}, Value{std::string("a")}), 0);
+  EXPECT_GT(Compare(Value{std::string("b")}, Value{std::string("a")}), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value{int64_t{5}}), h(Value{5.0}));  // 5 == 5.0
+  EXPECT_EQ(h(Value{std::string("k")}), h(Value{std::string("k")}));
+  EXPECT_NE(h(Value{int64_t{5}}), h(Value{int64_t{6}}));
+}
+
+TEST(SchemaTest, FindAndIndexOf) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kDouble}});
+  EXPECT_EQ(s.NumColumns(), 2u);
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.Find("c").has_value());
+  EXPECT_TRUE(s.Has("a"));
+  EXPECT_NE(s.ToString().find("a:int"), std::string::npos);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema l({{"a", ValueType::kInt}});
+  Schema r({{"b", ValueType::kString}, {"c", ValueType::kDouble}});
+  Schema joined = Schema::Concat(l, r);
+  EXPECT_EQ(joined.NumColumns(), 3u);
+  EXPECT_EQ(joined.IndexOf("c"), 2u);
+}
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"x", ValueType::kInt},
+                  {"y", ValueType::kDouble},
+                  {"s", ValueType::kString}}};
+  Row row_{Value{int64_t{10}}, Value{2.5}, Value{std::string("hello")}};
+};
+
+TEST_F(ExprTest, ColumnAndLiteral) {
+  EXPECT_EQ(AsInt(Bind(Col("x"), schema_)(row_)), 10);
+  EXPECT_DOUBLE_EQ(AsNumeric(Bind(Lit(3.5), schema_)(row_)), 3.5);
+  EXPECT_EQ(AsString(Bind(Lit("z"), schema_)(row_)), "z");
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(AsNumeric(Bind(Add(Col("x"), Lit(int64_t{5})), schema_)(row_)), 15.0);
+  EXPECT_DOUBLE_EQ(AsNumeric(Bind(Sub(Col("x"), Col("y")), schema_)(row_)), 7.5);
+  EXPECT_DOUBLE_EQ(AsNumeric(Bind(Mul(Col("x"), Col("y")), schema_)(row_)), 25.0);
+  EXPECT_DOUBLE_EQ(AsNumeric(Bind(Div(Col("x"), Lit(4.0)), schema_)(row_)), 2.5);
+}
+
+TEST_F(ExprTest, Comparisons) {
+  auto truthy = [&](ExprPtr e) { return AsInt(Bind(e, schema_)(row_)) != 0; };
+  EXPECT_TRUE(truthy(Eq(Col("x"), Lit(int64_t{10}))));
+  EXPECT_TRUE(truthy(Eq(Col("x"), Lit(10.0))));  // cross-type numeric
+  EXPECT_TRUE(truthy(Ne(Col("x"), Lit(int64_t{11}))));
+  EXPECT_TRUE(truthy(Lt(Col("y"), Lit(3.0))));
+  EXPECT_TRUE(truthy(Le(Col("y"), Lit(2.5))));
+  EXPECT_TRUE(truthy(Gt(Col("x"), Col("y"))));
+  EXPECT_TRUE(truthy(Ge(Col("x"), Lit(int64_t{10}))));
+  EXPECT_FALSE(truthy(Lt(Col("x"), Col("y"))));
+}
+
+TEST_F(ExprTest, StringEquality) {
+  auto pred = BindPredicate(Eq(Col("s"), Lit("hello")), schema_);
+  EXPECT_TRUE(pred(row_));
+  auto pred2 = BindPredicate(Ne(Col("s"), Lit("world")), schema_);
+  EXPECT_TRUE(pred2(row_));
+}
+
+TEST_F(ExprTest, LogicalOperators) {
+  auto t = Eq(Col("x"), Lit(int64_t{10}));
+  auto f = Eq(Col("x"), Lit(int64_t{11}));
+  EXPECT_TRUE(BindPredicate(And(t, t), schema_)(row_));
+  EXPECT_FALSE(BindPredicate(And(t, f), schema_)(row_));
+  EXPECT_TRUE(BindPredicate(Or(f, t), schema_)(row_));
+  EXPECT_FALSE(BindPredicate(Or(f, f), schema_)(row_));
+  EXPECT_TRUE(BindPredicate(Not(f), schema_)(row_));
+}
+
+TEST_F(ExprTest, InSet) {
+  auto in = In(Col("x"), {Value{int64_t{1}}, Value{int64_t{10}}});
+  EXPECT_TRUE(BindPredicate(in, schema_)(row_));
+  auto not_in = In(Col("x"), {Value{int64_t{1}}, Value{int64_t{2}}});
+  EXPECT_FALSE(BindPredicate(not_in, schema_)(row_));
+  auto str_in = In(Col("s"), {Value{std::string("hello")}});
+  EXPECT_TRUE(BindPredicate(str_in, schema_)(row_));
+}
+
+TEST_F(ExprTest, BindNumeric) {
+  auto f = BindNumeric(Mul(Col("y"), Lit(2.0)), schema_);
+  EXPECT_DOUBLE_EQ(f(row_), 5.0);
+}
+
+TEST_F(ExprTest, ToStringRendersTree) {
+  auto e = And(Ge(Col("x"), Lit(int64_t{5})), Lt(Col("y"), Lit(3.0)));
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find(">="), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+}
+
+TEST_F(ExprTest, ShortCircuitAndDoesNotEvaluateRhs) {
+  // rhs would divide by zero if evaluated; short-circuit must prevent it.
+  auto guard = Eq(Col("x"), Lit(int64_t{999}));  // false
+  auto bomb = Gt(Div(Lit(1.0), Sub(Col("x"), Lit(int64_t{10}))), Lit(0.0));
+  EXPECT_FALSE(BindPredicate(And(guard, bomb), schema_)(row_));
+}
+
+}  // namespace
+}  // namespace upa::rel

@@ -1,0 +1,96 @@
+// Generator invariants across scales, seeds and skew settings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relational/executor.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+namespace upa::tpch {
+namespace {
+
+struct SweepCase {
+  size_t orders;
+  uint64_t seed;
+  double skew;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "orders" << c.orders << "_seed" << c.seed << "_skew" << c.skew;
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(GeneratorSweep, StructuralInvariantsHold) {
+  const auto& [orders, seed, skew] = GetParam();
+  TpchConfig cfg;
+  cfg.num_orders = orders;
+  cfg.seed = seed;
+  cfg.reference_skew = skew;
+  TpchDataset data(cfg);
+
+  // Row counts and key ranges.
+  EXPECT_EQ(data.orders().NumRows(), orders);
+  EXPECT_GE(data.lineitem().NumRows(), orders);
+  EXPECT_LE(data.lineitem().NumRows(),
+            orders * cfg.max_lineitems_per_order);
+  EXPECT_GE(data.supplier().NumRows(), 25u);
+
+  // Every nation has at least one supplier (round-robin assignment).
+  std::set<int64_t> nations;
+  size_t nk = data.supplier().schema().IndexOf("s_nationkey");
+  for (const auto& row : data.supplier().rows()) {
+    nations.insert(rel::AsInt(row[nk]));
+  }
+  EXPECT_EQ(nations.size(), TpchConfig::kNumNations);
+
+  // Orderkeys are unique and dense in [1, orders].
+  std::set<int64_t> keys;
+  for (const auto& row : data.orders().rows()) {
+    keys.insert(rel::AsInt(row[0]));
+  }
+  EXPECT_EQ(keys.size(), orders);
+  EXPECT_EQ(*keys.begin(), 1);
+  EXPECT_EQ(*keys.rbegin(), static_cast<int64_t>(orders));
+}
+
+TEST_P(GeneratorSweep, AllQueriesProduceFiniteOutputs) {
+  const auto& [orders, seed, skew] = GetParam();
+  TpchConfig cfg;
+  cfg.num_orders = orders;
+  cfg.seed = seed;
+  cfg.reference_skew = skew;
+  TpchDataset data(cfg);
+  engine::ExecContext ctx(engine::ExecConfig{.threads = 2});
+  rel::Catalog catalog = data.catalog();
+  rel::PlanExecutor executor(&ctx, &catalog);
+  for (const auto& q : AllTpchQueries()) {
+    auto r = executor.Execute(q.plan);
+    ASSERT_TRUE(r.ok()) << q.name;
+    EXPECT_GE(r.value().output, 0.0) << q.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GeneratorSweep,
+    ::testing::Values(SweepCase{100, 1, 1.1}, SweepCase{500, 2, 1.1},
+                      SweepCase{500, 3, 0.0}, SweepCase{500, 4, 1.8},
+                      SweepCase{2000, 5, 1.1}));
+
+// Skew knob actually controls skew: higher exponent → hotter hottest key.
+TEST(GeneratorSkewTest, SkewKnobIsMonotone) {
+  auto max_freq_at = [](double skew) {
+    TpchConfig cfg;
+    cfg.num_orders = 2000;
+    cfg.reference_skew = skew;
+    TpchDataset data(cfg);
+    return data.lineitem().MaxFrequency("l_suppkey");
+  };
+  size_t uniform = max_freq_at(0.0);
+  size_t skewed = max_freq_at(1.5);
+  EXPECT_GT(skewed, uniform * 2);
+}
+
+}  // namespace
+}  // namespace upa::tpch

@@ -1,0 +1,122 @@
+// Cross-cutting property sweeps over the full nine-query suite: invariants
+// that must hold for every query, seed and churn level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queries/suite.h"
+#include "upa/runner.h"
+
+namespace upa::queries {
+namespace {
+
+SuiteConfig PropSuite() {
+  SuiteConfig cfg;
+  cfg.tpch.num_orders = 300;
+  cfg.ml.num_points = 2000;
+  cfg.threads = 2;
+  cfg.engine_partitions = 3;
+  return cfg;
+}
+
+QuerySuite& Suite() {
+  static QuerySuite suite(PropSuite());
+  return suite;
+}
+
+core::UpaConfig PropConfig() {
+  core::UpaConfig cfg;
+  cfg.sample_n = 100;
+  cfg.add_noise = false;
+  cfg.enable_enforcer = false;
+  return cfg;
+}
+
+struct Case {
+  std::string query;
+  uint64_t seed;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << c.query << "/seed" << c.seed;
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const auto& name : QuerySuite::AllQueryNames()) {
+    for (uint64_t seed : {11u, 12u, 13u}) cases.push_back({name, seed});
+  }
+  return cases;
+}
+
+class QueryPropertySweep : public ::testing::TestWithParam<Case> {};
+
+// Invariant 1: UPA's union-preserving reduce reproduces the vanilla output
+// exactly (with the enforcer disabled), for any sampling seed.
+TEST_P(QueryPropertySweep, RawOutputMatchesNative) {
+  const auto& [name, seed] = GetParam();
+  core::UpaRunner runner(PropConfig());
+  auto result = runner.Run(Suite().MakeInstance(name), seed);
+  ASSERT_TRUE(result.ok());
+  double native = Suite().RunNative(name);
+  EXPECT_NEAR(result.value().raw_output, native,
+              1e-6 * std::max(1.0, std::fabs(native)));
+}
+
+// Invariant 2: exactly 2n sampled-neighbour outputs, all finite.
+TEST_P(QueryPropertySweep, NeighbourOutputsWellFormed) {
+  const auto& [name, seed] = GetParam();
+  core::UpaRunner runner(PropConfig());
+  auto result = runner.Run(Suite().MakeInstance(name), seed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().neighbour_outputs.size(),
+            2 * result.value().sample_size);
+  for (double o : result.value().neighbour_outputs) {
+    EXPECT_TRUE(std::isfinite(o));
+  }
+}
+
+// Invariant 3: the inferred range contains the (clamp-input) raw output,
+// and sensitivity is non-negative and finite.
+TEST_P(QueryPropertySweep, RangeAndSensitivitySane) {
+  const auto& [name, seed] = GetParam();
+  core::UpaRunner runner(PropConfig());
+  auto result = runner.Run(Suite().MakeInstance(name), seed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().local_sensitivity, 0.0);
+  EXPECT_TRUE(std::isfinite(result.value().local_sensitivity));
+  EXPECT_TRUE(result.value().out_range.Contains(result.value().raw_output));
+}
+
+// Invariant 4: determinism — identical (query, seed) gives identical
+// sensitivity, range and raw output.
+TEST_P(QueryPropertySweep, DeterministicPerSeed) {
+  const auto& [name, seed] = GetParam();
+  core::UpaRunner r1(PropConfig()), r2(PropConfig());
+  auto a = r1.Run(Suite().MakeInstance(name), seed);
+  auto b = r2.Run(Suite().MakeInstance(name), seed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().raw_output, b.value().raw_output);
+  EXPECT_DOUBLE_EQ(a.value().local_sensitivity,
+                   b.value().local_sensitivity);
+  EXPECT_DOUBLE_EQ(a.value().out_range.lo, b.value().out_range.lo);
+}
+
+// Invariant 5: removing one record through churn changes the raw output by
+// at most the ground-truth local sensitivity.
+TEST_P(QueryPropertySweep, ChurnDeltaBoundedByGroundTruth) {
+  const auto& [name, seed] = GetParam();
+  auto gt = Suite().ComputeGroundTruth(name, 0, seed);
+  ASSERT_TRUE(gt.ok());
+  ChurnedData churn = Suite().MakeChurn(name, 1, seed);
+  double before = Suite().RunNative(name);
+  double after = Suite().RunNative(name, &churn);
+  EXPECT_LE(std::fabs(before - after),
+            gt.value().local_sensitivity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, QueryPropertySweep,
+                         ::testing::ValuesIn(AllCases()));
+
+}  // namespace
+}  // namespace upa::queries

@@ -1,0 +1,141 @@
+#include "upa/range_enforcer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace upa::core {
+namespace {
+
+// A recompute callback that shifts both partition outputs by the number of
+// removed records (mimics a count query: removing records changes counts).
+auto CountLikeRecompute(std::vector<double> base) {
+  return [base](size_t removed) {
+    std::vector<double> out = base;
+    for (double& v : out) v -= static_cast<double>(removed) / 2.0;
+    return out;
+  };
+}
+
+TEST(RangeEnforcerTest, FirstQueryIsNeverAnAttack) {
+  RangeEnforcer enforcer;
+  std::vector<double> outputs{10.0, 20.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_FALSE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 0u);
+  EXPECT_EQ(decision.prior_queries_checked, 0u);
+}
+
+TEST(RangeEnforcerTest, RegisterGrowsRegistry) {
+  RangeEnforcer enforcer;
+  EXPECT_EQ(enforcer.registry_size(), 0u);
+  enforcer.Register({1.0, 2.0});
+  enforcer.Register({3.0, 4.0});
+  EXPECT_EQ(enforcer.registry_size(), 2u);
+  enforcer.Reset();
+  EXPECT_EQ(enforcer.registry_size(), 0u);
+}
+
+TEST(RangeEnforcerTest, BothPartitionsDifferentIsCase1) {
+  RangeEnforcer enforcer;
+  enforcer.Register({10.0, 20.0});
+  // Differs on both partitions: the inputs differ by >= 2 records.
+  std::vector<double> outputs{11.0, 21.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_FALSE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 0u);
+  EXPECT_EQ(decision.prior_queries_checked, 1u);
+}
+
+TEST(RangeEnforcerTest, OneEqualPartitionTriggersRemoval) {
+  RangeEnforcer enforcer;
+  enforcer.Register({10.0, 20.0});
+  // Partition 1 matches a prior query: possible neighbouring attack.
+  std::vector<double> outputs{10.0, 21.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_GE(decision.records_removed, 2u);
+  // After removal, both partitions must differ from the prior entry.
+  EXPECT_NE(outputs[0], 10.0);
+  EXPECT_NE(outputs[1], 20.0);
+}
+
+TEST(RangeEnforcerTest, IdenticalResubmissionTriggersRemoval) {
+  RangeEnforcer enforcer;
+  enforcer.Register({5.0, 5.0});
+  std::vector<double> outputs{5.0, 5.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 2u);  // one round suffices here
+}
+
+TEST(RangeEnforcerTest, ChecksAllPriorQueries) {
+  RangeEnforcer enforcer;
+  enforcer.Register({1.0, 2.0});
+  enforcer.Register({3.0, 4.0});
+  enforcer.Register({5.0, 6.0});
+  std::vector<double> outputs{100.0, 200.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_EQ(decision.prior_queries_checked, 3u);
+  EXPECT_FALSE(decision.attack_suspected);
+}
+
+TEST(RangeEnforcerTest, RemovalLoopEscalatesUntilSeparated) {
+  RangeEnforcer enforcer;
+  enforcer.Register({10.0, 20.0});
+  std::vector<double> outputs{10.0, 20.0};
+  // Recompute that only separates after 6 removed records.
+  auto stubborn = [](size_t removed) {
+    if (removed < 6) return std::vector<double>{10.0, 20.0};
+    return std::vector<double>{-1.0, -2.0};
+  };
+  auto decision = enforcer.Enforce(outputs, stubborn);
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 6u);
+  EXPECT_FALSE(decision.removal_capped);
+}
+
+TEST(RangeEnforcerTest, DegenerateConstantQueryHitsCap) {
+  RangeEnforcer enforcer(1e-9, /*max_removals=*/8);
+  enforcer.Register({1.0, 1.0});
+  std::vector<double> outputs{1.0, 1.0};
+  auto constant = [](size_t) { return std::vector<double>{1.0, 1.0}; };
+  auto decision = enforcer.Enforce(outputs, constant);
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_TRUE(decision.removal_capped);
+  EXPECT_LE(decision.records_removed, 8u);
+}
+
+TEST(RangeEnforcerTest, ToleranceAbsorbsFloatNoise) {
+  RangeEnforcer enforcer(1e-9);
+  EXPECT_TRUE(enforcer.NearlyEqual(1.0, 1.0 + 1e-13));
+  EXPECT_TRUE(enforcer.NearlyEqual(1e6, 1e6 * (1.0 + 1e-12)));
+  EXPECT_FALSE(enforcer.NearlyEqual(1.0, 1.001));
+  EXPECT_TRUE(enforcer.NearlyEqual(0.0, 0.0));
+}
+
+TEST(RangeEnforcerTest, DifferentArityPriorTriviallyDiffers) {
+  RangeEnforcer enforcer;
+  enforcer.Register({1.0, 2.0, 3.0});  // registered under another config
+  std::vector<double> outputs{1.0, 2.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_FALSE(decision.attack_suspected);
+}
+
+TEST(RangeEnforcerTest, SequenceOfQueriesAccumulates) {
+  RangeEnforcer enforcer;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> outputs{static_cast<double>(i), 100.0 + i};
+    auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+    EXPECT_FALSE(decision.attack_suspected) << "i=" << i;
+    enforcer.Register(outputs);
+  }
+  EXPECT_EQ(enforcer.registry_size(), 5u);
+  // Now replay the first query exactly: attack suspected.
+  std::vector<double> replay{0.0, 100.0};
+  auto decision = enforcer.Enforce(replay, CountLikeRecompute(replay));
+  EXPECT_TRUE(decision.attack_suspected);
+}
+
+}  // namespace
+}  // namespace upa::core

@@ -1,0 +1,109 @@
+// Relationships among the three sensitivity rules (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "upa/runner.h"
+#include "upa/simple_query.h"
+
+namespace upa::core {
+namespace {
+
+engine::ExecContext& Ctx() {
+  static engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 4});
+  return ctx;
+}
+
+QueryInstance RandomSumQuery(uint64_t seed, size_t n) {
+  auto values = std::make_shared<std::vector<double>>();
+  Rng rng(seed);
+  values->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values->push_back(rng.Exponential(0.5));  // skewed influences
+  }
+  SimpleQuerySpec<double> spec;
+  spec.name = "rules-sum-" + std::to_string(seed);
+  spec.ctx = &Ctx();
+  spec.records = values;
+  spec.map_record = [](const double& v) { return Vec{v}; };
+  spec.sample_domain = [](Rng& r) { return r.Exponential(0.5); };
+  return MakeSimpleQuery(std::move(spec));
+}
+
+double SensitivityUnder(SensitivityRule rule, uint64_t seed) {
+  UpaConfig cfg;
+  cfg.sample_n = 300;
+  cfg.add_noise = false;
+  cfg.enable_enforcer = false;
+  cfg.sensitivity_rule = rule;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(RandomSumQuery(seed, 3000), seed);
+  UPA_CHECK(result.ok());
+  return result.value().local_sensitivity;
+}
+
+class RuleLatticeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuleLatticeSweep, PercentileRuleDominatesSampledMax) {
+  uint64_t seed = GetParam();
+  double smax = SensitivityUnder(SensitivityRule::kSampledMax, seed);
+  double p99 = SensitivityUnder(SensitivityRule::kInfluencePercentile, seed);
+  // kInfluencePercentile = max(sampled max, fitted P99) ≥ kSampledMax.
+  EXPECT_GE(p99, smax - 1e-12);
+  EXPECT_GT(smax, 0.0);
+}
+
+TEST_P(RuleLatticeSweep, AllRulesPositiveAndFinite) {
+  uint64_t seed = GetParam();
+  for (auto rule :
+       {SensitivityRule::kSampledMax, SensitivityRule::kInfluencePercentile,
+        SensitivityRule::kOutputRange}) {
+    double s = SensitivityUnder(rule, seed);
+    EXPECT_GT(s, 0.0);
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleLatticeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(RuleSemanticsTest, SampledMaxEqualsLargestObservedInfluence) {
+  UpaConfig cfg;
+  cfg.sample_n = 300;
+  cfg.add_noise = false;
+  cfg.enable_enforcer = false;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(RandomSumQuery(77, 3000), 77);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  double max_infl = 0.0;
+  for (double o : r.neighbour_outputs) {
+    max_infl = std::max(max_infl, std::fabs(o - r.raw_output));
+  }
+  EXPECT_DOUBLE_EQ(r.local_sensitivity, max_infl);
+  // Range centred on f(x) with radius = sensitivity.
+  EXPECT_DOUBLE_EQ(r.out_range.lo, r.raw_output - r.local_sensitivity);
+  EXPECT_DOUBLE_EQ(r.out_range.hi, r.raw_output + r.local_sensitivity);
+}
+
+TEST(RuleSemanticsTest, OutputRangeRuleUsesFittedPercentiles) {
+  UpaConfig cfg;
+  cfg.sample_n = 300;
+  cfg.add_noise = false;
+  cfg.enable_enforcer = false;
+  cfg.sensitivity_rule = SensitivityRule::kOutputRange;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(RandomSumQuery(88, 3000), 88);
+  ASSERT_TRUE(result.ok());
+  Interval expect = NormalPercentileInterval(
+      result.value().neighbour_outputs, 1.0, 99.0);
+  EXPECT_DOUBLE_EQ(result.value().out_range.lo, expect.lo);
+  EXPECT_DOUBLE_EQ(result.value().out_range.hi, expect.hi);
+  EXPECT_DOUBLE_EQ(result.value().local_sensitivity, expect.width());
+}
+
+}  // namespace
+}  // namespace upa::core
