@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_rmse.dir/bench_fig2a_rmse.cpp.o"
+  "CMakeFiles/bench_fig2a_rmse.dir/bench_fig2a_rmse.cpp.o.d"
+  "bench_fig2a_rmse"
+  "bench_fig2a_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

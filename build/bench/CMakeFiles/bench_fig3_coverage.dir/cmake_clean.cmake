@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_coverage.dir/bench_fig3_coverage.cpp.o"
+  "CMakeFiles/bench_fig3_coverage.dir/bench_fig3_coverage.cpp.o.d"
+  "bench_fig3_coverage"
+  "bench_fig3_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

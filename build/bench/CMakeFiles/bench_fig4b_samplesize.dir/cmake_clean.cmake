@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_samplesize.dir/bench_fig4b_samplesize.cpp.o"
+  "CMakeFiles/bench_fig4b_samplesize.dir/bench_fig4b_samplesize.cpp.o.d"
+  "bench_fig4b_samplesize"
+  "bench_fig4b_samplesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_samplesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

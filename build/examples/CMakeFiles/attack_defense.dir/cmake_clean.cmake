@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_defense.dir/attack_defense.cpp.o"
+  "CMakeFiles/attack_defense.dir/attack_defense.cpp.o.d"
+  "attack_defense"
+  "attack_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_ml.dir/private_ml.cpp.o"
+  "CMakeFiles/private_ml.dir/private_ml.cpp.o.d"
+  "private_ml"
+  "private_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_console.dir/sql_console.cpp.o"
+  "CMakeFiles/sql_console.dir/sql_console.cpp.o.d"
+  "sql_console"
+  "sql_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_analytics.dir/tpch_analytics.cpp.o"
+  "CMakeFiles/tpch_analytics.dir/tpch_analytics.cpp.o.d"
+  "tpch_analytics"
+  "tpch_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

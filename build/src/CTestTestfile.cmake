@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("engine")
+subdirs("dp")
+subdirs("relational")
+subdirs("upa")
+subdirs("tpch")
+subdirs("mlkit")
+subdirs("flex")
+subdirs("groundtruth")
+subdirs("queries")
+subdirs("bench_util")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_benchutil.dir/harness.cpp.o"
+  "CMakeFiles/upa_benchutil.dir/harness.cpp.o.d"
+  "libupa_benchutil.a"
+  "libupa_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/upa_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/upa_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/normal_fit.cpp" "src/common/CMakeFiles/upa_common.dir/normal_fit.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/normal_fit.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/upa_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/upa_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/upa_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/common/CMakeFiles/upa_common.dir/table_printer.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/table_printer.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/upa_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/upa_common.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

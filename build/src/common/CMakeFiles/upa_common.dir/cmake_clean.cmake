@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_common.dir/env.cpp.o"
+  "CMakeFiles/upa_common.dir/env.cpp.o.d"
+  "CMakeFiles/upa_common.dir/logging.cpp.o"
+  "CMakeFiles/upa_common.dir/logging.cpp.o.d"
+  "CMakeFiles/upa_common.dir/normal_fit.cpp.o"
+  "CMakeFiles/upa_common.dir/normal_fit.cpp.o.d"
+  "CMakeFiles/upa_common.dir/rng.cpp.o"
+  "CMakeFiles/upa_common.dir/rng.cpp.o.d"
+  "CMakeFiles/upa_common.dir/stats.cpp.o"
+  "CMakeFiles/upa_common.dir/stats.cpp.o.d"
+  "CMakeFiles/upa_common.dir/status.cpp.o"
+  "CMakeFiles/upa_common.dir/status.cpp.o.d"
+  "CMakeFiles/upa_common.dir/table_printer.cpp.o"
+  "CMakeFiles/upa_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/upa_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/upa_common.dir/thread_pool.cpp.o.d"
+  "libupa_common.a"
+  "libupa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/accountant.cpp" "src/dp/CMakeFiles/upa_dp.dir/accountant.cpp.o" "gcc" "src/dp/CMakeFiles/upa_dp.dir/accountant.cpp.o.d"
+  "/root/repo/src/dp/exponential.cpp" "src/dp/CMakeFiles/upa_dp.dir/exponential.cpp.o" "gcc" "src/dp/CMakeFiles/upa_dp.dir/exponential.cpp.o.d"
+  "/root/repo/src/dp/gaussian.cpp" "src/dp/CMakeFiles/upa_dp.dir/gaussian.cpp.o" "gcc" "src/dp/CMakeFiles/upa_dp.dir/gaussian.cpp.o.d"
+  "/root/repo/src/dp/mechanism.cpp" "src/dp/CMakeFiles/upa_dp.dir/mechanism.cpp.o" "gcc" "src/dp/CMakeFiles/upa_dp.dir/mechanism.cpp.o.d"
+  "/root/repo/src/dp/sensitivity.cpp" "src/dp/CMakeFiles/upa_dp.dir/sensitivity.cpp.o" "gcc" "src/dp/CMakeFiles/upa_dp.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

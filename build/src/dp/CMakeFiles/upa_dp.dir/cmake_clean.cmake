@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_dp.dir/accountant.cpp.o"
+  "CMakeFiles/upa_dp.dir/accountant.cpp.o.d"
+  "CMakeFiles/upa_dp.dir/exponential.cpp.o"
+  "CMakeFiles/upa_dp.dir/exponential.cpp.o.d"
+  "CMakeFiles/upa_dp.dir/gaussian.cpp.o"
+  "CMakeFiles/upa_dp.dir/gaussian.cpp.o.d"
+  "CMakeFiles/upa_dp.dir/mechanism.cpp.o"
+  "CMakeFiles/upa_dp.dir/mechanism.cpp.o.d"
+  "CMakeFiles/upa_dp.dir/sensitivity.cpp.o"
+  "CMakeFiles/upa_dp.dir/sensitivity.cpp.o.d"
+  "libupa_dp.a"
+  "libupa_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

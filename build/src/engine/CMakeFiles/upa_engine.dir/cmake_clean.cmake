@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_engine.dir/metrics.cpp.o"
+  "CMakeFiles/upa_engine.dir/metrics.cpp.o.d"
+  "libupa_engine.a"
+  "libupa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

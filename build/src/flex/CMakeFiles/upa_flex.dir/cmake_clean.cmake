@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_flex.dir/analyzer.cpp.o"
+  "CMakeFiles/upa_flex.dir/analyzer.cpp.o.d"
+  "libupa_flex.a"
+  "libupa_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_groundtruth.dir/ground_truth.cpp.o"
+  "CMakeFiles/upa_groundtruth.dir/ground_truth.cpp.o.d"
+  "libupa_groundtruth.a"
+  "libupa_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

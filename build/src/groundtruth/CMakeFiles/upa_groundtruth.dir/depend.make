@@ -1,0 +1,2 @@
+# Empty dependencies file for upa_groundtruth.
+# This may be replaced when dependencies are built.

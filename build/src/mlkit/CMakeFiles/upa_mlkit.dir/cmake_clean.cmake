@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_mlkit.dir/datagen.cpp.o"
+  "CMakeFiles/upa_mlkit.dir/datagen.cpp.o.d"
+  "CMakeFiles/upa_mlkit.dir/kmeans.cpp.o"
+  "CMakeFiles/upa_mlkit.dir/kmeans.cpp.o.d"
+  "CMakeFiles/upa_mlkit.dir/linreg.cpp.o"
+  "CMakeFiles/upa_mlkit.dir/linreg.cpp.o.d"
+  "libupa_mlkit.a"
+  "libupa_mlkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_mlkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_queries.dir/plan_query.cpp.o"
+  "CMakeFiles/upa_queries.dir/plan_query.cpp.o.d"
+  "CMakeFiles/upa_queries.dir/suite.cpp.o"
+  "CMakeFiles/upa_queries.dir/suite.cpp.o.d"
+  "libupa_queries.a"
+  "libupa_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

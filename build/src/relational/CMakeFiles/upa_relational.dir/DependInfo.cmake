@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/csv.cpp" "src/relational/CMakeFiles/upa_relational.dir/csv.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/csv.cpp.o.d"
+  "/root/repo/src/relational/executor.cpp" "src/relational/CMakeFiles/upa_relational.dir/executor.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/executor.cpp.o.d"
+  "/root/repo/src/relational/expr.cpp" "src/relational/CMakeFiles/upa_relational.dir/expr.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/expr.cpp.o.d"
+  "/root/repo/src/relational/optimizer.cpp" "src/relational/CMakeFiles/upa_relational.dir/optimizer.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/optimizer.cpp.o.d"
+  "/root/repo/src/relational/plan.cpp" "src/relational/CMakeFiles/upa_relational.dir/plan.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/plan.cpp.o.d"
+  "/root/repo/src/relational/schema.cpp" "src/relational/CMakeFiles/upa_relational.dir/schema.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/schema.cpp.o.d"
+  "/root/repo/src/relational/sql_parser.cpp" "src/relational/CMakeFiles/upa_relational.dir/sql_parser.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/sql_parser.cpp.o.d"
+  "/root/repo/src/relational/table.cpp" "src/relational/CMakeFiles/upa_relational.dir/table.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/table.cpp.o.d"
+  "/root/repo/src/relational/value.cpp" "src/relational/CMakeFiles/upa_relational.dir/value.cpp.o" "gcc" "src/relational/CMakeFiles/upa_relational.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/upa_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_relational.dir/csv.cpp.o"
+  "CMakeFiles/upa_relational.dir/csv.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/executor.cpp.o"
+  "CMakeFiles/upa_relational.dir/executor.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/expr.cpp.o"
+  "CMakeFiles/upa_relational.dir/expr.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/optimizer.cpp.o"
+  "CMakeFiles/upa_relational.dir/optimizer.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/plan.cpp.o"
+  "CMakeFiles/upa_relational.dir/plan.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/schema.cpp.o"
+  "CMakeFiles/upa_relational.dir/schema.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/sql_parser.cpp.o"
+  "CMakeFiles/upa_relational.dir/sql_parser.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/table.cpp.o"
+  "CMakeFiles/upa_relational.dir/table.cpp.o.d"
+  "CMakeFiles/upa_relational.dir/value.cpp.o"
+  "CMakeFiles/upa_relational.dir/value.cpp.o.d"
+  "libupa_relational.a"
+  "libupa_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupa_relational.a"
+)

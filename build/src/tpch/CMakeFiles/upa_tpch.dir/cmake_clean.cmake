@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_tpch.dir/generator.cpp.o"
+  "CMakeFiles/upa_tpch.dir/generator.cpp.o.d"
+  "CMakeFiles/upa_tpch.dir/queries.cpp.o"
+  "CMakeFiles/upa_tpch.dir/queries.cpp.o.d"
+  "libupa_tpch.a"
+  "libupa_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

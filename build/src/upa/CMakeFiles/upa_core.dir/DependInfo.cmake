@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upa/exclusion.cpp" "src/upa/CMakeFiles/upa_core.dir/exclusion.cpp.o" "gcc" "src/upa/CMakeFiles/upa_core.dir/exclusion.cpp.o.d"
+  "/root/repo/src/upa/group.cpp" "src/upa/CMakeFiles/upa_core.dir/group.cpp.o" "gcc" "src/upa/CMakeFiles/upa_core.dir/group.cpp.o.d"
+  "/root/repo/src/upa/range_enforcer.cpp" "src/upa/CMakeFiles/upa_core.dir/range_enforcer.cpp.o" "gcc" "src/upa/CMakeFiles/upa_core.dir/range_enforcer.cpp.o.d"
+  "/root/repo/src/upa/runner.cpp" "src/upa/CMakeFiles/upa_core.dir/runner.cpp.o" "gcc" "src/upa/CMakeFiles/upa_core.dir/runner.cpp.o.d"
+  "/root/repo/src/upa/types.cpp" "src/upa/CMakeFiles/upa_core.dir/types.cpp.o" "gcc" "src/upa/CMakeFiles/upa_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/upa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/upa_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

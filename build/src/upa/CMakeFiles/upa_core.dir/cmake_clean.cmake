@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_core.dir/exclusion.cpp.o"
+  "CMakeFiles/upa_core.dir/exclusion.cpp.o.d"
+  "CMakeFiles/upa_core.dir/group.cpp.o"
+  "CMakeFiles/upa_core.dir/group.cpp.o.d"
+  "CMakeFiles/upa_core.dir/range_enforcer.cpp.o"
+  "CMakeFiles/upa_core.dir/range_enforcer.cpp.o.d"
+  "CMakeFiles/upa_core.dir/runner.cpp.o"
+  "CMakeFiles/upa_core.dir/runner.cpp.o.d"
+  "CMakeFiles/upa_core.dir/types.cpp.o"
+  "CMakeFiles/upa_core.dir/types.cpp.o.d"
+  "libupa_core.a"
+  "libupa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_misc_test.dir/common_misc_test.cpp.o"
+  "CMakeFiles/common_misc_test.dir/common_misc_test.cpp.o.d"
+  "common_misc_test"
+  "common_misc_test.pdb"
+  "common_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_normal_fit_test.dir/common_normal_fit_test.cpp.o"
+  "CMakeFiles/common_normal_fit_test.dir/common_normal_fit_test.cpp.o.d"
+  "common_normal_fit_test"
+  "common_normal_fit_test.pdb"
+  "common_normal_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_normal_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for common_normal_fit_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_thread_pool_test.dir/common_thread_pool_test.cpp.o"
+  "CMakeFiles/common_thread_pool_test.dir/common_thread_pool_test.cpp.o.d"
+  "common_thread_pool_test"
+  "common_thread_pool_test.pdb"
+  "common_thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

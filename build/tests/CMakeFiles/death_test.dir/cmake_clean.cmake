@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/death_test.dir/death_test.cpp.o"
+  "CMakeFiles/death_test.dir/death_test.cpp.o.d"
+  "death_test"
+  "death_test.pdb"
+  "death_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

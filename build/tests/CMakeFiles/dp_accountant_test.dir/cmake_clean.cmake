@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_accountant_test.dir/dp_accountant_test.cpp.o"
+  "CMakeFiles/dp_accountant_test.dir/dp_accountant_test.cpp.o.d"
+  "dp_accountant_test"
+  "dp_accountant_test.pdb"
+  "dp_accountant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_accountant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

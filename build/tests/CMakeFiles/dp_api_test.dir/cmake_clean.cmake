@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_api_test.dir/dp_api_test.cpp.o"
+  "CMakeFiles/dp_api_test.dir/dp_api_test.cpp.o.d"
+  "dp_api_test"
+  "dp_api_test.pdb"
+  "dp_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_exponential_test.dir/dp_exponential_test.cpp.o"
+  "CMakeFiles/dp_exponential_test.dir/dp_exponential_test.cpp.o.d"
+  "dp_exponential_test"
+  "dp_exponential_test.pdb"
+  "dp_exponential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_exponential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

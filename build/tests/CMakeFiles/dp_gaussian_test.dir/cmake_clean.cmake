@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_gaussian_test.dir/dp_gaussian_test.cpp.o"
+  "CMakeFiles/dp_gaussian_test.dir/dp_gaussian_test.cpp.o.d"
+  "dp_gaussian_test"
+  "dp_gaussian_test.pdb"
+  "dp_gaussian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_gaussian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_mechanism_test.dir/dp_mechanism_test.cpp.o"
+  "CMakeFiles/dp_mechanism_test.dir/dp_mechanism_test.cpp.o.d"
+  "dp_mechanism_test"
+  "dp_mechanism_test.pdb"
+  "dp_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_accumulator_test.dir/engine_accumulator_test.cpp.o"
+  "CMakeFiles/engine_accumulator_test.dir/engine_accumulator_test.cpp.o.d"
+  "engine_accumulator_test"
+  "engine_accumulator_test.pdb"
+  "engine_accumulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

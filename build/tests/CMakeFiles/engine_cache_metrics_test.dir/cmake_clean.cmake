@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cache_metrics_test.dir/engine_cache_metrics_test.cpp.o"
+  "CMakeFiles/engine_cache_metrics_test.dir/engine_cache_metrics_test.cpp.o.d"
+  "engine_cache_metrics_test"
+  "engine_cache_metrics_test.pdb"
+  "engine_cache_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cache_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_dataset_test.dir/engine_dataset_test.cpp.o"
+  "CMakeFiles/engine_dataset_test.dir/engine_dataset_test.cpp.o.d"
+  "engine_dataset_test"
+  "engine_dataset_test.pdb"
+  "engine_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_lineage_test.dir/engine_lineage_test.cpp.o"
+  "CMakeFiles/engine_lineage_test.dir/engine_lineage_test.cpp.o.d"
+  "engine_lineage_test"
+  "engine_lineage_test.pdb"
+  "engine_lineage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_ops_test.dir/engine_ops_test.cpp.o"
+  "CMakeFiles/engine_ops_test.dir/engine_ops_test.cpp.o.d"
+  "engine_ops_test"
+  "engine_ops_test.pdb"
+  "engine_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_shuffle_test.dir/engine_shuffle_test.cpp.o"
+  "CMakeFiles/engine_shuffle_test.dir/engine_shuffle_test.cpp.o.d"
+  "engine_shuffle_test"
+  "engine_shuffle_test.pdb"
+  "engine_shuffle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

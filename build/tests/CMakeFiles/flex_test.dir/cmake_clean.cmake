@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_test.dir/flex_test.cpp.o"
+  "CMakeFiles/flex_test.dir/flex_test.cpp.o.d"
+  "flex_test"
+  "flex_test.pdb"
+  "flex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

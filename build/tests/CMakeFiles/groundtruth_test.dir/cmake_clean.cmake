@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groundtruth_test.dir/groundtruth_test.cpp.o"
+  "CMakeFiles/groundtruth_test.dir/groundtruth_test.cpp.o.d"
+  "groundtruth_test"
+  "groundtruth_test.pdb"
+  "groundtruth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groundtruth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlkit_test.dir/mlkit_test.cpp.o"
+  "CMakeFiles/mlkit_test.dir/mlkit_test.cpp.o.d"
+  "mlkit_test"
+  "mlkit_test.pdb"
+  "mlkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queries_suite_test.dir/queries_suite_test.cpp.o"
+  "CMakeFiles/queries_suite_test.dir/queries_suite_test.cpp.o.d"
+  "queries_suite_test"
+  "queries_suite_test.pdb"
+  "queries_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queries_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

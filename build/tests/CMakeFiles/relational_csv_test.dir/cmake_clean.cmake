@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_csv_test.dir/relational_csv_test.cpp.o"
+  "CMakeFiles/relational_csv_test.dir/relational_csv_test.cpp.o.d"
+  "relational_csv_test"
+  "relational_csv_test.pdb"
+  "relational_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

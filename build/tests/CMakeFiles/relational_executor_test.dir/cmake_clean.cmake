@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_executor_test.dir/relational_executor_test.cpp.o"
+  "CMakeFiles/relational_executor_test.dir/relational_executor_test.cpp.o.d"
+  "relational_executor_test"
+  "relational_executor_test.pdb"
+  "relational_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

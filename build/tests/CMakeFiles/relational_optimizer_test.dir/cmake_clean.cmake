@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_optimizer_test.dir/relational_optimizer_test.cpp.o"
+  "CMakeFiles/relational_optimizer_test.dir/relational_optimizer_test.cpp.o.d"
+  "relational_optimizer_test"
+  "relational_optimizer_test.pdb"
+  "relational_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_reference_test.dir/relational_reference_test.cpp.o"
+  "CMakeFiles/relational_reference_test.dir/relational_reference_test.cpp.o.d"
+  "relational_reference_test"
+  "relational_reference_test.pdb"
+  "relational_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_sql_parser_test.dir/relational_sql_parser_test.cpp.o"
+  "CMakeFiles/relational_sql_parser_test.dir/relational_sql_parser_test.cpp.o.d"
+  "relational_sql_parser_test"
+  "relational_sql_parser_test.pdb"
+  "relational_sql_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_sql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

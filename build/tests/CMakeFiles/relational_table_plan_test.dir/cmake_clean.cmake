@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_table_plan_test.dir/relational_table_plan_test.cpp.o"
+  "CMakeFiles/relational_table_plan_test.dir/relational_table_plan_test.cpp.o.d"
+  "relational_table_plan_test"
+  "relational_table_plan_test.pdb"
+  "relational_table_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_table_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

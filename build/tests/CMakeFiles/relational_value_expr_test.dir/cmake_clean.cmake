@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_value_expr_test.dir/relational_value_expr_test.cpp.o"
+  "CMakeFiles/relational_value_expr_test.dir/relational_value_expr_test.cpp.o.d"
+  "relational_value_expr_test"
+  "relational_value_expr_test.pdb"
+  "relational_value_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_value_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_sweep_test.dir/tpch_sweep_test.cpp.o"
+  "CMakeFiles/tpch_sweep_test.dir/tpch_sweep_test.cpp.o.d"
+  "tpch_sweep_test"
+  "tpch_sweep_test.pdb"
+  "tpch_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

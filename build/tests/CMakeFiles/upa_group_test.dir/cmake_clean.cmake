@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_group_test.dir/upa_group_test.cpp.o"
+  "CMakeFiles/upa_group_test.dir/upa_group_test.cpp.o.d"
+  "upa_group_test"
+  "upa_group_test.pdb"
+  "upa_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_plan_properties_test.dir/upa_plan_properties_test.cpp.o"
+  "CMakeFiles/upa_plan_properties_test.dir/upa_plan_properties_test.cpp.o.d"
+  "upa_plan_properties_test"
+  "upa_plan_properties_test.pdb"
+  "upa_plan_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_plan_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

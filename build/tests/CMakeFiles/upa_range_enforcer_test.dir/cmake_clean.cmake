@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_range_enforcer_test.dir/upa_range_enforcer_test.cpp.o"
+  "CMakeFiles/upa_range_enforcer_test.dir/upa_range_enforcer_test.cpp.o.d"
+  "upa_range_enforcer_test"
+  "upa_range_enforcer_test.pdb"
+  "upa_range_enforcer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_range_enforcer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

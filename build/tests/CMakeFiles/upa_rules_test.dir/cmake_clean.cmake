@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_rules_test.dir/upa_rules_test.cpp.o"
+  "CMakeFiles/upa_rules_test.dir/upa_rules_test.cpp.o.d"
+  "upa_rules_test"
+  "upa_rules_test.pdb"
+  "upa_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

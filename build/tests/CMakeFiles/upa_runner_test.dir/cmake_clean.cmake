@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_runner_test.dir/upa_runner_test.cpp.o"
+  "CMakeFiles/upa_runner_test.dir/upa_runner_test.cpp.o.d"
+  "upa_runner_test"
+  "upa_runner_test.pdb"
+  "upa_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

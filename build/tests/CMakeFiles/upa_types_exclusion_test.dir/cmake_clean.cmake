@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_types_exclusion_test.dir/upa_types_exclusion_test.cpp.o"
+  "CMakeFiles/upa_types_exclusion_test.dir/upa_types_exclusion_test.cpp.o.d"
+  "upa_types_exclusion_test"
+  "upa_types_exclusion_test.pdb"
+  "upa_types_exclusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_types_exclusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
