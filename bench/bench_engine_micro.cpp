@@ -3,11 +3,13 @@
 // experiment's timing numbers.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <numeric>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "engine/dataset.h"
 #include "engine/shuffle.h"
 
@@ -97,6 +99,46 @@ void BM_ReduceByKey(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ReduceByKey)->Arg(10000)->Arg(100000);
+
+// ParallelForChunks throughput at a given pool size — the primitive the
+// UPA runner's phase-3b/4 pipeline fans out on. Work per index is a small
+// vector accumulation, the shape of a per-neighbour Combine+OutputOf.
+void BM_ParallelForChunks(benchmark::State& state) {
+  upa::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const size_t n = 4096;
+  const size_t dim = 64;
+  std::vector<std::vector<double>> vecs(n, std::vector<double>(dim, 1.0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    pool.ParallelForChunks(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0.0;
+        for (double v : vecs[i]) acc += v;
+        out[i] = acc;
+      }
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForChunks)->Arg(1)->Arg(2)->Arg(4);
+
+// Nested fan-out from inside a worker — exercises the help-run path that
+// makes ParallelFor reentrant (and used to deadlock).
+void BM_NestedParallelFor(benchmark::State& state) {
+  upa::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  std::atomic<size_t> sink{0};
+  for (auto _ : state) {
+    pool.ParallelFor(8, [&](size_t) {
+      pool.ParallelFor(64, [&](size_t i) {
+        sink.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 8 * 64);
+}
+BENCHMARK(BM_NestedParallelFor)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_HashJoin(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/status.h"
 
@@ -37,19 +38,19 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  ParallelForChunks(n, [&fn](size_t begin, size_t end) {
+size_t ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  return ParallelForChunks(n, [&fn](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) fn(i);
   });
 }
 
-void ThreadPool::ParallelForChunks(
+size_t ThreadPool::ParallelForChunks(
     size_t n, const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) return 0;
   size_t chunks = std::min(n, thread_count());
   if (chunks <= 1) {
     fn(0, n);
-    return;
+    return 1;
   }
   size_t per = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
@@ -63,8 +64,22 @@ void ThreadPool::ParallelForChunks(
   // Wait for every chunk before propagating any error: chunks reference
   // caller stack state, so unwinding while siblings still run would be a
   // use-after-scope.
+  //
+  // While waiting, help-run queued tasks. A plain future::get() here would
+  // deadlock when the caller is itself a pool worker: the sibling chunks sit
+  // in the queue waiting for this very thread. Draining the queue instead
+  // guarantees progress on any pool size, including a 1-thread pool whose
+  // single worker calls ParallelFor recursively.
   std::exception_ptr first_error;
   for (auto& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!TryRunOneTask()) {
+        // Queue empty but our chunk still running on another worker; a short
+        // timed wait (not a bare get()) keeps us responsive to tasks that
+        // the running chunk may itself enqueue.
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
     try {
       f.get();
     } catch (...) {
@@ -72,6 +87,19 @@ void ThreadPool::ParallelForChunks(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  return futures.size();
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -4,6 +4,10 @@
 // Spark schedules one task per RDD partition on its executors. The pool size
 // defaults to the hardware concurrency and can be overridden (the CI box for
 // this repo has a single core; correctness does not depend on parallelism).
+//
+// ParallelFor / ParallelForChunks are safe to call from inside a pool worker:
+// while a caller waits for its chunks it help-runs queued tasks instead of
+// blocking, so nested parallelism cannot deadlock even on a 1-thread pool.
 #pragma once
 
 #include <condition_variable>
@@ -33,14 +37,21 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n), partitioned into ~thread_count chunks, and
   /// wait for all of them. Exceptions in fn propagate to the caller.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// Returns the number of chunk tasks the work was split into (1 when run
+  /// inline). May be called from inside a pool worker (see file comment).
+  size_t ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Run fn(chunk_begin, chunk_end) over contiguous chunks and wait.
-  void ParallelForChunks(
-      size_t n, const std::function<void(size_t, size_t)>& fn);
+  /// Returns the number of chunk tasks (1 when run inline).
+  size_t ParallelForChunks(size_t n,
+                           const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();
+  /// Pops and runs one queued task if any; returns false when the queue is
+  /// empty. Used by waiters to make progress instead of blocking (the
+  /// help-run loop that makes nested ParallelFor safe).
+  bool TryRunOneTask();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;

@@ -16,6 +16,10 @@ MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
   for (const auto& [name, secs] : base.phase_seconds) {
     d.phase_seconds[name] -= secs;
   }
+  d.phase_tasks = phase_tasks;
+  for (const auto& [name, tasks] : base.phase_tasks) {
+    d.phase_tasks[name] -= tasks;
+  }
   return d;
 }
 
@@ -35,12 +39,23 @@ std::string MetricsSnapshot::ToString() const {
     std::snprintf(pbuf, sizeof(pbuf), " %s=%.3fms", name.c_str(), secs * 1e3);
     out += pbuf;
   }
+  for (const auto& [name, tasks] : phase_tasks) {
+    char pbuf[96];
+    std::snprintf(pbuf, sizeof(pbuf), " %s.tasks=%llu", name.c_str(),
+                  static_cast<unsigned long long>(tasks));
+    out += pbuf;
+  }
   return out;
 }
 
 void ExecMetrics::AddPhaseSeconds(const std::string& phase, double seconds) {
   std::lock_guard lock(phase_mu_);
   phase_seconds_[phase] += seconds;
+}
+
+void ExecMetrics::AddPhaseTasks(const std::string& phase, uint64_t n) {
+  std::lock_guard lock(phase_mu_);
+  phase_tasks_[phase] += n;
 }
 
 MetricsSnapshot ExecMetrics::Snapshot() const {
@@ -54,6 +69,7 @@ MetricsSnapshot ExecMetrics::Snapshot() const {
   {
     std::lock_guard lock(phase_mu_);
     s.phase_seconds = phase_seconds_;
+    s.phase_tasks = phase_tasks_;
   }
   return s;
 }
@@ -67,6 +83,7 @@ void ExecMetrics::Reset() {
   cache_misses_.store(0);
   std::lock_guard lock(phase_mu_);
   phase_seconds_.clear();
+  phase_tasks_.clear();
 }
 
 }  // namespace upa::engine

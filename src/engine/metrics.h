@@ -23,6 +23,9 @@ struct MetricsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   std::map<std::string, double> phase_seconds;
+  /// Per-phase parallelism: how many pool chunk-tasks each named phase
+  /// fanned out to (1 per call = that phase ran inline/sequentially).
+  std::map<std::string, uint64_t> phase_tasks;
 
   MetricsSnapshot operator-(const MetricsSnapshot& base) const;
 
@@ -53,6 +56,8 @@ class ExecMetrics {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   void AddPhaseSeconds(const std::string& phase, double seconds);
+  /// Record that `phase` split its work into `n` pool chunk-tasks.
+  void AddPhaseTasks(const std::string& phase, uint64_t n);
 
   MetricsSnapshot Snapshot() const;
   void Reset();
@@ -67,6 +72,7 @@ class ExecMetrics {
 
   mutable std::mutex phase_mu_;
   std::map<std::string, double> phase_seconds_;
+  std::map<std::string, uint64_t> phase_tasks_;
 };
 
 }  // namespace upa::engine

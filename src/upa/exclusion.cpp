@@ -1,6 +1,9 @@
 #include "upa/exclusion.h"
 
+#include <algorithm>
+
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace upa::core {
 namespace {
@@ -39,18 +42,90 @@ std::vector<Vec> ScanExclusion(const std::vector<Vec>& mapped) {
   return out;
 }
 
+/// Upper bound on kParallelScan's block count. Boundaries are a function of
+/// n alone so the result cannot depend on how many workers execute the
+/// blocks; 64 blocks keeps every realistic pool saturated while the
+/// sequential combine pass over block totals stays negligible.
+constexpr size_t kParallelScanMaxBlocks = 64;
+
+std::vector<Vec> ParallelScanExclusion(const std::vector<Vec>& mapped,
+                                       ThreadPool* pool) {
+  const size_t n = mapped.size();
+  const size_t per = std::max<size_t>(
+      1, (n + kParallelScanMaxBlocks - 1) / kParallelScanMaxBlocks);
+  const size_t blocks = (n + per - 1) / per;
+  auto block_range = [&](size_t c) {
+    return std::pair<size_t, size_t>{c * per, std::min(n, (c + 1) * per)};
+  };
+  auto run_blocks = [&](const std::function<void(size_t)>& fn) {
+    if (pool != nullptr && pool->thread_count() > 1) {
+      pool->ParallelFor(blocks, fn);
+    } else {
+      for (size_t c = 0; c < blocks; ++c) fn(c);
+    }
+  };
+
+  // Pass 1 (parallel): local prefix/suffix scans per block.
+  // local_prefix[c][k] = m[b] ⊕ ... ⊕ m[b+k-1], local_suffix[c][k] =
+  // m[b+k] ⊕ ... ⊕ m[e-1] for block [b, e). Both folds are left-to-right /
+  // right-to-left within the block — a fixed association order.
+  std::vector<std::vector<Vec>> local_prefix(blocks), local_suffix(blocks);
+  run_blocks([&](size_t c) {
+    auto [b, e] = block_range(c);
+    const size_t len = e - b;
+    local_prefix[c].resize(len + 1);
+    local_suffix[c].resize(len + 1);
+    local_prefix[c][0] = VecSum::Identity();
+    for (size_t k = 0; k < len; ++k) {
+      local_prefix[c][k + 1] = VecSum::Combine(local_prefix[c][k], mapped[b + k]);
+    }
+    local_suffix[c][len] = VecSum::Identity();
+    for (size_t k = len; k-- > 0;) {
+      local_suffix[c][k] = VecSum::Combine(local_suffix[c][k + 1], mapped[b + k]);
+    }
+  });
+
+  // Pass 2 (sequential, O(blocks) combines): fold block totals into
+  // before[c] = R(blocks < c) and after[c] = R(blocks > c).
+  std::vector<Vec> before(blocks), after(blocks);
+  before[0] = VecSum::Identity();
+  for (size_t c = 1; c < blocks; ++c) {
+    before[c] = VecSum::Combine(before[c - 1], local_prefix[c - 1].back());
+  }
+  after[blocks - 1] = VecSum::Identity();
+  for (size_t c = blocks - 1; c-- > 0;) {
+    after[c] = VecSum::Combine(after[c + 1], local_suffix[c + 1].front());
+  }
+
+  // Pass 3 (parallel): emit every exclusion with one fixed combine shape.
+  std::vector<Vec> out(n);
+  run_blocks([&](size_t c) {
+    auto [b, e] = block_range(c);
+    for (size_t k = 0; k < e - b; ++k) {
+      out[b + k] = VecSum::Combine(
+          VecSum::Combine(before[c], local_prefix[c][k]),
+          VecSum::Combine(local_suffix[c][k + 1], after[c]));
+    }
+  });
+  return out;
+}
+
 }  // namespace
 
 std::vector<Vec> ExclusionAggregate(const std::vector<Vec>& mapped,
-                                    ExclusionStrategy strategy) {
+                                    ExclusionStrategy strategy,
+                                    ThreadPool* pool) {
   UPA_CHECK_MSG(!mapped.empty(), "exclusion over an empty sample");
   switch (strategy) {
     case ExclusionStrategy::kNaive:
       return NaiveExclusion(mapped);
     case ExclusionStrategy::kScan:
       return ScanExclusion(mapped);
+    case ExclusionStrategy::kParallelScan:
+      return ParallelScanExclusion(mapped, pool);
   }
-  return {};
+  UPA_CHECK_MSG(false, "unknown ExclusionStrategy value");
+  return {};  // unreachable; UPA_CHECK aborts
 }
 
 Vec TotalAggregate(const std::vector<Vec>& mapped) {

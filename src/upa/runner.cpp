@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dp/mechanism.h"
 
@@ -11,19 +12,31 @@ namespace {
 
 /// Reduces the sampled records of each enforcer partition, optionally
 /// excluding the last `removed` sample records (the enforcer's removal
-/// order is deterministic: newest-index first).
+/// order is deterministic: newest-index first). One task per partition on
+/// `pool` (when given): each partition accumulates its own records in
+/// ascending sample order, exactly the adds the sequential per-index loop
+/// performs for that partition — so the result is bit-identical either way.
 std::vector<Vec> SamplePartitionPartials(
     const std::vector<Vec>& sample_mapped,
     const std::vector<size_t>& sample_partition, size_t num_partitions,
-    size_t removed) {
+    size_t removed, ThreadPool* pool) {
   std::vector<Vec> partials(num_partitions, VecSum::Identity());
   size_t keep = sample_mapped.size() > removed
                     ? sample_mapped.size() - removed
                     : 0;
-  for (size_t i = 0; i < keep; ++i) {
-    partials[sample_partition[i]] =
-        VecSum::Combine(std::move(partials[sample_partition[i]]),
-                        sample_mapped[i]);
+  auto reduce_partition = [&](size_t j) {
+    Vec acc = VecSum::Identity();
+    for (size_t i = 0; i < keep; ++i) {
+      if (sample_partition[i] == j) {
+        acc = VecSum::Combine(std::move(acc), sample_mapped[i]);
+      }
+    }
+    partials[j] = std::move(acc);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_partitions, reduce_partition);
+  } else {
+    for (size_t j = 0; j < num_partitions; ++j) reduce_partition(j);
   }
   return partials;
 }
@@ -49,6 +62,22 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   UpaRunResult result;
   Stopwatch total_watch;
   engine::MetricsSnapshot metrics_before = query.ctx->metrics().Snapshot();
+
+  // Phases 3b/4 fan out over the engine pool unless disabled. Every
+  // parallel section below either writes disjoint per-index slots or
+  // combines in a fixed order, so the flag changes wall-clock only, never
+  // a single output bit (tested in upa_runner_test).
+  ThreadPool* pool = config_.parallel_phases ? &query.ctx->pool() : nullptr;
+  auto run_chunks = [&](const char* phase, size_t count,
+                        const std::function<void(size_t, size_t)>& fn) {
+    if (pool == nullptr) {
+      if (count > 0) fn(0, count);
+      return;
+    }
+    size_t launched = pool->ParallelForChunks(count, fn);
+    query.ctx->metrics().AddTasks(launched);
+    query.ctx->metrics().AddPhaseTasks(phase, launched);
+  };
 
   // ---- Phase 1: Partition & Sample -------------------------------------
   Stopwatch phase_watch;
@@ -87,20 +116,24 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   }
   // R(S) and the per-exclusion reductions R(S \ s_i), reusing R(M(S')).
   std::vector<Vec> excl =
-      ExclusionAggregate(batches.sample_mapped, config_.exclusion);
+      ExclusionAggregate(batches.sample_mapped, config_.exclusion, pool);
   Vec r_s = TotalAggregate(batches.sample_mapped);
   Vec f_vec = VecSum::Combine(r_sprime, r_s);
 
   // Sampled-neighbour outputs: removals f(x - s_i), additions f(x + s̄_i).
-  result.neighbour_outputs.reserve(n + batches.domain_mapped.size());
-  for (size_t i = 0; i < n; ++i) {
-    result.neighbour_outputs.push_back(
-        query.OutputOf(VecSum::Combine(r_sprime, excl[i])));
-  }
-  for (const Vec& added : batches.domain_mapped) {
-    result.neighbour_outputs.push_back(
-        query.OutputOf(VecSum::Combine(f_vec, added)));
-  }
+  // Each output depends only on its own index, so the chunked evaluation
+  // performs exactly the sequential loop's arithmetic per slot.
+  const size_t num_neighbours = n + batches.domain_mapped.size();
+  result.neighbour_outputs.resize(num_neighbours);
+  run_chunks("upa/neighbour_eval", num_neighbours,
+             [&](size_t begin, size_t end) {
+               for (size_t i = begin; i < end; ++i) {
+                 result.neighbour_outputs[i] =
+                     i < n ? query.OutputOf(VecSum::Combine(r_sprime, excl[i]))
+                           : query.OutputOf(VecSum::Combine(
+                                 f_vec, batches.domain_mapped[i - n]));
+               }
+             });
   result.seconds.reduce = phase_watch.ElapsedSeconds();
 
   // ---- Phase 4: iDP Enforcement -----------------------------------------
@@ -119,14 +152,17 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
     // overshooting for binary ones). Either way this is an *estimate* of
     // the true maximum; soundness comes from the Range Enforcer's clamp,
     // not from here.
-    std::vector<double> influences;
-    influences.reserve(result.neighbour_outputs.size());
+    std::vector<double> influences(result.neighbour_outputs.size());
+    run_chunks("upa/influence", influences.size(),
+               [&](size_t begin, size_t end) {
+                 for (size_t i = begin; i < end; ++i) {
+                   influences[i] = std::fabs(result.neighbour_outputs[i] - f_x);
+                 }
+               });
+    // max is exactly associative, so reducing the filled array on the
+    // driver loses nothing and keeps the result chunking-independent.
     double max_influence = 0.0;
-    for (double o : result.neighbour_outputs) {
-      double infl = std::fabs(o - f_x);
-      influences.push_back(infl);
-      max_influence = std::max(max_influence, infl);
-    }
+    for (double infl : influences) max_influence = std::max(max_influence, infl);
     result.local_sensitivity = max_influence;
     if (config_.sensitivity_rule == SensitivityRule::kInfluencePercentile) {
       NormalParams fit = FitNormalMle(influences);
@@ -138,15 +174,37 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
                                 f_x + result.local_sensitivity};
   }
 
-  // Per-partition outputs f(x_j) = output of R(S'_j) ⊕ R(S_j).
-  auto partition_outputs_for = [&](size_t removed) {
-    std::vector<Vec> sample_partials = SamplePartitionPartials(
-        batches.sample_mapped, sample_partition, num_partitions, removed);
-    std::vector<double> outs(num_partitions);
-    for (size_t j = 0; j < num_partitions; ++j) {
-      outs[j] = query.OutputOf(
-          VecSum::Combine(batches.sprime_partials[j], sample_partials[j]));
+  // Degenerate-sensitivity floor: when every sampled neighbour produced
+  // the same output, local_sensitivity is 0 and the Laplace scale would be
+  // 0 too — the clamped value would be released exactly, noiselessly.
+  if (result.local_sensitivity < config_.min_sensitivity) {
+    result.degenerate_sensitivity = true;
+    result.local_sensitivity = config_.min_sensitivity;
+    if (config_.sensitivity_rule == SensitivityRule::kOutputRange) {
+      // Keep the rule's invariant width == local_sensitivity.
+      double mid = 0.5 * (result.out_range.lo + result.out_range.hi);
+      result.out_range = Interval{mid - 0.5 * config_.min_sensitivity,
+                                  mid + 0.5 * config_.min_sensitivity};
+    } else {
+      result.out_range = Interval{f_x - config_.min_sensitivity,
+                                  f_x + config_.min_sensitivity};
     }
+  }
+
+  // Per-partition outputs f(x_j) = output of R(S'_j) ⊕ R(S_j). One pool
+  // task per partition (both the partial reduction and the output).
+  auto partition_outputs_for = [&](size_t removed) {
+    std::vector<Vec> sample_partials =
+        SamplePartitionPartials(batches.sample_mapped, sample_partition,
+                                num_partitions, removed, pool);
+    std::vector<double> outs(num_partitions);
+    run_chunks("upa/partition_outputs", num_partitions,
+               [&](size_t begin, size_t end) {
+                 for (size_t j = begin; j < end; ++j) {
+                   outs[j] = query.OutputOf(VecSum::Combine(
+                       batches.sprime_partials[j], sample_partials[j]));
+                 }
+               });
     return outs;
   };
   result.partition_outputs = partition_outputs_for(0);
@@ -159,7 +217,7 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
       // sample records (newest-index-first removal order).
       std::vector<Vec> kept_partials = SamplePartitionPartials(
           batches.sample_mapped, sample_partition, num_partitions,
-          result.enforcer.records_removed);
+          result.enforcer.records_removed, pool);
       Vec r_s_kept = VecSum::Identity();
       for (Vec& p : kept_partials) {
         r_s_kept = VecSum::Combine(std::move(r_s_kept), p);

@@ -64,14 +64,26 @@ struct UpaConfig {
   /// Percentiles of the fitted normal defining Ô_f.
   double lo_percentile = 1.0;
   double hi_percentile = 99.0;
-  /// How R(S \ s_i) is computed for all i.
-  ExclusionStrategy exclusion = ExclusionStrategy::kScan;
+  /// How R(S \ s_i) is computed for all i. The default chunked block-scan
+  /// runs on the engine pool with results bit-identical to any pool size.
+  ExclusionStrategy exclusion = ExclusionStrategy::kParallelScan;
   /// Enforcer partition count (the paper uses two).
   size_t enforcer_partitions = 2;
   /// Disable to measure Algorithm 1 alone (ablation only; no iDP claim).
   bool enable_enforcer = true;
   /// Disable to inspect the un-noised pipeline in tests.
   bool add_noise = true;
+  /// Run phases 3b/4 (neighbour-output evaluation, influence computation,
+  /// partition partials) on the engine thread pool. The parallel path is
+  /// bit-identical to the sequential one (fixed chunk boundaries and
+  /// combine orders); disable only to measure the speedup it buys.
+  bool parallel_phases = true;
+  /// Floor for the inferred local sensitivity. A degenerate query whose
+  /// sampled neighbours all produce the same output would otherwise infer
+  /// sensitivity 0 and release the exact clamped value with Laplace scale
+  /// 0 — no noise at all. The floor keeps the release mechanism honest;
+  /// `UpaRunResult::degenerate_sensitivity` reports when it engaged.
+  double min_sensitivity = 1e-9;
 };
 
 struct PhaseSeconds {
@@ -98,6 +110,11 @@ struct UpaRunResult {
   /// Final per-partition outputs (what the enforcer registers).
   std::vector<double> partition_outputs;
   EnforcerDecision enforcer;
+  /// True when the inferred sensitivity fell below UpaConfig::
+  /// min_sensitivity (all sampled neighbours produced identical outputs)
+  /// and the floor was applied. local_sensitivity/out_range reflect the
+  /// floored values.
+  bool degenerate_sensitivity = false;
   PhaseSeconds seconds;
   /// Engine counters attributable to this run.
   engine::MetricsSnapshot metrics;

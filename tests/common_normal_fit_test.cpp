@@ -91,6 +91,31 @@ TEST(NormalPercentileIntervalTest, DegenerateDataGivesPointInterval) {
   EXPECT_DOUBLE_EQ(iv.width(), 0.0);
 }
 
+// Degenerate fit: identical observations have population stddev 0, and
+// every quantile of the fitted "normal" collapses onto the mean. The
+// interval must come back as the zero-width point [c, c] — this is exactly
+// the constant-query case whose zero sensitivity UpaConfig::min_sensitivity
+// floors downstream.
+TEST(NormalPercentileIntervalTest, ZeroStddevCollapsesToPoint) {
+  std::vector<double> xs(500, 3.25);
+  NormalParams fit = FitNormalMle(xs);
+  EXPECT_DOUBLE_EQ(fit.mean, 3.25);
+  EXPECT_DOUBLE_EQ(fit.stddev, 0.0);
+  Interval iv = NormalPercentileInterval(xs, 1.0, 99.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 3.25);
+  EXPECT_DOUBLE_EQ(iv.hi, 3.25);
+  EXPECT_DOUBLE_EQ(iv.width(), 0.0);
+  EXPECT_TRUE(iv.Contains(3.25));
+  EXPECT_FALSE(iv.Contains(3.25 + 1e-9));
+}
+
+TEST(NormalPercentileIntervalTest, ZeroStddevQuantilesAreMean) {
+  NormalParams degenerate{-2.0, 0.0};
+  for (double p : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(NormalQuantile(degenerate, p), -2.0);
+  }
+}
+
 // The paper's coverage claim: for normal-ish neighbour outputs, the fitted
 // [P1, P99] interval covers ~98% of the underlying population. Sweep over
 // sample sizes to show n=1000 is where coverage stabilizes (Fig 3's story).

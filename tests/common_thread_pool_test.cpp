@@ -97,6 +97,67 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+// Regression: ParallelFor called from inside a pool worker used to block
+// on future::get() while its sibling chunks waited in the queue for that
+// same worker — a guaranteed deadlock once every worker was a waiter. The
+// help-run loop must complete this on any pool size, including one.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletesOnOneThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  auto outer = pool.Submit([&] {
+    pool.ParallelFor(64, [&](size_t) { counter.fetch_add(1); });
+  });
+  outer.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromEveryWorkerCompletes) {
+  // Saturate a 2-thread pool with outer tasks that all fan out again: with
+  // blocking waits both workers would be stuck waiting for chunks only
+  // they themselves could run.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> outer;
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back(pool.Submit([&] {
+      pool.ParallelFor(64, [&](size_t) { counter.fetch_add(1); });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(counter.load(), 4 * 64);
+}
+
+TEST(ThreadPoolTest, DoublyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](size_t) {
+                                  pool.ParallelFor(8, [](size_t i) {
+                                    if (i == 5) {
+                                      throw std::runtime_error("inner boom");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksReportsChunkCount) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.ParallelForChunks(0, [](size_t, size_t) {}), 0u);
+  EXPECT_EQ(pool.ParallelForChunks(1, [](size_t, size_t) {}), 1u);
+  size_t launched = pool.ParallelForChunks(100, [](size_t, size_t) {});
+  EXPECT_GE(launched, 2u);
+  EXPECT_LE(launched, 4u);
+}
+
 TEST(ThreadPoolTest, NestedSubmitFromTaskDoesNotDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

@@ -7,6 +7,7 @@
 #include "dp/mechanism.h"
 #include "engine/dataset.h"
 #include "relational/value.h"
+#include "upa/exclusion.h"
 #include "upa/types.h"
 
 namespace upa {
@@ -47,6 +48,23 @@ TEST(DeathTest, LaplaceRejectsNonPositiveEpsilon) {
 TEST(DeathTest, LaplaceRejectsNegativeSensitivity) {
   Rng rng(1);
   EXPECT_DEATH(dp::LaplaceMechanism(1.0, -1.0, 0.5, rng), "sensitivity");
+}
+
+TEST(DeathTest, ExclusionRejectsEmptySample) {
+  std::vector<core::Vec> empty;
+  EXPECT_DEATH(
+      core::ExclusionAggregate(empty, core::ExclusionStrategy::kScan),
+      "empty sample");
+}
+
+TEST(DeathTest, ExclusionRejectsUnknownStrategy) {
+  // A silent `return {}` here once let a misconfigured enum produce an
+  // empty exclusion set that the runner then indexed out of range.
+  std::vector<core::Vec> mapped{{1.0}, {2.0}};
+  EXPECT_DEATH(
+      core::ExclusionAggregate(mapped,
+                               static_cast<core::ExclusionStrategy>(99)),
+      "ExclusionStrategy");
 }
 
 TEST(DeathTest, VecSumRejectsDimensionMismatch) {

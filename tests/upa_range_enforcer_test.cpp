@@ -106,6 +106,69 @@ TEST(RangeEnforcerTest, DegenerateConstantQueryHitsCap) {
   EXPECT_LE(decision.records_removed, 8u);
 }
 
+TEST(RangeEnforcerTest, RemovalCapStopsScanningFurtherPriors) {
+  // Once the cap is hit against one prior, the enforcer must bail out of
+  // the whole pass rather than keep burning removals against later priors.
+  RangeEnforcer enforcer(1e-9, /*max_removals=*/4);
+  enforcer.Register({1.0, 1.0});
+  enforcer.Register({1.0, 1.0});
+  std::vector<double> outputs{1.0, 1.0};
+  auto constant = [](size_t) { return std::vector<double>{1.0, 1.0}; };
+  auto decision = enforcer.Enforce(outputs, constant);
+  EXPECT_TRUE(decision.removal_capped);
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_LE(decision.records_removed, 4u);
+  EXPECT_EQ(decision.prior_queries_checked, 2u);
+}
+
+TEST(RangeEnforcerTest, CapExactlyAtBoundaryIsNotCapped) {
+  // Separation achieved with exactly max_removals removed records: the
+  // decision reports the removals but not the cap.
+  RangeEnforcer enforcer(1e-9, /*max_removals=*/6);
+  enforcer.Register({10.0, 20.0});
+  std::vector<double> outputs{10.0, 20.0};
+  auto separates_at_six = [](size_t removed) {
+    if (removed < 6) return std::vector<double>{10.0, 20.0};
+    return std::vector<double>{-1.0, -2.0};
+  };
+  auto decision = enforcer.Enforce(outputs, separates_at_six);
+  EXPECT_FALSE(decision.removal_capped);
+  EXPECT_EQ(decision.records_removed, 6u);
+}
+
+TEST(RangeEnforcerTest, ShorterPriorArityCountsEveryPartitionAsDifferent) {
+  // A prior registered under a smaller partitioning config must count as
+  // differing on every *current* partition, never index out of range.
+  RangeEnforcer enforcer;
+  enforcer.Register({5.0});
+  std::vector<double> outputs{5.0, 5.0, 5.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_FALSE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 0u);
+}
+
+TEST(RangeEnforcerTest, LongerPriorArityAlsoTriviallyDiffers) {
+  RangeEnforcer enforcer;
+  enforcer.Register({5.0, 5.0, 5.0, 5.0});
+  std::vector<double> outputs{5.0, 5.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_FALSE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 0u);
+}
+
+TEST(RangeEnforcerTest, MixedArityAndMatchingPriorsStillEnforce) {
+  // An arity-mismatched prior must not mask a genuine repeat: the matching
+  // prior still triggers the removal loop.
+  RangeEnforcer enforcer;
+  enforcer.Register({7.0, 7.0, 7.0});  // different config, ignored
+  enforcer.Register({10.0, 20.0});     // genuine repeat target
+  std::vector<double> outputs{10.0, 20.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_GE(decision.records_removed, 2u);
+  EXPECT_EQ(decision.prior_queries_checked, 2u);
+}
+
 TEST(RangeEnforcerTest, ToleranceAbsorbsFloatNoise) {
   RangeEnforcer enforcer(1e-9);
   EXPECT_TRUE(enforcer.NearlyEqual(1.0, 1.0 + 1e-13));

@@ -221,6 +221,145 @@ TEST(UpaRunnerTest, PhaseTimingsArePopulated) {
   EXPECT_GE(s.total, s.map);
 }
 
+/// A query mapping every record to the same d-dimensional vector scaled by
+/// the record value — exercises the Vec paths the ML queries use.
+QueryInstance VecQuery(std::shared_ptr<std::vector<double>> values, size_t dim,
+                       const std::string& name = "vec") {
+  SimpleQuerySpec<double> spec;
+  spec.name = name;
+  spec.ctx = &Ctx();
+  spec.records = values;
+  spec.map_record = [dim](const double& v) {
+    Vec m(dim);
+    for (size_t j = 0; j < dim; ++j) m[j] = v * (1.0 + 0.1 * j);
+    return m;
+  };
+  spec.sample_domain = [](Rng& rng) { return rng.UniformDouble(0.0, 1.0); };
+  spec.scalarize = [](const Vec& v) { return L2Norm(v); };
+  return MakeSimpleQuery(std::move(spec));
+}
+
+// The headline determinism guarantee of the parallel phase pipeline: with
+// identical config, seed and context, parallel_phases on/off produces a
+// bit-identical UpaRunResult — same raw_output, local_sensitivity,
+// neighbour_outputs, partition_outputs and release. (The parallel path
+// uses fixed chunk boundaries and fixed combine orders; see DESIGN.md.)
+TEST(UpaRunnerTest, ParallelPhasesBitIdenticalToSequential) {
+  auto values = std::make_shared<std::vector<double>>();
+  Rng rng(321);
+  for (int i = 0; i < 4000; ++i) values->push_back(rng.UniformDouble(0, 1));
+
+  for (auto rule : {SensitivityRule::kSampledMax,
+                    SensitivityRule::kInfluencePercentile,
+                    SensitivityRule::kOutputRange}) {
+    UpaConfig cfg;
+    cfg.sample_n = 500;
+    cfg.sensitivity_rule = rule;
+    cfg.add_noise = true;
+    cfg.parallel_phases = true;
+    UpaConfig seq_cfg = cfg;
+    seq_cfg.parallel_phases = false;
+
+    UpaRunner par_runner(cfg), seq_runner(seq_cfg);
+    auto par = par_runner.Run(VecQuery(values, 8), 77);
+    auto seq = seq_runner.Run(VecQuery(values, 8), 77);
+    ASSERT_TRUE(par.ok() && seq.ok());
+    EXPECT_EQ(par.value().raw_output, seq.value().raw_output);
+    EXPECT_EQ(par.value().local_sensitivity, seq.value().local_sensitivity);
+    EXPECT_EQ(par.value().released_output, seq.value().released_output);
+    EXPECT_EQ(par.value().neighbour_outputs, seq.value().neighbour_outputs);
+    EXPECT_EQ(par.value().partition_outputs, seq.value().partition_outputs);
+    EXPECT_EQ(par.value().out_range.lo, seq.value().out_range.lo);
+    EXPECT_EQ(par.value().out_range.hi, seq.value().out_range.hi);
+    EXPECT_EQ(par.value().reduced, seq.value().reduced);
+  }
+}
+
+TEST(UpaRunnerTest, ParallelPhasesRecordPhaseTaskMetrics) {
+  UpaConfig cfg = NoNoiseConfig();
+  cfg.enable_enforcer = false;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(CountQuery(3000), 60);
+  ASSERT_TRUE(result.ok());
+  const auto& tasks = result.value().metrics.phase_tasks;
+  ASSERT_TRUE(tasks.count("upa/neighbour_eval"));
+  EXPECT_GE(tasks.at("upa/neighbour_eval"), 1u);
+  ASSERT_TRUE(tasks.count("upa/influence"));
+  ASSERT_TRUE(tasks.count("upa/partition_outputs"));
+}
+
+// Degenerate queries: every record maps to the identity contribution, so
+// all 2n sampled neighbours produce exactly f(x). Without the floor the
+// runner would infer local_sensitivity == 0 and release the exact clamped
+// value with Laplace scale 0 — a noiseless release of a private value.
+TEST(UpaRunnerTest, ConstantQuerySensitivityIsFlooredNotZero) {
+  SimpleQuerySpec<double> spec;
+  spec.name = "constant";
+  spec.ctx = &Ctx();
+  spec.records = std::make_shared<std::vector<double>>(2000, 1.0);
+  spec.map_record = [](const double&) { return Vec{0.0}; };
+  spec.sample_domain = [](Rng& rng) { return rng.UniformDouble(0.0, 1.0); };
+
+  UpaConfig cfg;
+  cfg.sample_n = 200;
+  cfg.add_noise = true;
+  cfg.enable_enforcer = false;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(MakeSimpleQuery(std::move(spec)), 9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().degenerate_sensitivity);
+  EXPECT_EQ(result.value().local_sensitivity, cfg.min_sensitivity);
+  EXPECT_GT(result.value().local_sensitivity, 0.0);
+  // The release is still noised (scale min_sensitivity/ε), not exact.
+  EXPECT_NE(result.value().released_output, result.value().raw_output);
+}
+
+TEST(UpaRunnerTest, MinSensitivityFloorIsConfigurable) {
+  SimpleQuerySpec<double> spec;
+  spec.name = "constant2";
+  spec.ctx = &Ctx();
+  spec.records = std::make_shared<std::vector<double>>(2000, 1.0);
+  spec.map_record = [](const double&) { return Vec{0.0}; };
+  spec.sample_domain = [](Rng& rng) { return rng.UniformDouble(0.0, 1.0); };
+
+  UpaConfig cfg = NoNoiseConfig();
+  cfg.enable_enforcer = false;
+  cfg.min_sensitivity = 0.5;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(MakeSimpleQuery(std::move(spec)), 9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().degenerate_sensitivity);
+  EXPECT_DOUBLE_EQ(result.value().local_sensitivity, 0.5);
+  // The clamp range widens with the floor so the raw output stays inside.
+  EXPECT_TRUE(result.value().out_range.Contains(result.value().raw_output));
+}
+
+TEST(UpaRunnerTest, NonDegenerateQueryDoesNotSetFlag) {
+  UpaRunner runner(NoNoiseConfig());
+  auto result = runner.Run(CountQuery(5000), 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().degenerate_sensitivity);
+}
+
+TEST(UpaRunnerTest, DegenerateOutputRangeRuleKeepsWidthInvariant) {
+  SimpleQuerySpec<double> spec;
+  spec.name = "constant3";
+  spec.ctx = &Ctx();
+  spec.records = std::make_shared<std::vector<double>>(2000, 1.0);
+  spec.map_record = [](const double&) { return Vec{0.0}; };
+  spec.sample_domain = [](Rng& rng) { return rng.UniformDouble(0.0, 1.0); };
+
+  UpaConfig cfg = NoNoiseConfig();
+  cfg.enable_enforcer = false;
+  cfg.sensitivity_rule = SensitivityRule::kOutputRange;
+  UpaRunner runner(cfg);
+  auto result = runner.Run(MakeSimpleQuery(std::move(spec)), 9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().degenerate_sensitivity);
+  EXPECT_DOUBLE_EQ(result.value().out_range.width(),
+                   result.value().local_sensitivity);
+}
+
 // Sensitivity upper-bound property: across seeds, the inferred sensitivity
 // times the clamp guarantees |release centers| of any neighbouring pair
 // stay within the range (the basis of the §IV-C proof).

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "upa/exclusion.h"
 #include "upa/types.h"
 
@@ -70,7 +71,8 @@ TEST(VecSumPropertyTest, CommutativeAndAssociative) {
 
 TEST(ExclusionTest, SingleElementExcludesToIdentity) {
   std::vector<Vec> mapped{{7.0}};
-  for (auto strategy : {ExclusionStrategy::kNaive, ExclusionStrategy::kScan}) {
+  for (auto strategy : {ExclusionStrategy::kNaive, ExclusionStrategy::kScan,
+                        ExclusionStrategy::kParallelScan}) {
     auto excl = ExclusionAggregate(mapped, strategy);
     ASSERT_EQ(excl.size(), 1u);
     EXPECT_EQ(excl[0], VecSum::Identity());
@@ -103,7 +105,8 @@ TEST_P(ExclusionInvariantSweep, ExclusionPlusSelfIsTotal) {
     for (double& v : m) v = rng.UniformDouble(-10, 10);
   }
   Vec total = TotalAggregate(mapped);
-  for (auto strategy : {ExclusionStrategy::kNaive, ExclusionStrategy::kScan}) {
+  for (auto strategy : {ExclusionStrategy::kNaive, ExclusionStrategy::kScan,
+                        ExclusionStrategy::kParallelScan}) {
     auto excl = ExclusionAggregate(mapped, strategy);
     ASSERT_EQ(excl.size(), static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -121,10 +124,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{7, 3},
                       std::pair{64, 2}, std::pair{200, 5}));
 
-// The two strategies must agree to floating-point near-equality.
+// The strategies must agree to floating-point near-equality.
 class StrategyAgreementSweep : public ::testing::TestWithParam<int> {};
 
-TEST_P(StrategyAgreementSweep, NaiveEqualsScan) {
+TEST_P(StrategyAgreementSweep, NaiveEqualsScanEqualsParallelScan) {
   int n = GetParam();
   Rng rng(500 + n);
   std::vector<Vec> mapped(n, Vec(2));
@@ -134,17 +137,49 @@ TEST_P(StrategyAgreementSweep, NaiveEqualsScan) {
   }
   auto naive = ExclusionAggregate(mapped, ExclusionStrategy::kNaive);
   auto scan = ExclusionAggregate(mapped, ExclusionStrategy::kScan);
+  ThreadPool pool(4);
+  auto par = ExclusionAggregate(mapped, ExclusionStrategy::kParallelScan, &pool);
   ASSERT_EQ(naive.size(), scan.size());
+  ASSERT_EQ(naive.size(), par.size());
   for (int i = 0; i < n; ++i) {
     ASSERT_EQ(naive[i].size(), scan[i].size());
+    ASSERT_EQ(naive[i].size(), par[i].size());
     for (size_t j = 0; j < naive[i].size(); ++j) {
       EXPECT_NEAR(naive[i][j], scan[i][j], 1e-9);
+      EXPECT_NEAR(naive[i][j], par[i][j], 1e-9);
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, StrategyAgreementSweep,
                          ::testing::Values(1, 2, 3, 10, 100, 500));
+
+// kParallelScan's contract: chunk boundaries and combine orders are fixed
+// by n alone, so the result is BIT-identical across pool sizes — and
+// identical to running the same algorithm with no pool at all.
+class ParallelScanDeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelScanDeterminismSweep, BitIdenticalAcrossPoolSizes) {
+  int n = GetParam();
+  Rng rng(900 + n);
+  std::vector<Vec> mapped(n, Vec(3));
+  for (auto& m : mapped) {
+    for (double& v : m) v = rng.Normal(0, 5);
+  }
+  auto reference =
+      ExclusionAggregate(mapped, ExclusionStrategy::kParallelScan, nullptr);
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    auto par =
+        ExclusionAggregate(mapped, ExclusionStrategy::kParallelScan, &pool);
+    // operator== on Vec compares doubles exactly: bit-identity, not
+    // tolerance.
+    EXPECT_EQ(par, reference) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelScanDeterminismSweep,
+                         ::testing::Values(1, 2, 63, 64, 65, 500, 1000));
 
 }  // namespace
 }  // namespace upa::core
