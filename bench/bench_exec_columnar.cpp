@@ -1,0 +1,207 @@
+// Row interpreter vs columnar engine: wall-clock per TPC-H plan query and
+// per UPA phase-run bundle (the S' / sample / domain executions of
+// src/queries/plan_query.cpp), plus a bit-identity check on every output.
+//
+// Emits machine-readable JSON to BENCH_exec.json (override the path with
+// UPA_BENCH_JSON) so the perf trajectory of the execution layer can be
+// tracked PR-over-PR. Knobs: UPA_ORDERS, UPA_RUNS, UPA_SAMPLE_N,
+// UPA_THREADS, UPA_SEED (src/bench_util/harness.h).
+//
+// Timing protocol: per-query numbers run with the scan cache OFF so they
+// measure execution, not memoization (Table::Columnar() is still built
+// once — that is a property of the storage layer, not of a run). Phase
+// bundles run with the cache ON under a fresh cache_epoch per repetition,
+// exactly like the runner: the three phases of one run share the public
+// subtrees, independent runs share nothing. All numbers are the minimum
+// over UPA_RUNS repetitions.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "relational/executor.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+using namespace upa;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timed {
+  double seconds = 0.0;
+  rel::ExecResult result;
+};
+
+// Best-of-`runs` execution of `plan` under `opts`.
+Timed TimeQuery(const rel::PlanExecutor& exec, const rel::PlanPtr& plan,
+                rel::ExecOptions opts, size_t runs) {
+  Timed best;
+  best.seconds = 1e100;
+  for (size_t r = 0; r < runs; ++r) {
+    double t0 = Now();
+    Result<rel::ExecResult> res = exec.Execute(plan, opts);
+    double dt = Now() - t0;
+    UPA_CHECK_MSG(res.ok(), "bench query failed: " + res.status().ToString());
+    if (dt < best.seconds) {
+      best.seconds = dt;
+      best.result = std::move(res).value();
+    }
+  }
+  return best;
+}
+
+// One UPA phase bundle: the three executions MakePlanQuery issues per run,
+// sharing one cache epoch. Returns the best total over `runs` repetitions
+// (epoch varies per repetition so nothing carries over).
+double TimePhaseBundle(const rel::PlanExecutor& exec,
+                       const tpch::TpchDataset& data,
+                       const tpch::TpchQuery& q, rel::ExecEngine engine,
+                       size_t sample_n, size_t runs, uint64_t seed) {
+  const size_t n = data.table(q.private_table).NumRows();
+  Rng rng = Rng::ForStream(seed, "bench_exec/phases/" + q.name);
+  std::vector<size_t> sample =
+      rng.SampleWithoutReplacement(n, std::min(sample_n, n));
+  std::vector<rel::Row> domain_rows;
+  for (size_t i = 0; i < std::min(sample_n, n); ++i) {
+    domain_rows.push_back(data.SampleRow(q.private_table, rng));
+  }
+
+  double best = 1e100;
+  for (size_t r = 0; r < runs; ++r) {
+    const uint64_t epoch = seed * 1000 + r;
+    double t0 = Now();
+    {
+      rel::ExecOptions opts;  // S'
+      opts.engine = engine;
+      opts.private_table = q.private_table;
+      opts.exclude_rows = &sample;
+      opts.partitions = 4;
+      opts.cache_epoch = epoch;
+      UPA_CHECK(exec.Execute(q.plan, opts).ok());
+    }
+    {
+      rel::ExecOptions opts;  // sample
+      opts.engine = engine;
+      opts.private_table = q.private_table;
+      opts.include_rows = &sample;
+      opts.track_contributions = true;
+      opts.cache_epoch = epoch;
+      UPA_CHECK(exec.Execute(q.plan, opts).ok());
+    }
+    {
+      rel::ExecOptions opts;  // domain
+      opts.engine = engine;
+      opts.private_table = q.private_table;
+      opts.replace_private_rows = &domain_rows;
+      opts.track_contributions = true;
+      opts.cache_epoch = epoch;
+      UPA_CHECK(exec.Execute(q.plan, opts).ok());
+    }
+    best = std::min(best, Now() - t0);
+  }
+  return best;
+}
+
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::BenchEnv::FromEnv();
+  bench::PrintBanner("Row interpreter vs columnar engine", env);
+
+  tpch::TpchDataset data(tpch::TpchConfig{.num_orders = env.orders,
+                                          .max_lineitems_per_order = 7,
+                                          .reference_skew = 1.1,
+                                          .seed = env.seed});
+  rel::Catalog catalog = data.catalog();
+  engine::ExecContext ctx(
+      engine::ExecConfig{.threads = env.threads, .default_partitions = 4});
+  rel::PlanExecutor exec(&ctx, &catalog);
+
+  std::string queries_json, phases_json;
+  bool all_identical = true;
+
+  // --- Per-query: plain plan execution, scan cache off.
+  TablePrinter qtable(
+      {"query", "row (ms)", "columnar (ms)", "speedup", "identical"});
+  for (const tpch::TpchQuery& q : tpch::AllTpchQueries()) {
+    rel::ExecOptions opts;
+    opts.use_scan_cache = false;
+    opts.engine = rel::ExecEngine::kRowOracle;
+    Timed row = TimeQuery(exec, q.plan, opts, env.runs);
+    opts.engine = rel::ExecEngine::kColumnar;
+    Timed col = TimeQuery(exec, q.plan, opts, env.runs);
+
+    const bool identical = row.result.output == col.result.output &&
+                           row.result.result_rows == col.result.result_rows;
+    all_identical = all_identical && identical;
+    const double speedup = row.seconds / std::max(1e-9, col.seconds);
+    qtable.AddRow({q.name, TablePrinter::FormatDouble(row.seconds * 1e3, 3),
+                   TablePrinter::FormatDouble(col.seconds * 1e3, 3),
+                   TablePrinter::FormatDouble(speedup, 2),
+                   identical ? "yes" : "NO"});
+    if (!queries_json.empty()) queries_json += ",\n";
+    queries_json += "    {\"name\": \"" + q.name +
+                    "\", \"row_ms\": " + JsonNum(row.seconds * 1e3) +
+                    ", \"columnar_ms\": " + JsonNum(col.seconds * 1e3) +
+                    ", \"speedup\": " + JsonNum(speedup) +
+                    ", \"output\": " + JsonNum(col.result.output) +
+                    ", \"identical\": " + (identical ? "true" : "false") + "}";
+  }
+  qtable.Print("TPC-H plan queries (plain run, scan cache off, min over runs)");
+
+  // --- Per-phase-bundle: the S'/sample/domain triple, cache on.
+  TablePrinter ptable(
+      {"query", "row 3-phase (ms)", "columnar 3-phase (ms)", "speedup"});
+  for (const tpch::TpchQuery& q : tpch::AllTpchQueries()) {
+    double row = TimePhaseBundle(exec, data, q, rel::ExecEngine::kRowOracle,
+                                 env.sample_n, env.runs, env.seed);
+    double col = TimePhaseBundle(exec, data, q, rel::ExecEngine::kColumnar,
+                                 env.sample_n, env.runs, env.seed);
+    const double speedup = row / std::max(1e-9, col);
+    ptable.AddRow({q.name, TablePrinter::FormatDouble(row * 1e3, 3),
+                   TablePrinter::FormatDouble(col * 1e3, 3),
+                   TablePrinter::FormatDouble(speedup, 2)});
+    if (!phases_json.empty()) phases_json += ",\n";
+    phases_json += "    {\"name\": \"" + q.name +
+                   "\", \"row_ms\": " + JsonNum(row * 1e3) +
+                   ", \"columnar_ms\": " + JsonNum(col * 1e3) +
+                   ", \"speedup\": " + JsonNum(speedup) + "}";
+  }
+  ptable.Print("UPA phase bundles: S' + sample + domain (min over runs)");
+
+  const char* path_env = std::getenv("UPA_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_exec.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  UPA_CHECK_MSG(f != nullptr, "cannot open " + path);
+  std::fprintf(f,
+               "{\n  \"experiment\": \"exec_columnar\",\n"
+               "  \"orders\": %zu,\n  \"sample_n\": %zu,\n"
+               "  \"runs\": %zu,\n  \"threads\": %zu,\n  \"seed\": %llu,\n"
+               "  \"queries\": [\n%s\n  ],\n"
+               "  \"phase_bundles\": [\n%s\n  ]\n}\n",
+               env.orders, env.sample_n, env.runs, ctx.pool().thread_count(),
+               static_cast<unsigned long long>(env.seed),
+               queries_json.c_str(), phases_json.c_str());
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+
+  UPA_CHECK_MSG(all_identical, "row and columnar outputs diverged");
+  return 0;
+}

@@ -12,6 +12,8 @@ MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
   d.shuffle_records = shuffle_records - base.shuffle_records;
   d.cache_hits = cache_hits - base.cache_hits;
   d.cache_misses = cache_misses - base.cache_misses;
+  d.kernel_batches = kernel_batches - base.kernel_batches;
+  d.kernel_rows = kernel_rows - base.kernel_rows;
   d.phase_seconds = phase_seconds;
   for (const auto& [name, secs] : base.phase_seconds) {
     d.phase_seconds[name] -= secs;
@@ -27,11 +29,13 @@ std::string MetricsSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "tasks=%llu records=%llu shuffles=%llu shuffled_records=%llu "
-                "cache_hit_rate=%.1f%%",
+                "kernel_batches=%llu kernel_rows=%llu cache_hit_rate=%.1f%%",
                 static_cast<unsigned long long>(tasks_launched),
                 static_cast<unsigned long long>(records_processed),
                 static_cast<unsigned long long>(shuffle_rounds),
                 static_cast<unsigned long long>(shuffle_records),
+                static_cast<unsigned long long>(kernel_batches),
+                static_cast<unsigned long long>(kernel_rows),
                 cache_hit_rate() * 100.0);
   std::string out = buf;
   for (const auto& [name, secs] : phase_seconds) {
@@ -66,6 +70,8 @@ MetricsSnapshot ExecMetrics::Snapshot() const {
   s.shuffle_records = shuffle_records_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.kernel_batches = kernel_batches_.load(std::memory_order_relaxed);
+  s.kernel_rows = kernel_rows_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(phase_mu_);
     s.phase_seconds = phase_seconds_;
@@ -81,6 +87,8 @@ void ExecMetrics::Reset() {
   shuffle_records_.store(0);
   cache_hits_.store(0);
   cache_misses_.store(0);
+  kernel_batches_.store(0);
+  kernel_rows_.store(0);
   std::lock_guard lock(phase_mu_);
   phase_seconds_.clear();
   phase_tasks_.clear();

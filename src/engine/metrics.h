@@ -22,6 +22,10 @@ struct MetricsSnapshot {
   uint64_t shuffle_records = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Columnar engine: batch-kernel launches and the rows they covered
+  /// (one "batch" = one fixed-size chunk of a vectorized operator).
+  uint64_t kernel_batches = 0;
+  uint64_t kernel_rows = 0;
   std::map<std::string, double> phase_seconds;
   /// Per-phase parallelism: how many pool chunk-tasks each named phase
   /// fanned out to (1 per call = that phase ran inline/sequentially).
@@ -55,6 +59,12 @@ class ExecMetrics {
   void AddCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddKernelBatches(uint64_t n) {
+    kernel_batches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddKernelRows(uint64_t n) {
+    kernel_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
   void AddPhaseSeconds(const std::string& phase, double seconds);
   /// Record that `phase` split its work into `n` pool chunk-tasks.
   void AddPhaseTasks(const std::string& phase, uint64_t n);
@@ -69,6 +79,8 @@ class ExecMetrics {
   std::atomic<uint64_t> shuffle_records_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> kernel_batches_{0};
+  std::atomic<uint64_t> kernel_rows_{0};
 
   mutable std::mutex phase_mu_;
   std::map<std::string, double> phase_seconds_;

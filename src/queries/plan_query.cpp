@@ -33,6 +33,9 @@ core::QueryInstance MakePlanQuery(
         // --- 1. S' run: per-partition aggregates of the unsampled side.
         {
           rel::ExecOptions opts;
+          // Phase runs ride the vectorized engine; the row oracle exists
+          // for the differential tests, not for production runs.
+          opts.engine = rel::ExecEngine::kColumnar;
           opts.private_table = query.private_table;
           opts.replace_private_rows = replacement;
           opts.exclude_rows = &sample;
@@ -51,6 +54,7 @@ core::QueryInstance MakePlanQuery(
         //        (index) tracking.
         {
           rel::ExecOptions opts;
+          opts.engine = rel::ExecEngine::kColumnar;
           opts.private_table = query.private_table;
           opts.replace_private_rows = replacement;
           opts.include_rows = &sample;
@@ -77,6 +81,7 @@ core::QueryInstance MakePlanQuery(
             synthetic.push_back(data->SampleRow(query.private_table, rng));
           }
           rel::ExecOptions opts;
+          opts.engine = rel::ExecEngine::kColumnar;
           opts.private_table = query.private_table;
           opts.replace_private_rows = &synthetic;
           opts.track_contributions = true;

@@ -1,0 +1,94 @@
+// Columnar storage + vectorized relational execution.
+//
+// The row interpreter (executor.cpp) pays a heap-backed std::variant per
+// cell, a std::function call per row, and whole-row copies per operator.
+// This layer is the batch-at-a-time cure (cf. HDK/DuckDB-style executors):
+//
+//   * ColumnarTable — one typed contiguous vector per column (int64_t,
+//     double, or dictionary-encoded strings with an *order-preserving*
+//     dictionary, so code comparisons implement string comparisons). Built
+//     once per Table and cached (Table::Columnar()).
+//   * Late materialization — a relation in flight is a set of source
+//     ColumnarTables plus one row-index vector per source; filters and
+//     joins only re-index, they never copy cell data. The private table's
+//     include/exclude/replace options are plain index vectors, and
+//     provenance *is* the private source's row-index column.
+//   * Batch kernels (kernels.h) — predicates evaluate into selection
+//     vectors, numeric projections into contiguous double buffers; no
+//     per-row std::function dispatch, no variant access in inner loops.
+//   * Deterministic parallelism — operators run per fixed-size batch on
+//     the engine ThreadPool (chunk boundaries depend only on row count),
+//     and every aggregate goes through ExactSum (common/exact_sum.h), so
+//     results are bit-identical to the row oracle for any pool size. The
+//     differential harness (tests/relational_columnar_test.cpp) asserts
+//     exactly that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/context.h"
+#include "relational/executor.h"
+#include "relational/plan.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace upa::rel {
+
+/// Selection / row-index vector: positions are uint32 (tables are checked
+/// to fit; 4B rows ought to be enough for one in-memory partition).
+using SelVector = std::vector<uint32_t>;
+
+/// One typed column. Exactly one payload vector is populated, chosen by
+/// the *actual* cell types (not the declared schema type): all-int64 cells
+/// make an int column even under a double-declared schema, so join keys
+/// behave exactly like the row oracle's strict AsInt accessor.
+struct Column {
+  ValueType type = ValueType::kInt;
+  std::vector<int64_t> ints;       // type == kInt
+  std::vector<double> doubles;     // type == kDouble
+  std::vector<uint32_t> codes;     // type == kString: index into *dict
+  /// Sorted (order-preserving) dictionary: code order == string order.
+  std::shared_ptr<const std::vector<std::string>> dict;
+};
+
+class ColumnarTable {
+ public:
+  /// Builds the columnar form of `rows` against `schema`. Aborts on
+  /// columns mixing string and numeric cells (the row store tolerates
+  /// them lazily; columnar storage is typed per column).
+  static std::shared_ptr<const ColumnarTable> Build(
+      Schema schema, const std::vector<Row>& rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Shared identity row-index vector [0, num_rows) — the row_ids of a
+  /// full scan, shared across every scan of this table.
+  const std::shared_ptr<const SelVector>& identity() const {
+    return identity_;
+  }
+
+ private:
+  ColumnarTable() = default;
+
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+  std::shared_ptr<const SelVector> identity_;
+};
+
+/// Executes an Aggregate-rooted plan on the columnar engine. Root/option
+/// validation is PlanExecutor::Execute's job; this expects a well-formed
+/// root and returns the same statuses as the row oracle for unknown
+/// tables/columns/join keys. Results are bit-identical to the row path.
+Result<ExecResult> ExecuteColumnar(engine::ExecContext* ctx,
+                                   const Catalog* catalog,
+                                   const PlanPtr& plan,
+                                   const ExecOptions& options);
+
+}  // namespace upa::rel

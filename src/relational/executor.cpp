@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
+#include "common/exact_sum.h"
 #include "common/hash.h"
 #include "engine/dataset.h"
 #include "engine/shuffle.h"
+#include "relational/columnar.h"
 
 namespace upa::rel {
 namespace {
 
 constexpr size_t kNoProv = std::numeric_limits<size_t>::max();
+
+/// Cache-key tags for the row engine. The columnar engine caches
+/// differently-typed entries under its own tags (relational/columnar.cpp);
+/// the block cache is type-erased, so the tags must never collide.
+constexpr uint64_t kRowScanTag = 0x5ca9'0000ULL;
+constexpr uint64_t kRowSubtreeTag = 0xcac4'e000ULL;
 
 /// A row in flight, carrying the private-table row index it descends from
 /// (kNoProv if it involves no private record). The evaluated plans scan the
@@ -25,12 +34,6 @@ struct Rel {
   engine::Dataset<ProvRow> data;
   Schema schema;
 };
-
-size_t CountScansOf(const PlanPtr& plan, const std::string& table) {
-  if (plan == nullptr) return 0;
-  size_t n = plan->kind == PlanKind::kScan && plan->table == table ? 1 : 0;
-  return n + CountScansOf(plan->left, table) + CountScansOf(plan->right, table);
-}
 
 class Evaluator {
  public:
@@ -46,15 +49,17 @@ class Evaluator {
     // Subtrees that never touch the private table are identical across a
     // query's phase runs (native, S', sample, domain), so their
     // materialized result is cached — modelling Spark's shuffle-file reuse
-    // and block cache, the effect behind the paper's Fig 4(b). Keyed by
-    // plan-node identity, so distinct queries never collide.
+    // and block cache, the effect behind the paper's Fig 4(b). Keyed by the
+    // plan's structural fingerprint (which folds in table uids), so
+    // distinct queries never collide — not even when a freed plan or table
+    // address gets recycled by the allocator.
     const bool cacheable = options_.use_scan_cache &&
                            plan->kind != PlanKind::kScan &&
                            !options_.private_table.empty() &&
                            CountScansOf(plan, options_.private_table) == 0;
     if (cacheable) {
-      uint64_t key = Mix64(reinterpret_cast<uintptr_t>(plan.get())) ^
-                     Mix64(0xcac4e000ULL + engine_partitions_) ^
+      uint64_t key = PlanFingerprint(plan, *catalog_) ^
+                     Mix64(kRowSubtreeTag + engine_partitions_) ^
                      Mix64(options_.cache_epoch);
       std::shared_ptr<const CachedRel> hit =
           ctx_->cache().Get<CachedRel>(key);
@@ -146,9 +151,9 @@ class Evaluator {
   }
 
   /// Non-private scans are immutable across a query's phase runs, so they
-  /// are cached (keyed by table identity + parallelism) when the options
-  /// allow; the repeated sampled-neighbour runs then hit Spark-style
-  /// memory cache, reproducing the paper's Fig 4(b) effect.
+  /// are cached (keyed by table uid + parallelism) when the options allow;
+  /// the repeated sampled-neighbour runs then hit Spark-style memory cache,
+  /// reproducing the paper's Fig 4(b) effect.
   engine::Dataset<ProvRow> ScanNonPrivate(const Table* table) {
     using Partitions = std::vector<std::vector<ProvRow>>;
     auto materialize = [&] {
@@ -160,8 +165,8 @@ class Evaluator {
     };
     if (!options_.use_scan_cache) return materialize();
 
-    uint64_t key = Mix64(reinterpret_cast<uintptr_t>(table)) ^
-                   Mix64(0x5ca9'0000ULL + engine_partitions_) ^
+    uint64_t key = Mix64(table->uid()) ^
+                   Mix64(kRowScanTag + engine_partitions_) ^
                    Mix64(options_.cache_epoch);
     std::shared_ptr<const Partitions> cached =
         ctx_->cache().GetOrCompute<Partitions>(key, [&] {
@@ -179,7 +184,7 @@ class Evaluator {
     Result<Rel> child = Eval(plan->left);
     if (!child.ok()) return child.status();
     const Schema& schema = child.value().schema;
-    if (!ValidateColumns(plan->predicate, schema)) {
+    if (!ExprColumnsExist(plan->predicate, schema)) {
       return Status::InvalidArgument("filter references unknown column in " +
                                      plan->predicate->ToString());
     }
@@ -230,34 +235,26 @@ class Evaluator {
     return Rel{combined, Schema::Concat(ls, rs)};
   }
 
-  /// True if every column the expression references exists in the schema.
-  static bool ValidateColumns(const ExprPtr& expr, const Schema& schema) {
-    if (expr == nullptr) return true;
-    if (expr->kind() == Expr::Kind::kColumn) {
-      return schema.Has(expr->column_name());
-    }
-    return ValidateColumns(expr->lhs(), schema) &&
-           ValidateColumns(expr->rhs(), schema);
-  }
-
   engine::ExecContext* ctx_;
   const Catalog* catalog_;
   const ExecOptions& options_;
   size_t engine_partitions_;
 };
 
-/// Avg / Min / Max: plain scalar results, no provenance semantics.
+/// Avg / Min / Max: plain scalar results, no provenance semantics. The sum
+/// behind Avg is exact (ExactSum), so the result does not depend on row
+/// order — the columnar engine computes the bit-identical value.
 Result<ExecResult> ExecuteNonAdditive(
     AggKind agg, const engine::Dataset<ProvRow>& data,
     const std::function<double(const Row&)>& weight_of) {
   ExecResult result;
-  double sum = 0.0;
+  ExactSum sum;
   double mn = std::numeric_limits<double>::infinity();
   double mx = -std::numeric_limits<double>::infinity();
   for (size_t p = 0; p < data.NumPartitions(); ++p) {
     for (const ProvRow& r : data.partition(p)) {
       double w = weight_of(r.row);
-      sum += w;
+      sum.Add(w);
       mn = std::min(mn, w);
       mx = std::max(mx, w);
       ++result.result_rows;
@@ -269,7 +266,7 @@ Result<ExecResult> ExecuteNonAdditive(
   }
   switch (agg) {
     case AggKind::kAvg:
-      result.output = sum / static_cast<double>(result.result_rows);
+      result.output = sum.Round() / static_cast<double>(result.result_rows);
       break;
     case AggKind::kMin:
       result.output = mn;
@@ -314,6 +311,10 @@ Result<ExecResult> PlanExecutor::Execute(const PlanPtr& plan,
     }
   }
 
+  if (options.engine == ExecEngine::kColumnar) {
+    return ExecuteColumnar(ctx_, catalog_, plan, options);
+  }
+
   Evaluator evaluator(ctx_, catalog_, options);
   Result<Rel> rel = evaluator.Eval(plan->left);
   if (!rel.ok()) return rel.status();
@@ -339,21 +340,32 @@ Result<ExecResult> PlanExecutor::Execute(const PlanPtr& plan,
     return ExecuteNonAdditive(plan->agg, rel.value().data, weight_of);
   }
 
-  // Weighted provenance pairs, reduced sequentially in deterministic
-  // partition order (bitwise-stable partition outputs are what the RANGE
-  // ENFORCER's equality comparisons rely on).
+  // Weighted provenance pairs. Every accumulation below goes through
+  // ExactSum, whose result is independent of addition order — so the
+  // output, the per-record contributions and the per-partition outputs are
+  // bit-identical across engine partitionings AND bit-identical to the
+  // columnar engine (the differential harness asserts both).
   auto weighted = rel.value().data.Map([weight_of](const ProvRow& r) {
     return std::pair<double, size_t>{weight_of(r.row), r.prov};
   });
 
   ExecResult result;
+  ExactSum output_sum;
+  std::unordered_map<size_t, ExactSum> contrib;
   for (size_t p = 0; p < weighted.NumPartitions(); ++p) {
     for (const auto& [w, prov] : weighted.partition(p)) {
-      result.output += w;
+      output_sum.Add(w);
       ++result.result_rows;
       if (options.track_contributions && prov != kNoProv) {
-        result.contributions[prov] += w;
+        contrib[prov].Add(w);
       }
+    }
+  }
+  result.output = output_sum.Round();
+  if (options.track_contributions) {
+    result.contributions.reserve(contrib.size());
+    for (const auto& [prov, sum] : contrib) {
+      result.contributions[prov] = sum.Round();
     }
   }
 
@@ -365,10 +377,10 @@ Result<ExecResult> PlanExecutor::Execute(const PlanPtr& plan,
     const size_t parts = options.partitions;
     // Rows with no private provenance count toward every partition (they
     // are unaffected by any private record); summed once, added to all.
-    double base = 0.0;
+    ExactSum base;
     for (size_t p = 0; p < weighted.NumPartitions(); ++p) {
       for (const auto& [w, prov] : weighted.partition(p)) {
-        if (prov == kNoProv) base += w;
+        if (prov == kNoProv) base.Add(w);
       }
     }
     // Map-side projection before the exchange (Spark prunes columns the
@@ -383,11 +395,17 @@ Result<ExecResult> PlanExecutor::Execute(const PlanPtr& plan,
                                                         wp.first};
                      });
     auto shuffled = engine::ShuffleByKey(keyed, parts);
-    result.partition_outputs.assign(parts, base);
+    std::vector<ExactSum> pid_sums(parts);
     for (size_t p = 0; p < shuffled.NumPartitions(); ++p) {
       for (const auto& [pid, w] : shuffled.partition(p)) {
-        result.partition_outputs[pid] += w;
+        pid_sums[pid].Add(w);
       }
+    }
+    result.partition_outputs.resize(parts);
+    for (size_t pid = 0; pid < parts; ++pid) {
+      ExactSum t = base;
+      t.Merge(pid_sums[pid]);
+      result.partition_outputs[pid] = t.Round();
     }
   }
   return result;

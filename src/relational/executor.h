@@ -24,7 +24,20 @@
 
 namespace upa::rel {
 
+/// Which physical engine evaluates the plan.
+///   kColumnar — vectorized batch kernels over columnar storage with late
+///     materialization (relational/columnar.h). The default: this is the
+///     hot path UPA's three-executions-per-run cost structure rides on.
+///   kRowOracle — the original row-at-a-time interpreter, kept as the
+///     correctness oracle. Both engines aggregate through exact
+///     (correctly-rounded) summation, so they agree bit-for-bit on every
+///     output — asserted by tests/relational_columnar_test.cpp.
+enum class ExecEngine { kRowOracle, kColumnar };
+
 struct ExecOptions {
+  /// Physical engine. Results are bit-identical either way; the columnar
+  /// engine is simply much faster.
+  ExecEngine engine = ExecEngine::kColumnar;
   /// Table whose rows are the privacy unit. Empty → no provenance.
   /// The table must be scanned at most once in the plan.
   std::string private_table;

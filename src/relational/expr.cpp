@@ -197,4 +197,54 @@ std::function<double(const Row&)> BindNumeric(const ExprPtr& expr,
   return [bound](const Row& row) { return AsNumeric(bound(row)); };
 }
 
+bool ExprColumnsExist(const ExprPtr& expr, const Schema& schema) {
+  if (expr == nullptr) return true;
+  if (expr->kind() == Expr::Kind::kColumn) {
+    return schema.Has(expr->column_name());
+  }
+  return ExprColumnsExist(expr->lhs(), schema) &&
+         ExprColumnsExist(expr->rhs(), schema);
+}
+
+namespace {
+
+uint64_t ValueFingerprint(const Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    return Mix64(0x1a7'0000ULL ^ static_cast<uint64_t>(*i));
+  }
+  if (const double* d = std::get_if<double>(&v)) {
+    uint64_t bits;
+    __builtin_memcpy(&bits, d, sizeof(bits));
+    return Mix64(0xd0b'0000ULL ^ bits);
+  }
+  return Mix64(0x57e'0000ULL ^ Fnv1a(std::get<std::string>(v)));
+}
+
+}  // namespace
+
+uint64_t ExprFingerprint(const ExprPtr& expr) {
+  if (expr == nullptr) return 0x90f1'90f1ULL;
+  uint64_t h = Mix64(0xe00'0000ULL + static_cast<uint64_t>(expr->kind()));
+  switch (expr->kind()) {
+    case Expr::Kind::kColumn:
+      return HashCombine(h, Fnv1a(expr->column_name()));
+    case Expr::Kind::kLiteral:
+      return HashCombine(h, ValueFingerprint(expr->literal()));
+    case Expr::Kind::kBinary:
+      h = HashCombine(h, static_cast<uint64_t>(expr->op()));
+      h = HashCombine(h, ExprFingerprint(expr->lhs()));
+      return HashCombine(h, ExprFingerprint(expr->rhs()));
+    case Expr::Kind::kNot:
+      return HashCombine(h, ExprFingerprint(expr->lhs()));
+    case Expr::Kind::kInSet: {
+      h = HashCombine(h, ExprFingerprint(expr->lhs()));
+      for (const Value& v : expr->set()) {
+        h = HashCombine(h, ValueFingerprint(v));
+      }
+      return h;
+    }
+  }
+  return h;
+}
+
 }  // namespace upa::rel

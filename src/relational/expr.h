@@ -85,6 +85,17 @@ std::function<bool(const Row&)> BindPredicate(const ExprPtr& expr,
 std::function<double(const Row&)> BindNumeric(const ExprPtr& expr,
                                               const Schema& schema);
 
+/// True if every column the expression references exists in the schema
+/// (nullptr expressions trivially qualify).
+bool ExprColumnsExist(const ExprPtr& expr, const Schema& schema);
+
+/// Structural fingerprint: kind, operators, column names and *exact*
+/// literal bit patterns (not the lossy ToString rendering). Structurally
+/// equal trees always collide; unequal literals never do. Used for
+/// plan-cache keys, where pointer identity is unsafe (a freed-and-
+/// reallocated Expr could alias a stale entry).
+uint64_t ExprFingerprint(const ExprPtr& expr);
+
 // -- Terse builder helpers (the query-definition DSL) ----------------------
 inline ExprPtr Col(std::string name) { return Expr::Column(std::move(name)); }
 inline ExprPtr Lit(int64_t v) { return Expr::Literal(Value{v}); }

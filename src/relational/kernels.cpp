@@ -1,0 +1,538 @@
+#include "relational/kernels.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace upa::rel {
+
+namespace {
+
+// -- Sorted selection-vector algebra ---------------------------------------
+
+/// Appends sel[0..n) ∖ sub to out (both strictly increasing).
+void AppendDifference(const uint32_t* sel, size_t n, const SelVector& sub,
+                      SelVector& out) {
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (j < sub.size() && sub[j] == sel[i]) {
+      ++j;
+    } else {
+      out.push_back(sel[i]);
+    }
+  }
+}
+
+/// Appends merge(a, b) to out (disjoint, strictly increasing inputs).
+void AppendMerge(const SelVector& a, const SelVector& b, SelVector& out) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    out.push_back(a[i] < b[j] ? a[i++] : b[j++]);
+  }
+  out.insert(out.end(), a.begin() + i, a.end());
+  out.insert(out.end(), b.begin() + j, b.end());
+}
+
+// -- Compilation -----------------------------------------------------------
+
+BinOp MirrorOp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Pre-resolves the string literal on e.rhs against the dictionary of the
+/// column on e.lhs: [lit_lb, lit_ub) is the code range equal to the
+/// literal (the dictionary is sorted and duplicate-free, so the range has
+/// size 0 or 1 and code-vs-threshold comparisons implement every operator).
+void ResolveStringLiteral(CompiledExpr& e,
+                          const std::vector<const Column*>& columns) {
+  const std::vector<std::string>& dict = *columns[e.lhs->col_pos]->dict;
+  auto lb = std::lower_bound(dict.begin(), dict.end(), e.rhs->str_lit);
+  auto ub = std::upper_bound(dict.begin(), dict.end(), e.rhs->str_lit);
+  e.lit_lb = static_cast<uint32_t>(lb - dict.begin());
+  e.lit_ub = static_cast<uint32_t>(ub - dict.begin());
+}
+
+int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+}  // namespace
+
+CompiledExpr CompileExpr(const ExprPtr& expr, const Schema& schema,
+                         const std::vector<const Column*>& columns) {
+  UPA_CHECK(expr != nullptr);
+  CompiledExpr out;
+  out.kind = expr->kind();
+  switch (expr->kind()) {
+    case Expr::Kind::kColumn: {
+      out.col_pos = static_cast<uint32_t>(schema.IndexOf(expr->column_name()));
+      out.col_type = columns[out.col_pos]->type;
+      out.is_string = out.col_type == ValueType::kString;
+      return out;
+    }
+    case Expr::Kind::kLiteral: {
+      const Value& v = expr->literal();
+      if (IsNumeric(v)) {
+        out.num_lit = AsNumeric(v);
+      } else {
+        out.is_string = true;
+        out.str_lit = std::get<std::string>(v);
+      }
+      return out;
+    }
+    case Expr::Kind::kBinary: {
+      out.op = expr->op();
+      out.lhs = std::make_unique<CompiledExpr>(
+          CompileExpr(expr->lhs(), schema, columns));
+      out.rhs = std::make_unique<CompiledExpr>(
+          CompileExpr(expr->rhs(), schema, columns));
+      if (IsComparison(out.op)) {
+        bool ls = out.lhs->is_string, rs = out.rhs->is_string;
+        if (ls && rs) {
+          out.str_cmp = true;
+          bool lc = out.lhs->kind == Expr::Kind::kColumn;
+          bool rc = out.rhs->kind == Expr::Kind::kColumn;
+          if (lc && rc) {
+            out.str_form = CompiledExpr::StrForm::kColCol;
+          } else if (lc) {
+            out.str_form = CompiledExpr::StrForm::kColLit;
+            ResolveStringLiteral(out, columns);
+          } else if (rc) {
+            // Normalize "lit op col" to "col MirrorOp(op) lit".
+            std::swap(out.lhs, out.rhs);
+            out.op = MirrorOp(out.op);
+            out.str_form = CompiledExpr::StrForm::kColLit;
+            ResolveStringLiteral(out, columns);
+          } else {
+            out.str_form = CompiledExpr::StrForm::kLitLit;
+            out.lit_cmp = Sign(out.lhs->str_lit.compare(out.rhs->str_lit));
+          }
+        } else if (ls != rs) {
+          // ValueEquals(string, numeric) is false (kEq/kNe), while ordered
+          // comparison aborts — both decided per batch at eval time.
+          out.mixed_cmp = true;
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::kNot: {
+      out.lhs = std::make_unique<CompiledExpr>(
+          CompileExpr(expr->lhs(), schema, columns));
+      return out;
+    }
+    case Expr::Kind::kInSet: {
+      out.lhs = std::make_unique<CompiledExpr>(
+          CompileExpr(expr->lhs(), schema, columns));
+      if (out.lhs->is_string && out.lhs->kind == Expr::Kind::kColumn) {
+        const std::vector<std::string>& dict =
+            *columns[out.lhs->col_pos]->dict;
+        for (const Value& v : expr->set()) {
+          if (IsNumeric(v)) continue;  // string != numeric, never matches
+          const std::string& s = std::get<std::string>(v);
+          auto it = std::lower_bound(dict.begin(), dict.end(), s);
+          if (it != dict.end() && *it == s) {
+            out.code_set.push_back(static_cast<uint32_t>(it - dict.begin()));
+          }
+        }
+      } else if (out.lhs->is_string) {  // string literal lhs: constant
+        for (const Value& v : expr->set()) {
+          if (!IsNumeric(v) && std::get<std::string>(v) == out.lhs->str_lit) {
+            out.lit_in_set = true;
+            break;
+          }
+        }
+      } else {
+        for (const Value& v : expr->set()) {
+          if (IsNumeric(v)) out.num_set.push_back(AsNumeric(v));
+        }
+      }
+      return out;
+    }
+  }
+  UPA_CHECK_MSG(false, "unknown expr kind");
+  return out;
+}
+
+namespace {
+
+// -- Evaluation ------------------------------------------------------------
+
+// Comparison formulas are spelled exactly as Compare()'s three-way result
+// implies (lt: x<y, le: !(x>y), ge: !(x<y), eq: !(x<y)&&!(x>y)), so NaN
+// behaves identically to the row oracle: Compare(NaN, y) == 0, i.e. NaN
+// compares "equal" to everything numeric.
+#define UPA_NUM_CMP_LOOP(COND)                    \
+  for (size_t i = 0; i < n; ++i) {                \
+    double x = gx(i), y = gy(i);                  \
+    (void)x;                                      \
+    (void)y;                                      \
+    if (COND) out.push_back(sel[i]);              \
+  }
+
+template <typename GetX, typename GetY>
+void NumCmpFilter(BinOp op, const uint32_t* sel, size_t n, SelVector& out,
+                  GetX gx, GetY gy) {
+  switch (op) {
+    case BinOp::kLt: UPA_NUM_CMP_LOOP(x < y) break;
+    case BinOp::kLe: UPA_NUM_CMP_LOOP(!(x > y)) break;
+    case BinOp::kGt: UPA_NUM_CMP_LOOP(x > y) break;
+    case BinOp::kGe: UPA_NUM_CMP_LOOP(!(x < y)) break;
+    case BinOp::kEq: UPA_NUM_CMP_LOOP(!(x < y) && !(x > y)) break;
+    default: UPA_NUM_CMP_LOOP((x < y) || (x > y)) break;  // kNe
+  }
+}
+
+#undef UPA_NUM_CMP_LOOP
+
+/// Three-way result `c` (already computed) against zero, per operator —
+/// the string comparison form.
+bool CmpSignSatisfies(BinOp op, int c) {
+  switch (op) {
+    case BinOp::kLt: return c < 0;
+    case BinOp::kLe: return c <= 0;
+    case BinOp::kGt: return c > 0;
+    case BinOp::kGe: return c >= 0;
+    case BinOp::kEq: return c == 0;
+    default: return c != 0;  // kNe
+  }
+}
+
+void StringCmpFilter(const CompiledExpr& e, const BatchInput& in,
+                     const uint32_t* sel, size_t n, SelVector& out) {
+  switch (e.str_form) {
+    case CompiledExpr::StrForm::kLitLit: {
+      if (CmpSignSatisfies(e.op, e.lit_cmp)) out.insert(out.end(), sel, sel + n);
+      return;
+    }
+    case CompiledExpr::StrForm::kColLit: {
+      const BoundColumn& bc = in[e.lhs->col_pos];
+      const uint32_t* codes = bc.column->codes.data();
+      const uint32_t* ids = bc.row_ids;
+      const uint32_t lb = e.lit_lb, ub = e.lit_ub;
+      const bool found = lb < ub;
+      switch (e.op) {
+        case BinOp::kLt:
+          for (size_t i = 0; i < n; ++i)
+            if (codes[ids[sel[i]]] < lb) out.push_back(sel[i]);
+          return;
+        case BinOp::kLe:
+          for (size_t i = 0; i < n; ++i)
+            if (codes[ids[sel[i]]] < ub) out.push_back(sel[i]);
+          return;
+        case BinOp::kGt:
+          for (size_t i = 0; i < n; ++i)
+            if (codes[ids[sel[i]]] >= ub) out.push_back(sel[i]);
+          return;
+        case BinOp::kGe:
+          for (size_t i = 0; i < n; ++i)
+            if (codes[ids[sel[i]]] >= lb) out.push_back(sel[i]);
+          return;
+        case BinOp::kEq:
+          if (!found) return;
+          for (size_t i = 0; i < n; ++i)
+            if (codes[ids[sel[i]]] == lb) out.push_back(sel[i]);
+          return;
+        default:  // kNe
+          if (!found) {
+            out.insert(out.end(), sel, sel + n);
+            return;
+          }
+          for (size_t i = 0; i < n; ++i)
+            if (codes[ids[sel[i]]] != lb) out.push_back(sel[i]);
+          return;
+      }
+    }
+    case CompiledExpr::StrForm::kColCol: {
+      const BoundColumn& lc = in[e.lhs->col_pos];
+      const BoundColumn& rc = in[e.rhs->col_pos];
+      if (lc.column->dict == rc.column->dict) {
+        // Shared dictionary: code order == string order.
+        for (size_t i = 0; i < n; ++i) {
+          uint32_t p = sel[i];
+          uint32_t a = lc.column->codes[lc.row_ids[p]];
+          uint32_t b = rc.column->codes[rc.row_ids[p]];
+          int c = a < b ? -1 : (a > b ? 1 : 0);
+          if (CmpSignSatisfies(e.op, c)) out.push_back(p);
+        }
+        return;
+      }
+      const std::vector<std::string>& ld = *lc.column->dict;
+      const std::vector<std::string>& rd = *rc.column->dict;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = sel[i];
+        int c = Sign(ld[lc.column->codes[lc.row_ids[p]]].compare(
+            rd[rc.column->codes[rc.row_ids[p]]]));
+        if (CmpSignSatisfies(e.op, c)) out.push_back(p);
+      }
+      return;
+    }
+  }
+}
+
+void CmpFilter(const CompiledExpr& e, const BatchInput& in,
+               const uint32_t* sel, size_t n, SelVector& out) {
+  if (e.mixed_cmp) {
+    if (n == 0) return;
+    if (e.op == BinOp::kEq) return;  // ValueEquals across types: false
+    if (e.op == BinOp::kNe) {       // ... so != is uniformly true
+      out.insert(out.end(), sel, sel + n);
+      return;
+    }
+    UPA_CHECK_MSG(false, "cannot compare string with numeric");
+  }
+  if (e.str_cmp) {
+    StringCmpFilter(e, in, sel, n, out);
+    return;
+  }
+
+  const CompiledExpr& l = *e.lhs;
+  const CompiledExpr& r = *e.rhs;
+  // Fast paths for the dominant column-vs-literal shape (either side).
+  auto col_lit = [&](const CompiledExpr& c, double lit, BinOp op) {
+    const BoundColumn& bc = in[c.col_pos];
+    const uint32_t* ids = bc.row_ids;
+    if (c.col_type == ValueType::kInt) {
+      const int64_t* vals = bc.column->ints.data();
+      NumCmpFilter(
+          op, sel, n, out,
+          [&](size_t i) { return static_cast<double>(vals[ids[sel[i]]]); },
+          [&](size_t) { return lit; });
+    } else {
+      const double* vals = bc.column->doubles.data();
+      NumCmpFilter(
+          op, sel, n, out, [&](size_t i) { return vals[ids[sel[i]]]; },
+          [&](size_t) { return lit; });
+    }
+  };
+  if (l.kind == Expr::Kind::kColumn && r.kind == Expr::Kind::kLiteral) {
+    col_lit(l, r.num_lit, e.op);
+    return;
+  }
+  if (l.kind == Expr::Kind::kLiteral && r.kind == Expr::Kind::kColumn) {
+    col_lit(r, l.num_lit, MirrorOp(e.op));
+    return;
+  }
+  // General case: materialize both sides, then compare.
+  std::vector<double> lbuf(n), rbuf(n);
+  ProjectKernel(l, in, sel, n, lbuf.data());
+  ProjectKernel(r, in, sel, n, rbuf.data());
+  NumCmpFilter(
+      e.op, sel, n, out, [&](size_t i) { return lbuf[i]; },
+      [&](size_t i) { return rbuf[i]; });
+}
+
+void InSetFilter(const CompiledExpr& e, const BatchInput& in,
+                 const uint32_t* sel, size_t n, SelVector& out) {
+  const CompiledExpr& l = *e.lhs;
+  if (l.is_string && l.kind == Expr::Kind::kColumn) {
+    if (e.code_set.empty()) return;
+    const BoundColumn& bc = in[l.col_pos];
+    const uint32_t* codes = bc.column->codes.data();
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t code = codes[bc.row_ids[sel[i]]];
+      for (uint32_t c : e.code_set) {
+        if (c == code) {
+          out.push_back(sel[i]);
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (l.is_string) {  // string literal lhs: constant membership
+    if (e.lit_in_set) out.insert(out.end(), sel, sel + n);
+    return;
+  }
+  if (e.num_set.empty() || n == 0) {
+    // The interpreter still evaluates lhs per row even when no set element
+    // can match, so lhs-side aborts (division by zero, ...) must fire.
+    if (n > 0) {
+      std::vector<double> buf(n);
+      ProjectKernel(l, in, sel, n, buf.data());
+    }
+    return;
+  }
+  std::vector<double> buf(n);
+  ProjectKernel(l, in, sel, n, buf.data());
+  for (size_t i = 0; i < n; ++i) {
+    double v = buf[i];
+    for (double s : e.num_set) {
+      if (!(v < s) && !(v > s)) {  // Compare(v, s) == 0 (NaN matches all)
+        out.push_back(sel[i]);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FilterKernel(const CompiledExpr& e, const BatchInput& in,
+                  const uint32_t* sel, size_t n, SelVector& out) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral: {
+      if (n == 0) return;
+      UPA_CHECK_MSG(!e.is_string, "predicate evaluated to a string");
+      if (e.num_lit != 0.0) out.insert(out.end(), sel, sel + n);
+      return;
+    }
+    case Expr::Kind::kColumn: {
+      if (n == 0) return;
+      UPA_CHECK_MSG(!e.is_string, "predicate evaluated to a string");
+      const BoundColumn& bc = in[e.col_pos];
+      const uint32_t* ids = bc.row_ids;
+      if (e.col_type == ValueType::kInt) {
+        const int64_t* vals = bc.column->ints.data();
+        for (size_t i = 0; i < n; ++i)
+          if (vals[ids[sel[i]]] != 0) out.push_back(sel[i]);
+      } else {
+        const double* vals = bc.column->doubles.data();
+        for (size_t i = 0; i < n; ++i)
+          if (vals[ids[sel[i]]] != 0.0) out.push_back(sel[i]);
+      }
+      return;
+    }
+    case Expr::Kind::kNot: {
+      SelVector inner;
+      FilterKernel(*e.lhs, in, sel, n, inner);
+      AppendDifference(sel, n, inner, out);
+      return;
+    }
+    case Expr::Kind::kInSet:
+      InSetFilter(e, in, sel, n, out);
+      return;
+    case Expr::Kind::kBinary:
+      break;
+  }
+  switch (e.op) {
+    case BinOp::kAnd: {
+      // Row-oracle short circuit: rhs only sees rows where lhs is true.
+      SelVector tmp;
+      FilterKernel(*e.lhs, in, sel, n, tmp);
+      FilterKernel(*e.rhs, in, tmp.data(), tmp.size(), out);
+      return;
+    }
+    case BinOp::kOr: {
+      // rhs only sees rows where lhs is false.
+      SelVector t1, rest, t2;
+      FilterKernel(*e.lhs, in, sel, n, t1);
+      AppendDifference(sel, n, t1, rest);
+      FilterKernel(*e.rhs, in, rest.data(), rest.size(), t2);
+      AppendMerge(t1, t2, out);
+      return;
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      // Arithmetic result in a boolean context: truthy iff != 0.0 (NaN is
+      // truthy, matching AsNumeric(v) != 0.0).
+      std::vector<double> buf(n);
+      ProjectKernel(e, in, sel, n, buf.data());
+      for (size_t i = 0; i < n; ++i)
+        if (buf[i] != 0.0) out.push_back(sel[i]);
+      return;
+    }
+    default:
+      CmpFilter(e, in, sel, n, out);
+      return;
+  }
+}
+
+void ProjectKernel(const CompiledExpr& e, const BatchInput& in,
+                   const uint32_t* sel, size_t n, double* out) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral: {
+      if (n == 0) return;
+      UPA_CHECK_MSG(!e.is_string, "Value is not numeric");
+      for (size_t i = 0; i < n; ++i) out[i] = e.num_lit;
+      return;
+    }
+    case Expr::Kind::kColumn: {
+      if (n == 0) return;
+      UPA_CHECK_MSG(!e.is_string, "Value is not numeric");
+      const BoundColumn& bc = in[e.col_pos];
+      const uint32_t* ids = bc.row_ids;
+      if (e.col_type == ValueType::kInt) {
+        const int64_t* vals = bc.column->ints.data();
+        for (size_t i = 0; i < n; ++i)
+          out[i] = static_cast<double>(vals[ids[sel[i]]]);
+      } else {
+        const double* vals = bc.column->doubles.data();
+        for (size_t i = 0; i < n; ++i) out[i] = vals[ids[sel[i]]];
+      }
+      return;
+    }
+    case Expr::Kind::kBinary: {
+      switch (e.op) {
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv: {
+          std::vector<double> rbuf(n);
+          ProjectKernel(*e.lhs, in, sel, n, out);
+          ProjectKernel(*e.rhs, in, sel, n, rbuf.data());
+          switch (e.op) {
+            case BinOp::kAdd:
+              for (size_t i = 0; i < n; ++i) out[i] += rbuf[i];
+              return;
+            case BinOp::kSub:
+              for (size_t i = 0; i < n; ++i) out[i] -= rbuf[i];
+              return;
+            case BinOp::kMul:
+              for (size_t i = 0; i < n; ++i) out[i] *= rbuf[i];
+              return;
+            default:
+              for (size_t i = 0; i < n; ++i) {
+                UPA_CHECK_MSG(rbuf[i] != 0.0, "division by zero in expression");
+                out[i] /= rbuf[i];
+              }
+              return;
+          }
+        }
+        default:
+          break;  // comparison / AND / OR: boolean, handled below
+      }
+      break;
+    }
+    case Expr::Kind::kNot:
+    case Expr::Kind::kInSet:
+      break;  // boolean, handled below
+  }
+  // Boolean expression in a numeric context: 1.0 where truthy, else 0.0
+  // (the interpreter returns int64 0/1; AsNumeric makes that 0.0/1.0).
+  SelVector hits;
+  FilterKernel(e, in, sel, n, hits);
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (j < hits.size() && hits[j] == sel[i]) {
+      out[i] = 1.0;
+      ++j;
+    } else {
+      out[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace upa::rel

@@ -1,0 +1,90 @@
+// Batch expression kernels for the columnar engine.
+//
+// CompileExpr turns an Expr tree into a CompiledExpr: column names are
+// resolved to schema positions once, string literals are pre-resolved to
+// dictionary-code thresholds (the dictionary is sorted, so `col < "lit"`
+// becomes an integer comparison against lower_bound("lit")), and literal
+// numerics are pre-converted to double. Kernel inner loops then touch only
+// typed arrays — no name lookups, no variants, no std::function.
+//
+// Evaluation semantics replicate the row interpreter *exactly*, including
+// its abort behaviour: arithmetic is double-precision (int cells promote
+// like AsNumeric), comparisons follow Value Compare/ValueEquals (numerics
+// compare as double; 1 == 1.0), AND/OR short-circuit per row via selection
+// vectors (the rhs is only evaluated on rows surviving/failing the lhs, so
+// a guarded division-by-zero never fires), and type errors abort with the
+// row path's messages — but only when at least one row is actually
+// evaluated, mirroring the interpreter's laziness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/columnar.h"
+#include "relational/expr.h"
+#include "relational/schema.h"
+
+namespace upa::rel {
+
+/// One column of a vectorized relation: the physical column plus the
+/// row-index vector mapping relation positions to physical rows.
+struct BoundColumn {
+  const Column* column = nullptr;
+  const uint32_t* row_ids = nullptr;
+};
+
+/// Schema-position-aligned column bindings for one relation.
+using BatchInput = std::vector<BoundColumn>;
+
+/// A compiled expression node (tree mirroring the Expr tree).
+struct CompiledExpr {
+  Expr::Kind kind = Expr::Kind::kLiteral;
+  BinOp op = BinOp::kAdd;
+  /// Value category: string expressions are only columns or literals.
+  bool is_string = false;
+
+  // kColumn
+  uint32_t col_pos = 0;
+  ValueType col_type = ValueType::kInt;
+
+  // kLiteral (numeric literals pre-converted like AsNumeric would)
+  double num_lit = 0.0;
+  std::string str_lit;
+
+  // kBinary comparison over strings
+  bool str_cmp = false;        // both operands are strings
+  bool mixed_cmp = false;      // one string, one numeric → abort on eval
+  // After compilation the literal (if any) is always on the rhs (the op is
+  // mirrored when swapping), so only two string forms remain:
+  enum class StrForm { kColCol, kColLit, kLitLit };
+  StrForm str_form = StrForm::kColCol;
+  uint32_t lit_lb = 0;         // lower_bound(str_lit) in lhs column's dict
+  uint32_t lit_ub = 0;         // upper_bound(str_lit); found ⇔ lb < ub
+  int lit_cmp = 0;             // kLitLit: sign of compare(lhs, rhs)
+
+  // kInSet
+  std::vector<double> num_set;      // numeric elements (numeric lhs)
+  std::vector<uint32_t> code_set;   // string elements as lhs-dict codes
+  bool lit_in_set = false;          // kInSet over a string literal lhs
+
+  std::unique_ptr<CompiledExpr> lhs, rhs;
+};
+
+/// Compiles `expr` against a relation whose schema positions map to the
+/// physical columns in `columns` (for dictionary access). Aborts on
+/// unknown column names, like Bind().
+CompiledExpr CompileExpr(const ExprPtr& expr, const Schema& schema,
+                         const std::vector<const Column*>& columns);
+
+/// Appends to `out` the positions from sel[0..n) where `e` is truthy,
+/// preserving order (sel must be strictly increasing; out stays sorted).
+void FilterKernel(const CompiledExpr& e, const BatchInput& in,
+                  const uint32_t* sel, size_t n, SelVector& out);
+
+/// out[i] = numeric value of `e` at position sel[i], for i in [0, n).
+/// Boolean sub-expressions yield 0.0/1.0 exactly like the interpreter.
+void ProjectKernel(const CompiledExpr& e, const BatchInput& in,
+                   const uint32_t* sel, size_t n, double* out);
+
+}  // namespace upa::rel

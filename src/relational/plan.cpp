@@ -127,6 +127,12 @@ PlanStats AnalyzePlan(const PlanPtr& plan) {
   return stats;
 }
 
+size_t CountScansOf(const PlanPtr& plan, const std::string& table) {
+  if (plan == nullptr) return 0;
+  size_t n = plan->kind == PlanKind::kScan && plan->table == table ? 1 : 0;
+  return n + CountScansOf(plan->left, table) + CountScansOf(plan->right, table);
+}
+
 std::string PlanToString(const PlanPtr& plan) {
   UPA_CHECK(plan != nullptr);
   switch (plan->kind) {
@@ -152,6 +158,34 @@ std::string PlanToString(const PlanPtr& plan) {
     }
   }
   return "?";
+}
+
+uint64_t PlanFingerprint(const PlanPtr& plan, const Catalog& catalog) {
+  if (plan == nullptr) return 0x9a71'9a71ULL;
+  uint64_t h = Mix64(0x91a'0000ULL + static_cast<uint64_t>(plan->kind));
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      h = HashCombine(h, Fnv1a(plan->table));
+      auto it = catalog.find(plan->table);
+      if (it != catalog.end() && it->second != nullptr) {
+        h = HashCombine(h, Mix64(it->second->uid()));
+      }
+      return h;
+    }
+    case PlanKind::kFilter:
+      h = HashCombine(h, ExprFingerprint(plan->predicate));
+      return HashCombine(h, PlanFingerprint(plan->left, catalog));
+    case PlanKind::kJoin:
+      h = HashCombine(h, Fnv1a(plan->left_key));
+      h = HashCombine(h, Fnv1a(plan->right_key));
+      h = HashCombine(h, PlanFingerprint(plan->left, catalog));
+      return HashCombine(h, PlanFingerprint(plan->right, catalog));
+    case PlanKind::kAggregate:
+      h = HashCombine(h, static_cast<uint64_t>(plan->agg));
+      h = HashCombine(h, ExprFingerprint(plan->agg_expr));
+      return HashCombine(h, PlanFingerprint(plan->left, catalog));
+  }
+  return h;
 }
 
 std::string OwningTable(const PlanPtr& plan, const std::string& column,

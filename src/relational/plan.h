@@ -69,9 +69,23 @@ struct PlanStats {
 
 PlanStats AnalyzePlan(const PlanPtr& plan);
 
+/// Number of Scan nodes of `table` under `plan` (nullptr → 0). Both engines
+/// use this to validate the single-private-scan invariant and to decide
+/// which subtrees are fully public (and therefore cacheable).
+size_t CountScansOf(const PlanPtr& plan, const std::string& table);
+
 /// One-line plan rendering, e.g.
 /// "Count(Join(Filter(Scan(orders)), Scan(lineitem), o_orderkey=l_orderkey))"
 std::string PlanToString(const PlanPtr& plan);
+
+/// Structural fingerprint of a plan against a catalog: node kinds,
+/// predicate/aggregate expressions (exact literal bits), join keys, and —
+/// for scans — the *uid* of the resolved table. Keying caches on this
+/// instead of PlanNode*/Table* addresses means a freed-and-reallocated
+/// plan or table can never silently hit a stale entry (the address may be
+/// recycled; a uid never is). Tables missing from the catalog hash by
+/// name; execution fails on them before any cache is consulted.
+uint64_t PlanFingerprint(const PlanPtr& plan, const Catalog& catalog);
 
 /// The table each join column belongs to is resolved structurally: the key
 /// of a join side must come from a Scan under that side. Returns the table

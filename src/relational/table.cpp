@@ -1,25 +1,56 @@
 #include "relational/table.h"
 
+#include <atomic>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "relational/columnar.h"
 
 namespace upa::rel {
+
+namespace {
+std::atomic<uint64_t> g_next_table_uid{1};
+}  // namespace
 
 Table::Table(std::string name, Schema schema, std::vector<Row> rows)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      rows_(std::move(rows)) {
+      rows_(std::move(rows)),
+      uid_(g_next_table_uid.fetch_add(1, std::memory_order_relaxed)) {
   for (const Row& row : rows_) {
     UPA_CHECK_MSG(row.size() == schema_.NumColumns(),
                   "row arity mismatch in table " + name_);
   }
 }
 
-const Table::ColumnStats& Table::StatsFor(const std::string& column) const {
-  auto it = stats_cache_.find(column);
-  if (it != stats_cache_.end()) return it->second;
+Table::Table(const Table& other)
+    : name_(other.name_),
+      schema_(other.schema_),
+      rows_(other.rows_),
+      uid_(other.uid_) {
+  std::lock_guard lock(other.cache_mu_);
+  stats_cache_ = other.stats_cache_;
+  columnar_ = other.columnar_;
+}
 
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      uid_(other.uid_),
+      stats_cache_(std::move(other.stats_cache_)),
+      columnar_(std::move(other.columnar_)) {}
+
+Table::ColumnStats Table::StatsFor(const std::string& column) const {
+  {
+    std::lock_guard lock(cache_mu_);
+    auto it = stats_cache_.find(column);
+    if (it != stats_cache_.end()) return it->second;
+  }
+
+  // Compute outside the lock (two racing threads may both compute; the
+  // result is deterministic so whichever insert wins stores the same
+  // value). rows_ and schema_ are immutable after construction.
   size_t idx = schema_.IndexOf(column);
   std::unordered_map<Value, size_t, ValueHash, ValueEq> freq;
   freq.reserve(rows_.size());
@@ -30,6 +61,8 @@ const Table::ColumnStats& Table::StatsFor(const std::string& column) const {
   for (const auto& [value, count] : freq) {
     stats.max_frequency = std::max(stats.max_frequency, count);
   }
+
+  std::lock_guard lock(cache_mu_);
   return stats_cache_.emplace(column, stats).first->second;
 }
 
@@ -39,6 +72,18 @@ size_t Table::MaxFrequency(const std::string& column) const {
 
 size_t Table::DistinctCount(const std::string& column) const {
   return StatsFor(column).distinct;
+}
+
+std::shared_ptr<const ColumnarTable> Table::Columnar() const {
+  {
+    std::lock_guard lock(cache_mu_);
+    if (columnar_ != nullptr) return columnar_;
+  }
+  std::shared_ptr<const ColumnarTable> built =
+      ColumnarTable::Build(schema_, rows_);
+  std::lock_guard lock(cache_mu_);
+  if (columnar_ == nullptr) columnar_ = std::move(built);
+  return columnar_;
 }
 
 }  // namespace upa::rel

@@ -1,9 +1,11 @@
 // Table: a named, schema'd row store plus the column statistics FLEX's
-// static analysis consumes (max join-key frequency per column).
+// static analysis consumes (max join-key frequency per column), and the
+// lazily-built columnar representation the vectorized engine executes on.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,34 +13,60 @@
 
 namespace upa::rel {
 
+class ColumnarTable;
+
 class Table {
  public:
   Table(std::string name, Schema schema, std::vector<Row> rows);
+
+  // Copies/moves carry the caches but get a fresh mutex (a mutex is not
+  // movable). Tables are immutable, so a copy keeps the source's uid: the
+  // uid's only job is to never alias *different* data.
+  Table(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(const Table&) = delete;
+  Table& operator=(Table&&) = delete;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   const std::vector<Row>& rows() const { return rows_; }
   size_t NumRows() const { return rows_.size(); }
 
+  /// Process-unique identity, never reused. Cache keys use this instead of
+  /// the Table* address: an address can be recycled by the allocator after
+  /// a free (silently aliasing a stale cache entry), a uid cannot.
+  uint64_t uid() const { return uid_; }
+
   /// Frequency of the most frequent value in `column` — the dataset
   /// metadata FLEX multiplies across joins (paper §II-B). Computed on
   /// first use and cached (metadata maintenance, as a real catalog would).
+  /// Thread-safe: FLEX analysis and plan execution may share a catalog
+  /// across pool threads.
   size_t MaxFrequency(const std::string& column) const;
 
-  /// Number of distinct values in `column`.
+  /// Number of distinct values in `column`. Thread-safe.
   size_t DistinctCount(const std::string& column) const;
+
+  /// The columnar representation (relational/columnar.h): one typed vector
+  /// per column, strings dictionary-encoded. Built on first use and cached
+  /// for the table's lifetime; thread-safe.
+  std::shared_ptr<const ColumnarTable> Columnar() const;
 
  private:
   struct ColumnStats {
     size_t max_frequency = 0;
     size_t distinct = 0;
   };
-  const ColumnStats& StatsFor(const std::string& column) const;
+  ColumnStats StatsFor(const std::string& column) const;
 
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  uint64_t uid_;
+  /// Guards stats_cache_ and columnar_ (first-use memoization).
+  mutable std::mutex cache_mu_;
   mutable std::map<std::string, ColumnStats> stats_cache_;
+  mutable std::shared_ptr<const ColumnarTable> columnar_;
 };
 
 /// Name → table lookup used by plan execution and FLEX analysis.

@@ -1,0 +1,466 @@
+// Differential harness: the columnar engine vs the row-oracle interpreter.
+//
+// Both engines aggregate through exact (correctly-rounded) summation, so
+// they must agree *bit-for-bit* — not approximately — on every output,
+// partition output and per-record contribution, under any thread-pool
+// size. This suite asserts exactly that over
+//   * all seven TPC-H plan queries × the UPA option shapes (plain,
+//     S'-style exclude+partitions, sample-style include+contributions,
+//     domain-style replace+contributions),
+//   * ~50 seeded random SPJ plans (chained equi-joins over the TPC-H
+//     schema graph, random typed predicates, all five aggregate kinds),
+// each executed under a 1-thread and a 4-thread engine.
+//
+// The generator keeps plans inside the domain where bit-identity is a
+// theorem rather than luck: joins only on int key columns, no division
+// (whole-batch vs per-row abort timing), no mixed string/numeric ordered
+// comparisons (those abort), and literals drawn from actual table cells so
+// predicates exercise empty, partial and full selectivity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "relational/executor.h"
+#include "relational/plan.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+namespace upa::rel {
+namespace {
+
+uint64_t Bits(double d) { return std::bit_cast<uint64_t>(d); }
+
+// One small dataset shared by every test in the binary (generation
+// dominates runtime; the tables are immutable).
+const tpch::TpchDataset& Dataset() {
+  static const tpch::TpchDataset* ds = new tpch::TpchDataset(
+      tpch::TpchConfig{.num_orders = 400,
+                       .max_lineitems_per_order = 5,
+                       .reference_skew = 1.1,
+                       .seed = 7});
+  return *ds;
+}
+
+void ExpectBitIdentical(const ExecResult& want, const ExecResult& got,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(Bits(want.output), Bits(got.output))
+      << "output " << want.output << " vs " << got.output;
+  EXPECT_EQ(want.result_rows, got.result_rows);
+  ASSERT_EQ(want.partition_outputs.size(), got.partition_outputs.size());
+  for (size_t p = 0; p < want.partition_outputs.size(); ++p) {
+    EXPECT_EQ(Bits(want.partition_outputs[p]), Bits(got.partition_outputs[p]))
+        << "partition " << p << ": " << want.partition_outputs[p] << " vs "
+        << got.partition_outputs[p];
+  }
+  EXPECT_EQ(want.contributions.size(), got.contributions.size());
+  for (const auto& [idx, value] : want.contributions) {
+    auto it = got.contributions.find(idx);
+    if (it == got.contributions.end()) {
+      ADD_FAILURE() << "contribution for record " << idx << " missing";
+      continue;
+    }
+    EXPECT_EQ(Bits(value), Bits(it->second))
+        << "contribution[" << idx << "]: " << value << " vs " << it->second;
+  }
+}
+
+// Runs `plan` under both engines and both pool sizes; every run must agree
+// bit-for-bit with the 1-thread row oracle (or fail with the same status).
+class DifferentialRunner {
+ public:
+  DifferentialRunner()
+      : ctx1_(engine::ExecConfig{.threads = 1, .default_partitions = 1}),
+        ctx4_(engine::ExecConfig{.threads = 4, .default_partitions = 4}),
+        catalog_(Dataset().catalog()),
+        exec1_(&ctx1_, &catalog_),
+        exec4_(&ctx4_, &catalog_) {}
+
+  void Run(const std::string& label, const PlanPtr& plan,
+           ExecOptions options) {
+    options.engine = ExecEngine::kRowOracle;
+    Result<ExecResult> oracle = exec1_.Execute(plan, options);
+
+    struct Variant {
+      const char* name;
+      const PlanExecutor* exec;
+      ExecEngine engine;
+    };
+    const Variant variants[] = {
+        {"columnar/threads=1", &exec1_, ExecEngine::kColumnar},
+        {"row/threads=4", &exec4_, ExecEngine::kRowOracle},
+        {"columnar/threads=4", &exec4_, ExecEngine::kColumnar},
+    };
+    for (const Variant& v : variants) {
+      options.engine = v.engine;
+      Result<ExecResult> got = v.exec->Execute(plan, options);
+      const std::string trace = label + " [" + v.name + "]";
+      SCOPED_TRACE(trace);
+      ASSERT_EQ(oracle.ok(), got.ok())
+          << (oracle.ok() ? got.status().ToString()
+                          : oracle.status().ToString());
+      if (!oracle.ok()) {
+        EXPECT_EQ(oracle.status().ToString(), got.status().ToString());
+        continue;
+      }
+      ExpectBitIdentical(oracle.value(), got.value(), trace);
+    }
+  }
+
+ private:
+  engine::ExecContext ctx1_, ctx4_;
+  Catalog catalog_;
+  PlanExecutor exec1_, exec4_;
+};
+
+// ---------------------------------------------------------------------------
+// TPC-H queries under the UPA option shapes.
+
+TEST(ColumnarDifferentialTest, TpchQueriesAllOptionShapes) {
+  DifferentialRunner runner;
+  const tpch::TpchDataset& ds = Dataset();
+  Rng rng = Rng::ForStream(7, "columnar_diff/tpch");
+
+  for (const tpch::TpchQuery& q : tpch::AllTpchQueries()) {
+    const size_t n = ds.table(q.private_table).NumRows();
+
+    // Plain native run: no provenance at all.
+    runner.Run(q.name + "/plain", q.plan, ExecOptions{});
+
+    // Full-dataset run with contribution tracking.
+    {
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.track_contributions = true;
+      runner.Run(q.name + "/contrib", q.plan, opts);
+    }
+
+    // S'-style: a sampled set excluded, per-partition outputs.
+    {
+      std::vector<size_t> excluded =
+          rng.SampleWithoutReplacement(n, std::min<size_t>(n, 25));
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.exclude_rows = &excluded;
+      opts.partitions = 3;
+      runner.Run(q.name + "/sprime", q.plan, opts);
+    }
+
+    // Sample-style: restricted to the sampled set, contributions tracked.
+    {
+      std::vector<size_t> included =
+          rng.SampleWithoutReplacement(n, std::min<size_t>(n, 40));
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.include_rows = &included;
+      opts.track_contributions = true;
+      runner.Run(q.name + "/sample", q.plan, opts);
+    }
+
+    // Domain-style: private rows replaced wholesale (churned dataset).
+    {
+      std::vector<size_t> dropped =
+          rng.SampleWithoutReplacement(n, std::min<size_t>(n, 10));
+      std::vector<Row> churned = ds.RowsWithout(q.private_table, dropped);
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.replace_private_rows = &churned;
+      opts.track_contributions = true;
+      opts.partitions = 2;
+      runner.Run(q.name + "/domain", q.plan, opts);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random SPJ plans over the TPC-H schema graph.
+
+struct ColumnInfo {
+  std::string name;
+  bool is_string = false;
+};
+
+struct TableInfo {
+  std::string name;
+  std::vector<ColumnInfo> columns;
+};
+
+struct JoinEdge {
+  // Joining `right_table` onto a tree that already contains `left_table`.
+  std::string left_table, left_key;
+  std::string right_table, right_key;
+};
+
+const std::vector<TableInfo>& Tables() {
+  static const std::vector<TableInfo> kTables = {
+      {"lineitem",
+       {{"l_orderkey"}, {"l_partkey"}, {"l_suppkey"}, {"l_quantity"},
+        {"l_extendedprice"}, {"l_discount"}, {"l_shipdate"}, {"l_commitdate"},
+        {"l_receiptdate"}, {"l_returnflag", true}}},
+      {"orders",
+       {{"o_orderkey"}, {"o_custkey"}, {"o_orderdate"},
+        {"o_orderpriority", true}, {"o_orderstatus", true}}},
+      {"customer", {{"c_custkey"}, {"c_nationkey"}, {"c_mktsegment", true}}},
+      {"part", {{"p_partkey"}, {"p_brand", true}, {"p_type", true},
+                {"p_size"}}},
+      {"supplier", {{"s_suppkey"}, {"s_nationkey"}, {"s_complaint"}}},
+      {"partsupp",
+       {{"ps_partkey"}, {"ps_suppkey"}, {"ps_availqty"}, {"ps_supplycost"}}},
+      {"nation", {{"n_nationkey"}, {"n_name", true}}},
+  };
+  return kTables;
+}
+
+const std::vector<JoinEdge>& Edges() {
+  static const std::vector<JoinEdge> kEdges = {
+      {"orders", "o_orderkey", "lineitem", "l_orderkey"},
+      {"customer", "c_custkey", "orders", "o_custkey"},
+      {"part", "p_partkey", "partsupp", "ps_partkey"},
+      {"supplier", "s_suppkey", "partsupp", "ps_suppkey"},
+      {"supplier", "s_suppkey", "lineitem", "l_suppkey"},
+      {"part", "p_partkey", "lineitem", "l_partkey"},
+      {"nation", "n_nationkey", "supplier", "s_nationkey"},
+      {"nation", "n_nationkey", "customer", "c_nationkey"},
+  };
+  return kEdges;
+}
+
+const TableInfo& InfoFor(const std::string& table) {
+  for (const TableInfo& t : Tables()) {
+    if (t.name == table) return t;
+  }
+  ADD_FAILURE() << "unknown table " << table;
+  return Tables().front();
+}
+
+// A literal drawn from an actual cell of `table.column` — guarantees the
+// literal sits inside the value distribution, so comparisons split the
+// table instead of being vacuously all-true/all-false.
+Value SampleCell(const std::string& table, const std::string& column,
+                 Rng& rng) {
+  const Table& t = Dataset().table(table);
+  const Row& row = t.rows()[rng.UniformU64(t.NumRows())];
+  return row[t.schema().IndexOf(column)];
+}
+
+ExprPtr LitFrom(const Value& v) { return Expr::Literal(v); }
+
+// Random typed predicate over the columns of `table`. Depth-limited;
+// leaves compare a column against a same-typed literal sampled from the
+// data, or test membership in a small sampled set.
+ExprPtr RandomPredicate(const std::string& table, Rng& rng, int depth) {
+  const TableInfo& info = InfoFor(table);
+  if (depth > 0 && rng.Bernoulli(0.45)) {
+    switch (rng.UniformU64(3)) {
+      case 0:
+        return And(RandomPredicate(table, rng, depth - 1),
+                   RandomPredicate(table, rng, depth - 1));
+      case 1:
+        return Or(RandomPredicate(table, rng, depth - 1),
+                  RandomPredicate(table, rng, depth - 1));
+      default:
+        return Not(RandomPredicate(table, rng, depth - 1));
+    }
+  }
+  const ColumnInfo& col =
+      info.columns[rng.UniformU64(info.columns.size())];
+  if (rng.Bernoulli(0.2)) {  // membership test over sampled cells
+    std::vector<Value> set;
+    const size_t k = 1 + rng.UniformU64(4);
+    for (size_t i = 0; i < k; ++i) {
+      set.push_back(SampleCell(table, col.name, rng));
+    }
+    return In(Col(col.name), std::move(set));
+  }
+  ExprPtr lhs = Col(col.name);
+  ExprPtr rhs = LitFrom(SampleCell(table, col.name, rng));
+  switch (rng.UniformU64(6)) {
+    case 0: return Eq(std::move(lhs), std::move(rhs));
+    case 1: return Ne(std::move(lhs), std::move(rhs));
+    case 2: return Lt(std::move(lhs), std::move(rhs));
+    case 3: return Le(std::move(lhs), std::move(rhs));
+    case 4: return Gt(std::move(lhs), std::move(rhs));
+    default: return Ge(std::move(lhs), std::move(rhs));
+  }
+}
+
+// Random arithmetic expression over the numeric columns of the scanned
+// tables (for Sum/Avg/Min/Max roots). No division: the engines abort the
+// process identically on division by zero, but a test shouldn't die.
+ExprPtr RandomNumericExpr(const std::vector<std::string>& tables, Rng& rng) {
+  std::vector<std::string> numeric;
+  for (const std::string& t : tables) {
+    for (const ColumnInfo& c : InfoFor(t).columns) {
+      if (!c.is_string) numeric.push_back(c.name);
+    }
+  }
+  ExprPtr e = Col(numeric[rng.UniformU64(numeric.size())]);
+  const size_t extra = rng.UniformU64(3);
+  for (size_t i = 0; i < extra; ++i) {
+    ExprPtr other = rng.Bernoulli(0.5)
+                        ? Col(numeric[rng.UniformU64(numeric.size())])
+                        : Lit(rng.UniformDouble(-2.0, 2.0));
+    switch (rng.UniformU64(3)) {
+      case 0: e = Add(std::move(e), std::move(other)); break;
+      case 1: e = Sub(std::move(e), std::move(other)); break;
+      default: e = Mul(std::move(e), std::move(other)); break;
+    }
+  }
+  return e;
+}
+
+struct RandomPlan {
+  PlanPtr plan;
+  std::vector<std::string> tables;
+  bool additive = true;  // Count/Sum root (provenance-compatible)
+};
+
+RandomPlan MakeRandomPlan(Rng& rng) {
+  RandomPlan out;
+  // Grow a join tree by chaining schema edges; every table at most once
+  // (preserves the single-private-scan invariant and unique column names).
+  out.tables.push_back(Tables()[rng.UniformU64(Tables().size())].name);
+  PlanPtr rel = ScanPlan(out.tables.back());
+  if (rng.Bernoulli(0.6)) {
+    rel = FilterPlan(rel, RandomPredicate(out.tables.back(), rng, 2));
+  }
+  const size_t joins = rng.UniformU64(3);  // 0..2 extra tables
+  for (size_t j = 0; j < joins; ++j) {
+    std::vector<const JoinEdge*> usable;
+    for (const JoinEdge& e : Edges()) {
+      const bool has_l = std::find(out.tables.begin(), out.tables.end(),
+                                   e.left_table) != out.tables.end();
+      const bool has_r = std::find(out.tables.begin(), out.tables.end(),
+                                   e.right_table) != out.tables.end();
+      if (has_l != has_r) usable.push_back(&e);
+    }
+    if (usable.empty()) break;
+    const JoinEdge& e = *usable[rng.UniformU64(usable.size())];
+    const bool joining_right =
+        std::find(out.tables.begin(), out.tables.end(), e.right_table) ==
+        out.tables.end();
+    const std::string fresh = joining_right ? e.right_table : e.left_table;
+    const std::string fresh_key = joining_right ? e.right_key : e.left_key;
+    const std::string held_key = joining_right ? e.left_key : e.right_key;
+    PlanPtr side = ScanPlan(fresh);
+    if (rng.Bernoulli(0.5)) {
+      side = FilterPlan(side, RandomPredicate(fresh, rng, 1));
+    }
+    rel = rng.Bernoulli(0.5)
+              ? JoinPlan(rel, side, held_key, fresh_key)
+              : JoinPlan(side, rel, fresh_key, held_key);
+    out.tables.push_back(fresh);
+  }
+  switch (rng.UniformU64(6)) {
+    case 0:
+    case 1:
+      out.plan = CountPlan(rel);
+      break;
+    case 2:
+    case 3:
+      out.plan = SumPlan(rel, RandomNumericExpr(out.tables, rng));
+      break;
+    case 4:
+      out.plan = AvgPlan(rel, RandomNumericExpr(out.tables, rng));
+      out.additive = false;
+      break;
+    default:
+      out.plan = rng.Bernoulli(0.5)
+                     ? MinPlan(rel, RandomNumericExpr(out.tables, rng))
+                     : MaxPlan(rel, RandomNumericExpr(out.tables, rng));
+      out.additive = false;
+      break;
+  }
+  return out;
+}
+
+TEST(ColumnarDifferentialTest, RandomPlans) {
+  DifferentialRunner runner;
+  const tpch::TpchDataset& ds = Dataset();
+  constexpr int kPlans = 50;
+
+  for (int i = 0; i < kPlans; ++i) {
+    Rng rng = Rng::ForStream(7, "columnar_diff/plan" + std::to_string(i));
+    RandomPlan rp = MakeRandomPlan(rng);
+    const std::string label =
+        "plan" + std::to_string(i) + ": " + PlanToString(rp.plan);
+
+    runner.Run(label + "/plain", rp.plan, ExecOptions{});
+
+    // Provenance shapes. For non-additive roots both engines must *reject*
+    // identically (Unsupported), which Run() also asserts — so don't skip.
+    const std::string priv = rp.tables[rng.UniformU64(rp.tables.size())];
+    const size_t n = ds.table(priv).NumRows();
+    {
+      ExecOptions opts;
+      opts.private_table = priv;
+      opts.track_contributions = true;
+      opts.partitions = 1 + rng.UniformU64(4);
+      runner.Run(label + "/contrib", rp.plan, opts);
+    }
+    if (rp.additive) {
+      std::vector<size_t> subset =
+          rng.SampleWithoutReplacement(n, rng.UniformU64(n + 1));
+      ExecOptions opts;
+      opts.private_table = priv;
+      if (rng.Bernoulli(0.5)) {
+        opts.exclude_rows = &subset;
+      } else {
+        opts.include_rows = &subset;
+      }
+      opts.track_contributions = rng.Bernoulli(0.5);
+      opts.partitions = rng.UniformU64(4);
+      runner.Run(label + "/subset", rp.plan, opts);
+    }
+  }
+}
+
+// Errors must match too: both engines surface the same status for the
+// same malformed plan.
+TEST(ColumnarDifferentialTest, ErrorParity) {
+  DifferentialRunner runner;
+
+  // Unknown table.
+  runner.Run("unknown-table", CountPlan(ScanPlan("nope")), ExecOptions{});
+  // Unknown filter column.
+  runner.Run("unknown-column",
+             CountPlan(FilterPlan(ScanPlan("nation"),
+                                  Gt(Col("mystery"), Lit(int64_t{3})))),
+             ExecOptions{});
+  // Unknown join key.
+  runner.Run("unknown-join-key",
+             CountPlan(JoinPlan(ScanPlan("nation"), ScanPlan("supplier"),
+                                "n_nationkey", "s_missing")),
+             ExecOptions{});
+  // Sum without an expression.
+  {
+    auto broken = std::make_shared<PlanNode>();
+    broken->kind = PlanKind::kAggregate;
+    broken->agg = AggKind::kSum;
+    broken->left = ScanPlan("nation");
+    runner.Run("sum-missing-expr", broken, ExecOptions{});
+  }
+  // Avg over an empty relation.
+  runner.Run("avg-empty",
+             AvgPlan(FilterPlan(ScanPlan("nation"),
+                                rel::Eq(Col("n_name"), Lit("ATLANTIS"))),
+                     Col("n_nationkey")),
+             ExecOptions{});
+  // Min with provenance → Unsupported.
+  {
+    ExecOptions opts;
+    opts.private_table = "nation";
+    opts.track_contributions = true;
+    runner.Run("min-with-provenance",
+               MinPlan(ScanPlan("nation"), Col("n_nationkey")), opts);
+  }
+}
+
+}  // namespace
+}  // namespace upa::rel

@@ -256,6 +256,70 @@ TEST_F(ExecutorTest, ScanCacheHitsOnRepeatedRuns) {
   EXPECT_GE(delta.cache_hits, 1u);  // clicks scan cached across runs
 }
 
+TEST_F(ExecutorTest, CacheNeverAliasesRecreatedTable) {
+  // Regression: cache keys must survive a table being destroyed and a new
+  // one (same name, same address is possible, different data) taking its
+  // place in the catalog. With address-based keys the second run could hit
+  // the first table's cached scan and report 5 instead of 2.
+  auto plan = CountPlan(ScanPlan("clicks"));
+  for (ExecEngine engine : {ExecEngine::kRowOracle, ExecEngine::kColumnar}) {
+    ExecOptions opts;
+    opts.engine = engine;
+
+    auto r1 = executor_->Execute(plan, opts);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_DOUBLE_EQ(r1.value().output, 5.0);
+
+    // Destroy and rebuild "clicks" with different contents; same ctx,
+    // same epoch, same options. The allocator is free to reuse the
+    // address of the old Table.
+    Schema schema = clicks_->schema();
+    clicks_ = std::make_unique<Table>(
+        "clicks", schema,
+        std::vector<Row>{
+            {Value{int64_t{200}}, Value{int64_t{1}}, Value{32.0}},
+            {Value{int64_t{201}}, Value{int64_t{2}}, Value{64.0}},
+        });
+    catalog_["clicks"] = clicks_.get();
+
+    auto r2 = executor_->Execute(plan, opts);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_DOUBLE_EQ(r2.value().output, 2.0);
+
+    // Restore the fixture's table for the next engine's iteration.
+    clicks_ = std::make_unique<Table>(
+        "clicks", schema,
+        std::vector<Row>{
+            {Value{int64_t{100}}, Value{int64_t{1}}, Value{1.5}},
+            {Value{int64_t{101}}, Value{int64_t{1}}, Value{2.5}},
+            {Value{int64_t{102}}, Value{int64_t{2}}, Value{4.0}},
+            {Value{int64_t{103}}, Value{int64_t{3}}, Value{8.0}},
+            {Value{int64_t{104}}, Value{int64_t{9}}, Value{16.0}},
+        });
+    catalog_["clicks"] = clicks_.get();
+  }
+}
+
+TEST_F(ExecutorTest, BothEnginesAgreeOnFixture) {
+  auto plan = SumPlan(
+      JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"),
+      Mul(Col("weight"), Col("age")));
+  ExecOptions opts;
+  opts.private_table = "users";
+  opts.partitions = 2;
+  opts.track_contributions = true;
+  auto row = opts, col = opts;
+  row.engine = ExecEngine::kRowOracle;
+  col.engine = ExecEngine::kColumnar;
+  auto a = executor_->Execute(plan, row);
+  auto b = executor_->Execute(plan, col);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().output, b.value().output);
+  EXPECT_EQ(a.value().result_rows, b.value().result_rows);
+  EXPECT_EQ(a.value().partition_outputs, b.value().partition_outputs);
+  EXPECT_EQ(a.value().contributions, b.value().contributions);
+}
+
 TEST_F(ExecutorTest, DeterministicOutputsAcrossRuns) {
   auto plan = SumPlan(
       JoinPlan(ScanPlan("users"), ScanPlan("clicks"), "uid", "uid_ref"),

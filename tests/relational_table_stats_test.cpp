@@ -1,0 +1,93 @@
+// Table's lazily-memoized metadata (column stats, columnar form) is read
+// from pool threads during FLEX analysis and plan execution, so first-use
+// computation must be thread-safe. These tests hammer the memoization from
+// many threads at once — under TSan they'd flag any unguarded cache — and
+// check the cached answers themselves.
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "relational/columnar.h"
+
+namespace upa::rel {
+namespace {
+
+Table MakeTable() {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 2000; ++i) {
+    rows.push_back({Value{i % 7}, Value{static_cast<double>(i) * 0.5},
+                    Value{std::string(i % 2 == 0 ? "even" : "odd")}});
+  }
+  return Table("t",
+               Schema({{"k", ValueType::kInt},
+                       {"w", ValueType::kDouble},
+                       {"tag", ValueType::kString}}),
+               std::move(rows));
+}
+
+TEST(TableStatsTest, StatsValues) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.DistinctCount("k"), 7u);
+  // 2000 rows over 7 residues: residues 0..4 appear 286 times, 5 and 6
+  // appear 285 — ceil(2000/7) = 286.
+  EXPECT_EQ(t.MaxFrequency("k"), 286u);
+  EXPECT_EQ(t.DistinctCount("tag"), 2u);
+  EXPECT_EQ(t.MaxFrequency("tag"), 1000u);
+  EXPECT_EQ(t.DistinctCount("w"), 2000u);
+  EXPECT_EQ(t.MaxFrequency("w"), 1u);
+}
+
+TEST(TableStatsTest, ConcurrentFirstUseIsSafeAndConsistent) {
+  // Fresh table per iteration so every round races the *first* computation,
+  // not a warm cache.
+  for (int round = 0; round < 8; ++round) {
+    Table t = MakeTable();
+    constexpr int kThreads = 8;
+    std::vector<size_t> max_freq(kThreads), distinct(kThreads);
+    std::vector<std::shared_ptr<const ColumnarTable>> columnar(kThreads);
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        // Interleave all three memoized entry points.
+        max_freq[w] = t.MaxFrequency(w % 2 == 0 ? "k" : "tag");
+        columnar[w] = t.Columnar();
+        distinct[w] = t.DistinctCount(w % 2 == 0 ? "k" : "tag");
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    for (int w = 0; w < kThreads; ++w) {
+      EXPECT_EQ(max_freq[w], w % 2 == 0 ? 286u : 1000u);
+      EXPECT_EQ(distinct[w], w % 2 == 0 ? 7u : 2u);
+      ASSERT_NE(columnar[w], nullptr);
+      // Memoization must converge on ONE columnar instance.
+      EXPECT_EQ(columnar[w].get(), columnar[0].get());
+    }
+    EXPECT_EQ(columnar[0]->num_rows(), 2000u);
+  }
+}
+
+TEST(TableStatsTest, CopyCarriesCachesAndUid) {
+  Table t = MakeTable();
+  auto built = t.Columnar();
+  size_t mf = t.MaxFrequency("k");
+
+  Table copy(t);
+  EXPECT_EQ(copy.uid(), t.uid());  // same immutable data → same identity
+  EXPECT_EQ(copy.Columnar().get(), built.get());
+  EXPECT_EQ(copy.MaxFrequency("k"), mf);
+
+  Table moved(std::move(copy));
+  EXPECT_EQ(moved.uid(), t.uid());
+  EXPECT_EQ(moved.Columnar().get(), built.get());
+}
+
+}  // namespace
+}  // namespace upa::rel
