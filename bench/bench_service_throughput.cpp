@@ -1,0 +1,110 @@
+// Service-layer throughput: concurrent clients against one UpaService.
+//
+// Clients submit blocking Execute() calls from their own threads, each
+// owning a private dataset (the bit-identity regime: one writer per
+// dataset). Scaling is limited by the engine pool and by the per-dataset
+// sensitivity cache — after each client's first query the exclusion scans
+// are skipped, so steady-state throughput measures the cached release
+// path (sample + map + enforce + noise) plus service overhead.
+//
+// Columns: wall-clock for all queries, queries/sec, mean and p99 of the
+// service/total latency histogram, and the cache hit count (should be
+// queries − clients).
+//
+// Knobs: UPA_SAMPLE_N, UPA_RUNS (queries per client), UPA_THREADS (engine
+// pool size, default 4), UPA_SEED.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "service/service.h"
+#include "upa/simple_query.h"
+
+using namespace upa;
+
+namespace {
+
+core::QueryInstance MakeSumQuery(engine::ExecContext* ctx,
+                                 std::shared_ptr<std::vector<double>> values,
+                                 const std::string& name) {
+  core::SimpleQuerySpec<double> spec;
+  spec.name = name;
+  spec.ctx = ctx;
+  spec.records = values;
+  spec.map_record = [](const double& v) { return core::Vec{v}; };
+  spec.sample_domain = [](Rng& rng) { return rng.UniformDouble(0.0, 1.0); };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::BenchEnv::FromEnv();
+  const size_t threads = env.threads == 0 ? 4 : env.threads;
+  bench::PrintBanner("Service throughput — concurrent clients", env);
+  std::printf("engine pool threads: %zu\n\n", threads);
+
+  const size_t queries_per_client = env.runs;
+  const size_t dataset_records = 10 * env.sample_n;
+
+  TablePrinter table({"clients", "queries", "wall (ms)", "q/s", "mean (ms)",
+                      "p99 (ms)", "cache hits"});
+  for (size_t clients : {1u, 2u, 4u, 8u}) {
+    engine::ExecContext ctx(
+        engine::ExecConfig{.threads = threads, .default_partitions = 4});
+    service::ServiceConfig config;
+    config.upa = env.MakeUpaConfig();
+    config.budget_per_dataset = 1e9;  // throughput, not budget, under test
+    config.max_in_flight = threads;
+    service::UpaService svc(&ctx, config);
+
+    std::vector<std::shared_ptr<std::vector<double>>> datasets;
+    for (size_t i = 0; i < clients; ++i) {
+      auto values = std::make_shared<std::vector<double>>();
+      Rng rng(env.seed + i);
+      for (size_t r = 0; r < dataset_records; ++r) {
+        values->push_back(rng.UniformDouble(0.0, 1.0));
+      }
+      datasets.push_back(std::move(values));
+    }
+
+    Stopwatch wall;
+    std::vector<std::thread> workers;
+    for (size_t i = 0; i < clients; ++i) {
+      workers.emplace_back([&, i] {
+        for (size_t q = 0; q < queries_per_client; ++q) {
+          service::QueryRequest request;
+          request.tenant = "t" + std::to_string(i % 3);
+          request.dataset_id = "d" + std::to_string(i);
+          request.query = MakeSumQuery(&ctx, datasets[i],
+                                       "sum-" + std::to_string(i));
+          request.epsilon = 0.1;
+          request.seed = env.seed + i * 1000 + q;
+          auto result = svc.Execute(request);
+          UPA_CHECK_MSG(result.ok(), result.status().ToString());
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    double wall_seconds = wall.ElapsedSeconds();
+
+    engine::MetricsSnapshot snapshot = ctx.metrics().Snapshot();
+    const engine::HistogramSnapshot& total = snapshot.latency["service/total"];
+    size_t queries = clients * queries_per_client;
+    table.AddRow({std::to_string(clients), std::to_string(queries),
+                  TablePrinter::FormatDouble(wall_seconds * 1e3, 2),
+                  TablePrinter::FormatDouble(queries / wall_seconds, 1),
+                  TablePrinter::FormatDouble(total.MeanSeconds() * 1e3, 3),
+                  TablePrinter::FormatDouble(
+                      total.QuantileSeconds(0.99) * 1e3, 3),
+                  std::to_string(snapshot.counters["service/sens_cache_hit"])});
+  }
+  table.Print("service throughput vs concurrent clients");
+  return 0;
+}

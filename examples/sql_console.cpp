@@ -1,21 +1,25 @@
 // SQL console over the private TPC-H dataset: type a SQL aggregate, get an
 // iDP-protected answer. Glues the whole stack together — SQL parser →
-// logical plan → UPA's pipeline (sampling, union-preserving reduce, RANGE
-// ENFORCER, Laplace noise).
+// logical plan → the multi-tenant UpaService (admission, budget,
+// sensitivity cache) → UPA's pipeline (sampling, union-preserving reduce,
+// RANGE ENFORCER, Laplace noise).
 //
 // Usage:
 //   sql_console                          # run the built-in demo queries
 //   sql_console "SELECT COUNT(*) FROM lineitem" [private_table]
 //
-// The privacy unit defaults to the first table the query scans.
+// The privacy unit defaults to the first table the query scans; each
+// private table is its own dataset (own budget, enforcer registry and
+// sensitivity cache). A `/stats` dump prints at the end.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "queries/plan_query.h"
 #include "relational/optimizer.h"
 #include "relational/sql_parser.h"
-#include "upa/runner.h"
+#include "service/service.h"
 
 using namespace upa;
 
@@ -23,7 +27,7 @@ namespace {
 
 int RunOne(engine::ExecContext& ctx,
            std::shared_ptr<const rel::PlanExecutor> executor,
-           const tpch::TpchDataset& data, core::UpaRunner& runner,
+           const tpch::TpchDataset& data, service::UpaService& service,
            const std::string& sql, std::string private_table) {
   Result<rel::PlanPtr> parsed = rel::ParseSql(sql);
   if (!parsed.ok()) {
@@ -66,26 +70,37 @@ int RunOne(engine::ExecContext& ctx,
     return 0;
   }
 
-  auto instance =
-      queries::MakePlanQuery(&ctx, std::move(executor), &data, query);
-  auto result = runner.Run(instance, /*seed=*/2026);
+  service::QueryRequest request;
+  request.tenant = "console";
+  request.dataset_id = private_table;
+  request.query = queries::MakePlanQuery(&ctx, std::move(executor), &data,
+                                         query);
+  request.epsilon = service.config().upa.epsilon;
+  request.seed = 2026;
+  // Cache key: the optimized plan's shape, not the SQL text — two spellings
+  // of one plan share their inferred sensitivity.
+  request.fingerprint = Fnv1a(rel::PlanToString(query.plan));
+  auto result = service.Execute(request);
   if (!result.ok()) {
     std::fprintf(stderr, "UPA error: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
+  const service::QueryResponse& response = result.value();
 
   std::printf("sql>     %s\n", sql.c_str());
   std::printf("plan:    %s\n", rel::PlanToString(query.plan).c_str());
-  std::printf("private: one record of '%s'\n", private_table.c_str());
+  std::printf("private: one record of '%s' (budget left %.2f)\n",
+              private_table.c_str(),
+              service.accountant().Remaining(private_table));
   std::printf("true     = %.4f   (never leaves the system)\n",
               native.value().output);
-  std::printf("released = %.4f   (eps=%.2f, inferred sensitivity %.4g%s)\n\n",
-              result.value().released_output, runner.config().epsilon,
-              result.value().local_sensitivity,
-              result.value().enforcer.attack_suspected
-                  ? ", repeat-query defense engaged"
-                  : "");
+  std::printf("released = %.4f   (eps=%.2f, inferred sensitivity %.4g%s%s)\n\n",
+              response.released, response.epsilon,
+              response.local_sensitivity,
+              response.sensitivity_cache_hit ? ", cached sensitivity" : "",
+              response.attack_suspected ? ", repeat-query defense engaged"
+                                        : "");
   return 0;
 }
 
@@ -99,12 +114,13 @@ int main(int argc, char** argv) {
   rel::Catalog catalog = data.catalog();
   auto executor = std::make_shared<const rel::PlanExecutor>(&ctx, &catalog);
 
-  core::UpaConfig upa_cfg;
-  upa_cfg.epsilon = 0.5;
-  core::UpaRunner runner(upa_cfg);
+  service::ServiceConfig service_cfg;
+  service_cfg.upa.epsilon = 0.5;
+  service_cfg.budget_per_dataset = 4.0;
+  service::UpaService service(&ctx, service_cfg);
 
   if (argc >= 2) {
-    return RunOne(ctx, executor, data, runner, argv[1],
+    return RunOne(ctx, executor, data, service, argv[1],
                   argc >= 3 ? argv[2] : "");
   }
 
@@ -114,10 +130,14 @@ int main(int argc, char** argv) {
       "WHERE l_shipdate >= 365 AND l_shipdate < 730",
       "SELECT COUNT(*) FROM customer JOIN orders ON c_custkey = o_custkey "
       "WHERE o_orderpriority <> '1-URGENT'",
+      // A literal repeat: hits the sensitivity cache AND trips the
+      // enforcer's repeat-query defense.
+      "SELECT COUNT(*) FROM lineitem",
   };
   for (const std::string& sql : demo) {
-    int rc = RunOne(ctx, executor, data, runner, sql, "");
+    int rc = RunOne(ctx, executor, data, service, sql, "");
     if (rc != 0) return rc;
   }
+  std::printf("%s", service.StatsReport().c_str());
   return 0;
 }

@@ -66,6 +66,11 @@ double Interval::Clamp(double x) const { return std::clamp(x, lo, hi); }
 
 Interval NormalPercentileInterval(std::span<const double> xs, double lo_pct,
                                   double hi_pct) {
+  // Validate at the API boundary: percentiles at or beyond the support
+  // would otherwise crash deep inside StandardNormalQuantile with an
+  // unhelpful "(0,1)" message (or produce ±inf bounds).
+  UPA_CHECK_MSG(lo_pct > 0.0 && hi_pct < 100.0,
+                "percentiles must lie strictly inside (0, 100)");
   UPA_CHECK_MSG(lo_pct < hi_pct, "lo percentile must be below hi percentile");
   NormalParams fit = FitNormalMle(xs);
   Interval iv;

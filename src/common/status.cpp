@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

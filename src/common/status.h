@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Human-readable name for a StatusCode (stable, for logs and tests).
@@ -52,6 +53,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "dp/accountant.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace upa::dp {
@@ -22,6 +23,23 @@ Status PrivacyAccountant::Charge(const std::string& dataset_id,
   return Status::Ok();
 }
 
+Status PrivacyAccountant::Refund(const std::string& dataset_id,
+                                 double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("refund epsilon must be positive");
+  }
+  std::lock_guard lock(mu_);
+  auto it = spent_.find(dataset_id);
+  if (it == spent_.end()) {
+    return Status::FailedPrecondition("refund for '" + dataset_id +
+                                      "': nothing was charged");
+  }
+  // Bounded by spent: refunding more than was charged must not mint
+  // budget beyond the configured total.
+  it->second = std::max(0.0, it->second - epsilon);
+  return Status::Ok();
+}
+
 double PrivacyAccountant::Spent(const std::string& dataset_id) const {
   std::lock_guard lock(mu_);
   auto it = spent_.find(dataset_id);
@@ -29,7 +47,7 @@ double PrivacyAccountant::Spent(const std::string& dataset_id) const {
 }
 
 double PrivacyAccountant::Remaining(const std::string& dataset_id) const {
-  return total_budget_ - Spent(dataset_id);
+  return std::max(0.0, total_budget_ - Spent(dataset_id));
 }
 
 }  // namespace upa::dp

@@ -24,7 +24,17 @@ class PrivacyAccountant {
   /// Fails with OUT_OF_RANGE when the budget would be exceeded.
   Status Charge(const std::string& dataset_id, double epsilon);
 
+  /// Return `epsilon` to the budget of `dataset_id` — the second half of
+  /// the charge/refund two-phase release: a query is charged before it
+  /// runs and refunded if it fails before anything was released, so a
+  /// failed query doesn't burn budget. The refund is bounded by what was
+  /// actually spent (over-refunding can't mint budget).
+  Status Refund(const std::string& dataset_id, double epsilon);
+
   double Spent(const std::string& dataset_id) const;
+  /// total_budget − Spent, clamped at 0: the `1e-12` acceptance slack in
+  /// Charge means Spent can exceed the budget by a hair, and a tiny
+  /// negative remainder reads as corruption to callers.
   double Remaining(const std::string& dataset_id) const;
   double total_budget() const { return total_budget_; }
 

@@ -1,5 +1,7 @@
 #include "dp/mechanism.h"
 
+#include <algorithm>
+
 #include "common/status.h"
 
 namespace upa::dp {
@@ -23,9 +25,11 @@ std::vector<double> LaplaceMechanism(const std::vector<double>& values,
 }
 
 double ClampedLaplaceRelease(double value, const Interval& range,
-                             double epsilon, Rng& rng) {
+                             double epsilon, Rng& rng, double min_width) {
+  UPA_CHECK_MSG(min_width >= 0.0, "min_width must be non-negative");
   double clamped = range.Clamp(value);
-  return LaplaceMechanism(clamped, range.width(), epsilon, rng);
+  double width = std::max(range.width(), min_width);
+  return LaplaceMechanism(clamped, width, epsilon, rng);
 }
 
 }  // namespace upa::dp

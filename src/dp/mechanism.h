@@ -27,7 +27,14 @@ std::vector<double> LaplaceMechanism(const std::vector<double>& values,
 /// Clamp-then-perturb: the release path UPA uses. The raw value is first
 /// constrained into `range` (RANGE ENFORCER lines 17–18) — which is what
 /// makes the sensitivity bound sound — then Laplace noise is added.
+///
+/// `min_width` floors the noise scale's numerator: a degenerate fit with
+/// range.width() == 0 would otherwise release the clamped value exactly,
+/// with no noise at all. Mirrors UpaConfig::min_sensitivity so the
+/// mechanism layer is honest even when called outside the runner.
+inline constexpr double kMinReleaseWidth = 1e-9;
 double ClampedLaplaceRelease(double value, const Interval& range,
-                             double epsilon, Rng& rng);
+                             double epsilon, Rng& rng,
+                             double min_width = kMinReleaseWidth);
 
 }  // namespace upa::dp

@@ -1,8 +1,62 @@
 #include "engine/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace upa::engine {
+
+double HistogramSnapshot::BucketUpperSeconds(size_t i) {
+  // Bucket i covers (2^(i-1), 2^i] microseconds; the last bucket is
+  // open-ended but reports its lower edge as the bound.
+  return std::ldexp(1e-6, static_cast<int>(std::min(i, kBuckets - 1)));
+}
+
+size_t HistogramSnapshot::BucketOf(double seconds) {
+  if (!(seconds > 1e-6)) return 0;
+  int exp = static_cast<int>(std::ceil(std::log2(seconds / 1e-6)));
+  return std::min(static_cast<size_t>(std::max(exp, 0)),
+                  kBuckets - 1);
+}
+
+double HistogramSnapshot::QuantileSeconds(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Never report a quantile above the observed maximum (the top
+      // bucket's upper bound can be far beyond it).
+      return std::min(BucketUpperSeconds(i), max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
+HistogramSnapshot HistogramSnapshot::operator-(
+    const HistogramSnapshot& base) const {
+  HistogramSnapshot d;
+  d.count = count - base.count;
+  d.sum_seconds = sum_seconds - base.sum_seconds;
+  d.max_seconds = max_seconds;  // max is not subtractable; keep the later one
+  for (size_t i = 0; i < kBuckets; ++i) {
+    d.buckets[i] = buckets[i] - base.buckets[i];
+  }
+  return d;
+}
+
+std::string HistogramSnapshot::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count), MeanSeconds() * 1e3,
+                QuantileSeconds(0.5) * 1e3, QuantileSeconds(0.99) * 1e3,
+                max_seconds * 1e3);
+  return buf;
+}
 
 MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
   MetricsSnapshot d;
@@ -21,6 +75,14 @@ MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
   d.phase_tasks = phase_tasks;
   for (const auto& [name, tasks] : base.phase_tasks) {
     d.phase_tasks[name] -= tasks;
+  }
+  d.counters = counters;
+  for (const auto& [name, n] : base.counters) {
+    d.counters[name] -= n;
+  }
+  d.latency = latency;
+  for (const auto& [name, hist] : base.latency) {
+    d.latency[name] = d.latency[name] - hist;
   }
   return d;
 }
@@ -49,6 +111,15 @@ std::string MetricsSnapshot::ToString() const {
                   static_cast<unsigned long long>(tasks));
     out += pbuf;
   }
+  for (const auto& [name, n] : counters) {
+    char pbuf[96];
+    std::snprintf(pbuf, sizeof(pbuf), " %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(n));
+    out += pbuf;
+  }
+  for (const auto& [name, hist] : latency) {
+    out += " " + name + "{" + hist.ToString() + "}";
+  }
   return out;
 }
 
@@ -60,6 +131,20 @@ void ExecMetrics::AddPhaseSeconds(const std::string& phase, double seconds) {
 void ExecMetrics::AddPhaseTasks(const std::string& phase, uint64_t n) {
   std::lock_guard lock(phase_mu_);
   phase_tasks_[phase] += n;
+}
+
+void ExecMetrics::AddCounter(const std::string& name, uint64_t n) {
+  std::lock_guard lock(phase_mu_);
+  counters_[name] += n;
+}
+
+void ExecMetrics::RecordLatency(const std::string& name, double seconds) {
+  std::lock_guard lock(phase_mu_);
+  HistogramSnapshot& hist = latency_[name];
+  hist.count += 1;
+  hist.sum_seconds += seconds;
+  hist.max_seconds = std::max(hist.max_seconds, seconds);
+  hist.buckets[HistogramSnapshot::BucketOf(seconds)] += 1;
 }
 
 MetricsSnapshot ExecMetrics::Snapshot() const {
@@ -76,6 +161,8 @@ MetricsSnapshot ExecMetrics::Snapshot() const {
     std::lock_guard lock(phase_mu_);
     s.phase_seconds = phase_seconds_;
     s.phase_tasks = phase_tasks_;
+    s.counters = counters_;
+    s.latency = latency_;
   }
   return s;
 }
@@ -92,6 +179,8 @@ void ExecMetrics::Reset() {
   std::lock_guard lock(phase_mu_);
   phase_seconds_.clear();
   phase_tasks_.clear();
+  counters_.clear();
+  latency_.clear();
 }
 
 }  // namespace upa::engine

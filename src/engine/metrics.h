@@ -6,6 +6,7 @@
 // attribution observable in this reproduction.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -13,6 +14,35 @@
 #include <string>
 
 namespace upa::engine {
+
+/// Latency histogram with power-of-two buckets from 1µs up: bucket i
+/// covers (2^(i-1)µs, 2^i µs], bucket 0 is everything up to 1µs, the last
+/// bucket is open-ended (≥ ~67s). Quantiles are estimated from the bucket
+/// upper bounds, which is the resolution observability needs (p50/p99 per
+/// service phase), not a timing instrument.
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 28;
+
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  /// Upper bound (seconds) of bucket i.
+  static double BucketUpperSeconds(size_t i);
+  /// Bucket index for a latency.
+  static size_t BucketOf(double seconds);
+
+  /// Estimated quantile (q in [0,1]) as the upper bound of the bucket
+  /// containing the q-th observation; 0 when empty.
+  double QuantileSeconds(double q) const;
+  double MeanSeconds() const { return count == 0 ? 0.0 : sum_seconds / count; }
+
+  HistogramSnapshot operator-(const HistogramSnapshot& base) const;
+
+  /// "count=12 mean=1.2ms p50=0.9ms p99=4.1ms max=5.0ms"
+  std::string ToString() const;
+};
 
 /// Point-in-time copy of all counters. Subtractable to get per-query deltas.
 struct MetricsSnapshot {
@@ -30,6 +60,12 @@ struct MetricsSnapshot {
   /// Per-phase parallelism: how many pool chunk-tasks each named phase
   /// fanned out to (1 per call = that phase ran inline/sequentially).
   std::map<std::string, uint64_t> phase_tasks;
+  /// Free-form named counters (service admission, sensitivity-cache
+  /// hits/misses, budget refunds, ...).
+  std::map<std::string, uint64_t> counters;
+  /// Per-phase latency distributions (one observation per query/request,
+  /// vs phase_seconds which accumulates total time).
+  std::map<std::string, HistogramSnapshot> latency;
 
   MetricsSnapshot operator-(const MetricsSnapshot& base) const;
 
@@ -68,6 +104,10 @@ class ExecMetrics {
   void AddPhaseSeconds(const std::string& phase, double seconds);
   /// Record that `phase` split its work into `n` pool chunk-tasks.
   void AddPhaseTasks(const std::string& phase, uint64_t n);
+  /// Bump a free-form named counter.
+  void AddCounter(const std::string& name, uint64_t n = 1);
+  /// Record one latency observation into the named histogram.
+  void RecordLatency(const std::string& name, double seconds);
 
   MetricsSnapshot Snapshot() const;
   void Reset();
@@ -85,6 +125,8 @@ class ExecMetrics {
   mutable std::mutex phase_mu_;
   std::map<std::string, double> phase_seconds_;
   std::map<std::string, uint64_t> phase_tasks_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, HistogramSnapshot> latency_;
 };
 
 }  // namespace upa::engine

@@ -1,0 +1,307 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace upa::service {
+
+bool UpaService::SensitivityCache::Lookup(const Key& key,
+                                          core::SensitivityHint* out) {
+  auto it = index.find(key);
+  if (it == index.end()) return false;
+  entries.splice(entries.begin(), entries, it->second);
+  *out = entries.front().second;
+  return true;
+}
+
+void UpaService::SensitivityCache::Insert(const Key& key,
+                                          const core::SensitivityHint& hint,
+                                          size_t capacity) {
+  if (capacity == 0) return;
+  auto it = index.find(key);
+  if (it != index.end()) {
+    it->second->second = hint;
+    entries.splice(entries.begin(), entries, it->second);
+    return;
+  }
+  entries.emplace_front(key, hint);
+  index[key] = entries.begin();
+  while (entries.size() > capacity) {
+    index.erase(entries.back().first);
+    entries.pop_back();
+  }
+}
+
+void UpaService::SensitivityCache::Clear() {
+  entries.clear();
+  index.clear();
+}
+
+UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      accountant_(config_.budget_per_dataset) {
+  UPA_CHECK(ctx_ != nullptr);
+  UPA_CHECK_MSG(config_.max_in_flight > 0, "max_in_flight must be positive");
+  UPA_CHECK_MSG(config_.max_queue_per_tenant > 0,
+                "max_queue_per_tenant must be positive");
+}
+
+UpaService::~UpaService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  idle_cv_.wait(lock, [this] {
+    if (in_flight_ > 0) return false;
+    for (const auto& [name, tenant] : tenants_) {
+      if (!tenant.queue.empty()) return false;
+    }
+    return true;
+  });
+}
+
+std::future<Result<QueryResponse>> UpaService::Submit(QueryRequest request) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  std::future<Result<QueryResponse>> future = pending->promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    lock.unlock();
+    pending->promise.set_value(
+        Status::FailedPrecondition("service is shutting down"));
+    return future;
+  }
+  TenantState& tenant = tenants_[pending->request.tenant];
+  if (tenant.queue.size() >= config_.max_queue_per_tenant) {
+    ++tenant.rejected;
+    lock.unlock();
+    ctx_->metrics().AddCounter("service/rejected");
+    pending->promise.set_value(Status::ResourceExhausted(
+        "tenant '" + pending->request.tenant + "' backlog full (" +
+        std::to_string(config_.max_queue_per_tenant) + " queued)"));
+    return future;
+  }
+  ++tenant.submitted;
+  tenant.queue.push_back(std::move(pending));
+  MaybeDispatchLocked();
+  return future;
+}
+
+Result<QueryResponse> UpaService::Execute(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void UpaService::MaybeDispatchLocked() {
+  // One pass per free slot: pick the next runnable tenant in name order.
+  // A tenant is runnable when it has queued work, nothing of its own in
+  // flight (keeps the tenant FIFO), and its head request's dataset is not
+  // in flight either (serializes each dataset's release path at dispatch
+  // time — no lock is held across the run itself).
+  bool dispatched = true;
+  while (in_flight_ < config_.max_in_flight && dispatched) {
+    dispatched = false;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.running || tenant.queue.empty()) continue;
+      const std::string& dataset = tenant.queue.front()->request.dataset_id;
+      if (busy_datasets_.count(dataset) > 0) continue;
+      std::shared_ptr<Pending> pending = std::move(tenant.queue.front());
+      tenant.queue.pop_front();
+      tenant.running = true;
+      busy_datasets_.insert(dataset);
+      ++in_flight_;
+      dispatched = true;
+      std::string tenant_name = name;
+      ctx_->pool().Submit([this, pending, tenant_name] {
+        double queue_seconds = pending->queued.ElapsedSeconds();
+        ctx_->metrics().RecordLatency("service/queue", queue_seconds);
+        Result<QueryResponse> result =
+            RunOne(pending->request, queue_seconds);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          TenantState& t = tenants_[tenant_name];
+          t.running = false;
+          ++t.completed;
+          busy_datasets_.erase(pending->request.dataset_id);
+          --in_flight_;
+          MaybeDispatchLocked();
+          idle_cv_.notify_all();
+        }
+        // After the bookkeeping above the service may be destroyed at any
+        // time; `pending` is self-owned, so resolving the promise is safe.
+        pending->promise.set_value(std::move(result));
+      });
+      if (in_flight_ >= config_.max_in_flight) break;
+    }
+  }
+}
+
+std::shared_ptr<UpaService::DatasetState> UpaService::DatasetFor(
+    const std::string& dataset_id) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto& slot = datasets_[dataset_id];
+  if (!slot) slot = std::make_shared<DatasetState>();
+  return slot;
+}
+
+Result<QueryResponse> UpaService::RunOne(QueryRequest& request,
+                                         double queue_seconds) {
+  Stopwatch total;
+  engine::ExecMetrics& metrics = ctx_->metrics();
+  metrics.AddCounter("service/queries");
+
+  // The dispatcher admits one request per dataset at a time, so from here
+  // to return the dataset's budget, registry and cache see no concurrent
+  // release. ds->mu is taken only for short epoch/cache sections — never
+  // across the run (see DatasetState::mu).
+  std::shared_ptr<DatasetState> ds = DatasetFor(request.dataset_id);
+
+  Status charged = accountant_.Charge(request.dataset_id, request.epsilon);
+  if (!charged.ok()) {
+    metrics.AddCounter("service/budget_denied");
+    return charged;
+  }
+
+  uint64_t fingerprint = request.fingerprint != 0
+                             ? request.fingerprint
+                             : Fnv1a(request.query.name);
+  SensitivityCache::Key key{0, 0};
+  core::SensitivityHint hint;
+  bool cache_hit = false;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> ds_lock(ds->mu);
+    epoch = ds->epoch;
+    key = {fingerprint, epoch};
+    cache_hit = ds->cache.Lookup(key, &hint);
+  }
+  metrics.AddCounter(cache_hit ? "service/sens_cache_hit"
+                               : "service/sens_cache_miss");
+
+  core::UpaConfig upa_config = config_.upa;
+  upa_config.epsilon = request.epsilon;
+  core::UpaRunner runner(upa_config);
+  runner.share_enforcer(ds->enforcer);
+
+  Result<core::UpaRunResult> run =
+      runner.Run(request.query, request.seed, cache_hit ? &hint : nullptr);
+  if (!run.ok()) {
+    // Nothing was released: hand the budget back (two-phase charge).
+    accountant_.Refund(request.dataset_id, request.epsilon);
+    metrics.AddCounter("service/refunds");
+    return run.status();
+  }
+  const core::UpaRunResult& result = run.value();
+
+  {
+    std::lock_guard<std::mutex> ds_lock(ds->mu);
+    // Fill the cache only if the data didn't change mid-run: a BumpEpoch
+    // that raced the run makes this sensitivity stale on arrival.
+    if (!cache_hit && ds->epoch == epoch) {
+      ds->cache.Insert(key,
+                       core::SensitivityHint{result.local_sensitivity,
+                                             result.out_range,
+                                             result.degenerate_sensitivity},
+                       config_.sensitivity_cache_capacity);
+    }
+    ++ds->queries;
+  }
+  if (result.enforcer.attack_suspected) {
+    metrics.AddCounter("service/attacks_suspected");
+  }
+
+  QueryResponse response;
+  response.released = result.released_output;
+  response.epsilon = request.epsilon;
+  response.local_sensitivity = result.local_sensitivity;
+  response.out_range = result.out_range;
+  response.attack_suspected = result.enforcer.attack_suspected;
+  response.records_removed = result.enforcer.records_removed;
+  response.degenerate_sensitivity = result.degenerate_sensitivity;
+  response.sensitivity_cache_hit = cache_hit;
+  response.dataset_epoch = epoch;
+  response.queue_seconds = queue_seconds;
+  response.seconds = result.seconds;
+
+  metrics.RecordLatency("upa/sample", result.seconds.sample);
+  metrics.RecordLatency("upa/map", result.seconds.map);
+  metrics.RecordLatency("upa/reduce", result.seconds.reduce);
+  metrics.RecordLatency("upa/enforce", result.seconds.enforce);
+  metrics.RecordLatency("service/total", total.ElapsedSeconds());
+  return response;
+}
+
+void UpaService::BumpEpoch(const std::string& dataset_id) {
+  std::shared_ptr<DatasetState> ds = DatasetFor(dataset_id);
+  std::lock_guard<std::mutex> lock(ds->mu);
+  ++ds->epoch;
+  // Stale epochs can never be queried again; drop their entries now
+  // instead of waiting for LRU pressure.
+  ds->cache.Clear();
+}
+
+uint64_t UpaService::Epoch(const std::string& dataset_id) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(dataset_id);
+  if (it == datasets_.end()) return 0;
+  std::lock_guard<std::mutex> ds_lock(it->second->mu);
+  return it->second->epoch;
+}
+
+size_t UpaService::CachedSensitivities(const std::string& dataset_id) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(dataset_id);
+  if (it == datasets_.end()) return 0;
+  std::lock_guard<std::mutex> ds_lock(it->second->mu);
+  return it->second->cache.size();
+}
+
+std::string UpaService::StatsReport() const {
+  std::ostringstream out;
+  out << "== upa service ==\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "in_flight: " << in_flight_ << " / " << config_.max_in_flight
+        << "\n";
+    out << "tenants:\n";
+    for (const auto& [name, tenant] : tenants_) {
+      out << "  " << name << ": submitted=" << tenant.submitted
+          << " completed=" << tenant.completed
+          << " rejected=" << tenant.rejected
+          << " queued=" << tenant.queue.size()
+          << (tenant.running ? " [running]" : "") << "\n";
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(datasets_mu_);
+    out << "datasets:\n";
+    for (const auto& [id, ds] : datasets_) {
+      std::lock_guard<std::mutex> ds_lock(ds->mu);
+      out << "  " << id << ": epoch=" << ds->epoch
+          << " queries=" << ds->queries
+          << " registry=" << ds->enforcer->registry_size()
+          << " cached_sens=" << ds->cache.size()
+          << " spent=" << accountant_.Spent(id)
+          << " remaining=" << accountant_.Remaining(id) << "\n";
+    }
+  }
+  engine::MetricsSnapshot snapshot = ctx_->metrics().Snapshot();
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << "  " << name << ": " << value << "\n";
+    }
+  }
+  if (!snapshot.latency.empty()) {
+    out << "latency (p50 / p99 / max, seconds):\n";
+    for (const auto& [name, hist] : snapshot.latency) {
+      out << "  " << name << ": n=" << hist.count << " p50="
+          << hist.QuantileSeconds(0.5) << " p99=" << hist.QuantileSeconds(0.99)
+          << " max=" << hist.max_seconds << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace upa::service

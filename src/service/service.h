@@ -1,0 +1,208 @@
+// UpaService: a thread-safe, multi-tenant front door for the UPA release
+// path (ROADMAP north star: one deployed service answering many analysts'
+// queries over many private datasets concurrently).
+//
+// What the service owns, per dataset:
+//   - the RANGE ENFORCER registry (Algorithm 2 state shared by every query
+//     over that dataset, whoever submits it),
+//   - the privacy budget (one PrivacyAccountant across datasets, with
+//     charge/refund two-phase semantics: a query is charged before it runs
+//     and refunded if it fails before releasing anything),
+//   - a data epoch plus an LRU cache of inferred sensitivities/output
+//     ranges keyed by query fingerprint × epoch: a repeated query shape on
+//     unchanged data skips phase 3b's exclusion scans and the normal fit —
+//     the expensive half of a run — and releases bit-identically to the
+//     full run (see core::SensitivityHint).
+//
+// Admission and ordering:
+//   - at most `max_in_flight` queries execute at once (global), and at
+//     most one per tenant — so each tenant's submissions execute in FIFO
+//     order on the engine ThreadPool. With one writer per dataset this
+//     makes concurrent operation bit-identical to a sequential replay of
+//     each tenant's sequence (asserted by the stress suite).
+//   - per-tenant backlogs are bounded; overflow is rejected with
+//     RESOURCE_EXHAUSTED rather than queued without bound.
+//   - releases on one dataset serialize on a per-dataset lock (two tenants
+//     sharing a dataset stay sound; their interleaving is then admission
+//     order, not bit-reproducible — that is inherent, the registry is
+//     order-dependent).
+//
+// Observability: per-phase latency histograms (service/queue,
+// service/total, upa/sample|map|reduce|enforce) and named counters
+// (admissions, rejections, cache hits/misses, refunds, suspected attacks)
+// recorded in the ExecContext's engine::Metrics, plus a "/stats"-style
+// text dump (StatsReport) used by examples/sql_console.cpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "dp/accountant.h"
+#include "engine/context.h"
+#include "upa/runner.h"
+
+namespace upa::service {
+
+struct ServiceConfig {
+  /// Per-release pipeline defaults; `epsilon` is overridden per request.
+  core::UpaConfig upa;
+  /// Privacy budget per dataset (sequential composition cap).
+  double budget_per_dataset = 4.0;
+  /// Global cap on concurrently executing queries.
+  size_t max_in_flight = 4;
+  /// Bound on each tenant's backlog; overflow is rejected.
+  size_t max_queue_per_tenant = 256;
+  /// Capacity of each dataset's sensitivity LRU cache (0 disables reuse).
+  size_t sensitivity_cache_capacity = 64;
+};
+
+struct QueryRequest {
+  /// Queueing/fairness unit: one tenant's requests run one at a time, in
+  /// submission order.
+  std::string tenant;
+  /// Privacy unit: scopes the enforcer registry, budget and epoch.
+  std::string dataset_id;
+  core::QueryInstance query;
+  double epsilon = 0.1;
+  /// Drives sampling/noise (same request + same registry state → same
+  /// released bits). Callers choose it so replays are reproducible.
+  uint64_t seed = 0;
+  /// Query-shape fingerprint for the sensitivity cache (PlanFingerprint
+  /// for relational plans); 0 → derived from the query name.
+  uint64_t fingerprint = 0;
+};
+
+struct QueryResponse {
+  double released = 0.0;
+  double epsilon = 0.0;
+  double local_sensitivity = 0.0;
+  Interval out_range;
+  bool attack_suspected = false;
+  size_t records_removed = 0;
+  bool degenerate_sensitivity = false;
+  /// True when the sensitivity/range came from the per-dataset LRU cache
+  /// (the run skipped the exclusion scans).
+  bool sensitivity_cache_hit = false;
+  uint64_t dataset_epoch = 0;
+  /// Time spent queued before execution started.
+  double queue_seconds = 0.0;
+  core::PhaseSeconds seconds;
+};
+
+class UpaService {
+ public:
+  explicit UpaService(engine::ExecContext* ctx, ServiceConfig config = {});
+  /// Drains: blocks until every admitted request has completed.
+  ~UpaService();
+
+  UpaService(const UpaService&) = delete;
+  UpaService& operator=(const UpaService&) = delete;
+
+  /// Enqueue a request on its tenant's FIFO queue. The future resolves
+  /// when the release completes (or is rejected/fails). Rejections
+  /// (backlog full, shutdown) resolve immediately.
+  std::future<Result<QueryResponse>> Submit(QueryRequest request);
+
+  /// Submit + wait. Do not call from inside an engine pool task.
+  Result<QueryResponse> Execute(QueryRequest request);
+
+  /// Announce that `dataset_id`'s underlying data changed: bumps the
+  /// epoch, which invalidates every cached sensitivity for the dataset.
+  void BumpEpoch(const std::string& dataset_id);
+  uint64_t Epoch(const std::string& dataset_id) const;
+
+  /// Size of the dataset's sensitivity cache (tests/stats).
+  size_t CachedSensitivities(const std::string& dataset_id) const;
+
+  dp::PrivacyAccountant& accountant() { return accountant_; }
+  engine::ExecContext* ctx() { return ctx_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// "/stats"-style plain-text dump: admission state, per-tenant queue
+  /// stats, per-dataset budget/registry/cache state, latency histograms.
+  std::string StatsReport() const;
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<Result<QueryResponse>> promise;
+    Stopwatch queued;
+  };
+
+  struct TenantState {
+    // shared_ptr: the in-flight task keeps its Pending alive past service
+    // destruction (and ThreadPool::Submit needs a copyable callable).
+    std::deque<std::shared_ptr<Pending>> queue;
+    bool running = false;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+  };
+
+  /// One dataset's sensitivity LRU: (fingerprint, epoch) → hint, most
+  /// recently used at the front. Guarded by DatasetState::mu.
+  struct SensitivityCache {
+    using Key = std::pair<uint64_t, uint64_t>;
+    std::list<std::pair<Key, core::SensitivityHint>> entries;
+    std::map<Key, decltype(entries)::iterator> index;
+
+    bool Lookup(const Key& key, core::SensitivityHint* out);
+    void Insert(const Key& key, const core::SensitivityHint& hint,
+                size_t capacity);
+    void Clear();
+    size_t size() const { return entries.size(); }
+  };
+
+  struct DatasetState {
+    // Guards epoch/cache/queries for short reads and writes only. Release
+    // paths never overlap on a dataset — the dispatcher admits at most one
+    // in-flight request per dataset (see busy_datasets_) — so this mutex
+    // is never held across a run. Holding it across one would deadlock: a
+    // pool worker waiting inside the runner's ParallelFor help-runs queued
+    // tasks, and could pick up a second request for the same dataset.
+    std::mutex mu;
+    std::shared_ptr<core::RangeEnforcer> enforcer =
+        std::make_shared<core::RangeEnforcer>();
+    uint64_t epoch = 0;
+    uint64_t queries = 0;
+    SensitivityCache cache;
+  };
+
+  std::shared_ptr<DatasetState> DatasetFor(const std::string& dataset_id);
+  /// Dispatch queued requests while a global slot is free; at most one
+  /// in-flight request per tenant (keeps each tenant FIFO) and at most one
+  /// per dataset (serializes the registry/budget/cache without holding a
+  /// lock across the run). A tenant whose head request targets a busy
+  /// dataset waits — head-of-line order is what makes per-dataset request
+  /// order deterministic. Called with `mu_` held.
+  void MaybeDispatchLocked();
+  Result<QueryResponse> RunOne(QueryRequest& request, double queue_seconds);
+
+  engine::ExecContext* ctx_;
+  ServiceConfig config_;
+  dp::PrivacyAccountant accountant_;
+
+  mutable std::mutex mu_;  // tenants_, busy_datasets_, in_flight_, shutdown
+  std::condition_variable idle_cv_;
+  std::map<std::string, TenantState> tenants_;
+  /// Datasets with a request currently in flight.
+  std::set<std::string> busy_datasets_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+
+  mutable std::mutex datasets_mu_;
+  std::map<std::string, std::shared_ptr<DatasetState>> datasets_;
+};
+
+}  // namespace upa::service

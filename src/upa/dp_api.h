@@ -199,12 +199,17 @@ class DpObject {
     core::UpaConfig cfg = sys_->runner_.config();
     cfg.epsilon = epsilon;
     core::UpaRunner release_runner(cfg);
-    // Share the persistent enforcer registry.
-    release_runner.enforcer() = sys_->runner_.enforcer();
+    // Share the persistent enforcer registry (the registry is
+    // thread-safe; Run holds its Session lock across Enforce → Register).
+    release_runner.share_enforcer(sys_->runner_.shared_enforcer());
     Result<core::UpaRunResult> result = release_runner.Run(
         core::MakeSimpleQuery(std::move(spec)), sys_->NextSeed());
-    if (!result.ok()) return result.status();
-    sys_->runner_.enforcer() = release_runner.enforcer();
+    if (!result.ok()) {
+      // Two-phase budget: the failed release never produced output, so
+      // the charge above is returned rather than burnt.
+      sys_->accountant_.Refund(dataset_id_, epsilon);
+      return result.status();
+    }
 
     DpRelease release;
     release.value = result.value().released_output;

@@ -10,13 +10,26 @@
 // removes records from the current input (two at a time) until every prior
 // query differs on at least two partitions, guaranteeing non-neighbourhood.
 //
+// Removals are re-checked against the *whole* registry: separating the
+// outputs from prior k can move them back into collision with a prior
+// j < k, so the removal loop runs to a fixpoint where all priors differ on
+// >= 2 partitions simultaneously (Algorithm 2's invariant is universally
+// quantified over the registry, not per-prior).
+//
 // The released value is then clamped into the inferred output range Ô_f,
 // which upper-bounds the achievable local sensitivity and yields the ε-iDP
 // proof of §IV-C.
+//
+// Thread safety: Enforce / Register / registry_size / Reset each lock an
+// internal mutex, so a registry may be shared between runners. A release
+// path needs Enforce and the subsequent Register to see the registry
+// atomically (no other query may register in between); use Session, which
+// holds the registry lock across that window.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace upa::core {
@@ -34,6 +47,9 @@ struct EnforcerDecision {
   /// (possible for degenerate constant queries); the release still goes
   /// through the clamp, which is what carries the privacy guarantee.
   bool removal_capped = false;
+  /// Full passes over the registry the fixpoint loop needed (1 when no
+  /// removal re-collided with an earlier prior).
+  size_t fixpoint_passes = 0;
 };
 
 class RangeEnforcer {
@@ -45,12 +61,16 @@ class RangeEnforcer {
   explicit RangeEnforcer(double tolerance = 1e-9, size_t max_removals = 64)
       : tolerance_(tolerance), max_removals_(max_removals) {}
 
-  /// Runs Algorithm 2's comparison + removal loop.
+  RangeEnforcer(const RangeEnforcer&) = delete;
+  RangeEnforcer& operator=(const RangeEnforcer&) = delete;
+
+  /// Runs Algorithm 2's comparison + removal loop to a fixpoint.
   ///
   /// `partition_outputs` is the current query's per-partition output value
   /// (updated in place if records are removed). `recompute(total_removed)`
   /// must return the partition outputs after removing `total_removed`
-  /// records from the current input's sample set.
+  /// records from the current input's sample set. `recompute` runs with
+  /// the registry lock held.
   EnforcerDecision Enforce(
       std::vector<double>& partition_outputs,
       const std::function<std::vector<double>(size_t total_removed)>&
@@ -60,18 +80,50 @@ class RangeEnforcer {
   /// (Algorithm 2 lines 19–21).
   void Register(std::vector<double> partition_outputs);
 
-  size_t registry_size() const { return prior_.size(); }
-  void Reset() { prior_.clear(); }
+  size_t registry_size() const;
+  void Reset();
 
   /// Exposed for tests: the "same value" predicate used in comparisons.
   bool NearlyEqual(double a, double b) const;
 
+  /// Holds the registry lock across an Enforce → Register window so the
+  /// pair is atomic with respect to other sessions sharing the registry.
+  /// Release paths (UpaRunner, the service) go through here; standalone
+  /// Enforce/Register stay valid for single-owner use.
+  class Session {
+   public:
+    explicit Session(RangeEnforcer& enforcer)
+        : enforcer_(enforcer), lock_(enforcer.mu_) {}
+
+    EnforcerDecision Enforce(
+        std::vector<double>& partition_outputs,
+        const std::function<std::vector<double>(size_t total_removed)>&
+            recompute) {
+      return enforcer_.EnforceLocked(partition_outputs, recompute);
+    }
+    void Register(std::vector<double> partition_outputs) {
+      enforcer_.RegisterLocked(std::move(partition_outputs));
+    }
+
+   private:
+    RangeEnforcer& enforcer_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
  private:
+  friend class Session;
+
+  EnforcerDecision EnforceLocked(
+      std::vector<double>& partition_outputs,
+      const std::function<std::vector<double>(size_t total_removed)>&
+          recompute);
+  void RegisterLocked(std::vector<double> partition_outputs);
   size_t CountDifferences(const std::vector<double>& current,
                           const std::vector<double>& prior) const;
 
   double tolerance_;
   size_t max_removals_;
+  mutable std::mutex mu_;
   std::vector<std::vector<double>> prior_;
 };
 

@@ -44,7 +44,8 @@ std::vector<Vec> SamplePartitionPartials(
 }  // namespace
 
 Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
-                                    uint64_t seed) {
+                                    uint64_t seed,
+                                    const SensitivityHint* hint) {
   if (query.num_records == 0) {
     return Status::InvalidArgument("query '" + query.name +
                                    "': empty input dataset");
@@ -56,6 +57,14 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   if (query.ctx == nullptr) {
     return Status::InvalidArgument("query '" + query.name +
                                    "': missing ExecContext");
+  }
+  // Percentile misconfiguration would otherwise abort deep inside the
+  // quantile math; reject it as a recoverable error at the API boundary.
+  if (!(config_.lo_percentile > 0.0 && config_.hi_percentile < 100.0 &&
+        config_.lo_percentile < config_.hi_percentile)) {
+    return Status::InvalidArgument(
+        "query '" + query.name +
+        "': percentiles must satisfy 0 < lo < hi < 100");
   }
   const size_t num_partitions = std::max<size_t>(2, config_.enforcer_partitions);
 
@@ -114,32 +123,44 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   for (const Vec& partial : batches.sprime_partials) {
     r_sprime = VecSum::Combine(std::move(r_sprime), partial);
   }
-  // R(S) and the per-exclusion reductions R(S \ s_i), reusing R(M(S')).
-  std::vector<Vec> excl =
-      ExclusionAggregate(batches.sample_mapped, config_.exclusion, pool);
   Vec r_s = TotalAggregate(batches.sample_mapped);
   Vec f_vec = VecSum::Combine(r_sprime, r_s);
 
-  // Sampled-neighbour outputs: removals f(x - s_i), additions f(x + s̄_i).
-  // Each output depends only on its own index, so the chunked evaluation
-  // performs exactly the sequential loop's arithmetic per slot.
-  const size_t num_neighbours = n + batches.domain_mapped.size();
-  result.neighbour_outputs.resize(num_neighbours);
-  run_chunks("upa/neighbour_eval", num_neighbours,
-             [&](size_t begin, size_t end) {
-               for (size_t i = begin; i < end; ++i) {
-                 result.neighbour_outputs[i] =
-                     i < n ? query.OutputOf(VecSum::Combine(r_sprime, excl[i]))
-                           : query.OutputOf(VecSum::Combine(
-                                 f_vec, batches.domain_mapped[i - n]));
-               }
-             });
+  // Sampled-neighbour outputs: removals f(x - s_i), additions f(x + s̄_i),
+  // derived from the per-exclusion reductions R(S \ s_i). They only feed
+  // the sensitivity fit, so a hinted run skips them entirely — the
+  // expensive part of a repeated query shape.
+  if (hint == nullptr) {
+    // Each output depends only on its own index, so the chunked evaluation
+    // performs exactly the sequential loop's arithmetic per slot.
+    std::vector<Vec> excl =
+        ExclusionAggregate(batches.sample_mapped, config_.exclusion, pool);
+    const size_t num_neighbours = n + batches.domain_mapped.size();
+    result.neighbour_outputs.resize(num_neighbours);
+    run_chunks("upa/neighbour_eval", num_neighbours,
+               [&](size_t begin, size_t end) {
+                 for (size_t i = begin; i < end; ++i) {
+                   result.neighbour_outputs[i] =
+                       i < n ? query.OutputOf(VecSum::Combine(r_sprime, excl[i]))
+                             : query.OutputOf(VecSum::Combine(
+                                   f_vec, batches.domain_mapped[i - n]));
+                 }
+               });
+  }
   result.seconds.reduce = phase_watch.ElapsedSeconds();
 
   // ---- Phase 4: iDP Enforcement -----------------------------------------
   phase_watch.Reset();
   const double f_x = query.OutputOf(f_vec);
-  if (config_.sensitivity_rule == SensitivityRule::kOutputRange) {
+  if (hint != nullptr) {
+    // Reuse the sensitivity/range a previous run of this query shape
+    // inferred (same dataset epoch, so the inference inputs are
+    // unchanged). The enforcer/clamp/noise path below is untouched —
+    // soundness never depended on where the range came from.
+    result.local_sensitivity = hint->local_sensitivity;
+    result.out_range = hint->out_range;
+    result.degenerate_sensitivity = hint->degenerate;
+  } else if (config_.sensitivity_rule == SensitivityRule::kOutputRange) {
     result.out_range =
         NormalPercentileInterval(result.neighbour_outputs,
                                  config_.lo_percentile, config_.hi_percentile);
@@ -210,8 +231,13 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   result.partition_outputs = partition_outputs_for(0);
 
   if (config_.enable_enforcer) {
+    // The registry may be shared with other runners (the service shares
+    // one per dataset): the Session lock keeps this query's Enforce and
+    // Register atomic, so no concurrent release can slip a registration
+    // in between and invalidate the fixpoint just computed.
+    RangeEnforcer::Session session(*enforcer_);
     result.enforcer =
-        enforcer_.Enforce(result.partition_outputs, partition_outputs_for);
+        session.Enforce(result.partition_outputs, partition_outputs_for);
     if (result.enforcer.records_removed > 0) {
       // x was shrunk: recompute the reduced value without the removed
       // sample records (newest-index-first removal order).
@@ -224,7 +250,7 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
       }
       f_vec = VecSum::Combine(r_sprime, r_s_kept);
     }
-    enforcer_.Register(result.partition_outputs);
+    session.Register(result.partition_outputs);
   }
 
   result.reduced = f_vec;

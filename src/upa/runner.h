@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/normal_fit.h"
@@ -122,20 +123,45 @@ struct UpaRunResult {
   size_t sample_size = 0;
 };
 
+/// Previously inferred sensitivity + output range for a query shape, as
+/// cached by the service layer (keyed by plan fingerprint × dataset
+/// epoch). Passing it to Run skips phase 3b's exclusion scans and the
+/// sensitivity fit — the expensive part of a repeat query — while leaving
+/// the release path (partition outputs, enforcer, clamp, noise) intact,
+/// so a hinted run releases bit-identically to the full run that produced
+/// the hint.
+struct SensitivityHint {
+  double local_sensitivity = 0.0;
+  Interval out_range;
+  bool degenerate = false;
+};
+
 class UpaRunner {
  public:
-  explicit UpaRunner(UpaConfig config = {}) : config_(config) {}
+  explicit UpaRunner(UpaConfig config = {})
+      : config_(config), enforcer_(std::make_shared<RangeEnforcer>()) {}
 
   /// Executes one query end-to-end. `seed` drives sampling, synthetic
   /// domain records and noise; same (query, seed) → same result.
-  Result<UpaRunResult> Run(const QueryInstance& query, uint64_t seed);
+  /// With `hint`, reuses a previously inferred sensitivity/output range
+  /// instead of computing them (see SensitivityHint).
+  Result<UpaRunResult> Run(const QueryInstance& query, uint64_t seed,
+                           const SensitivityHint* hint = nullptr);
 
-  RangeEnforcer& enforcer() { return enforcer_; }
+  RangeEnforcer& enforcer() { return *enforcer_; }
+  /// The registry, shareable between runners (the service shares one per
+  /// dataset). The enforcer itself is thread-safe; Run takes a Session
+  /// lock across its Enforce → Register window.
+  std::shared_ptr<RangeEnforcer> shared_enforcer() const { return enforcer_; }
+  void share_enforcer(std::shared_ptr<RangeEnforcer> enforcer) {
+    UPA_CHECK(enforcer != nullptr);
+    enforcer_ = std::move(enforcer);
+  }
   const UpaConfig& config() const { return config_; }
 
  private:
   UpaConfig config_;
-  RangeEnforcer enforcer_;
+  std::shared_ptr<RangeEnforcer> enforcer_;
 };
 
 }  // namespace upa::core

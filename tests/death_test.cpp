@@ -67,6 +67,21 @@ TEST(DeathTest, ExclusionRejectsUnknownStrategy) {
       "ExclusionStrategy");
 }
 
+TEST(DeathTest, PercentileIntervalRejectsBoundaryPercentiles) {
+  // Regression: lo_pct <= 0 / hi_pct >= 100 used to crash deep inside
+  // StandardNormalQuantile with the unhelpful "(0,1)" message; the API
+  // boundary now rejects them with a percentile-flavoured message.
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DEATH(NormalPercentileInterval(xs, 0.0, 99.0),
+               "strictly inside \\(0, 100\\)");
+  EXPECT_DEATH(NormalPercentileInterval(xs, -5.0, 99.0),
+               "strictly inside \\(0, 100\\)");
+  EXPECT_DEATH(NormalPercentileInterval(xs, 1.0, 100.0),
+               "strictly inside \\(0, 100\\)");
+  EXPECT_DEATH(NormalPercentileInterval(xs, 1.0, 120.0),
+               "strictly inside \\(0, 100\\)");
+}
+
 TEST(DeathTest, VecSumRejectsDimensionMismatch) {
   core::Vec a{1.0, 2.0};
   core::Vec b{1.0, 2.0, 3.0};

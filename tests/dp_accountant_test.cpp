@@ -53,6 +53,65 @@ TEST(AccountantTest, UnknownDatasetHasZeroSpent) {
   EXPECT_DOUBLE_EQ(acc.Remaining("never-seen"), 2.0);
 }
 
+TEST(AccountantTest, RemainingNeverGoesNegative) {
+  // The 1e-12 acceptance slack in Charge lets Spent exceed the budget by a
+  // hair; Remaining must clamp the tiny negative difference to 0.
+  PrivacyAccountant acc(0.3);
+  EXPECT_TRUE(acc.Charge("ds", 0.1).ok());
+  EXPECT_TRUE(acc.Charge("ds", 0.1).ok());
+  EXPECT_TRUE(acc.Charge("ds", 0.1).ok());  // float sum 0.30000000000000004
+  EXPECT_GE(acc.Remaining("ds"), 0.0);
+}
+
+TEST(AccountantTest, RefundRestoresBudget) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge("ds", 0.6).ok());
+  EXPECT_TRUE(acc.Refund("ds", 0.6).ok());
+  EXPECT_DOUBLE_EQ(acc.Spent("ds"), 0.0);
+  // The refunded budget is spendable again.
+  EXPECT_TRUE(acc.Charge("ds", 1.0).ok());
+}
+
+TEST(AccountantTest, RefundIsBoundedBySpent) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge("ds", 0.2).ok());
+  EXPECT_TRUE(acc.Refund("ds", 5.0).ok());  // clamped, can't mint budget
+  EXPECT_DOUBLE_EQ(acc.Spent("ds"), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Remaining("ds"), 1.0);
+}
+
+TEST(AccountantTest, RefundRejectsUnknownDatasetAndBadEpsilon) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_EQ(acc.Refund("never-charged", 0.1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(acc.Charge("ds", 0.5).ok());
+  EXPECT_EQ(acc.Refund("ds", 0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(acc.Refund("ds", -0.1).code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(acc.Spent("ds"), 0.5);  // failed refunds change nothing
+}
+
+TEST(AccountantTest, ChargeRefundTwoPhaseUnderConcurrency) {
+  // Failed work refunds its charge; the net spend must equal only the
+  // successful (non-refunded) charges regardless of interleaving.
+  PrivacyAccountant acc(8.0);
+  std::vector<std::thread> threads;
+  std::atomic<int> kept{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        if (!acc.Charge("ds", 0.01).ok()) continue;
+        if ((t + i) % 2 == 0) {
+          ASSERT_TRUE(acc.Refund("ds", 0.01).ok());
+        } else {
+          kept.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(acc.Spent("ds"), kept.load() * 0.01, 1e-9);
+}
+
 TEST(AccountantTest, ConcurrentChargesNeverOverspend) {
   PrivacyAccountant acc(1.0);
   std::vector<std::thread> threads;

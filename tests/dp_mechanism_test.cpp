@@ -54,6 +54,44 @@ TEST(ClampedReleaseTest, InsideValueUnchangedAtHugeEpsilon) {
   EXPECT_NEAR(released, 4.2, 1e-3);
 }
 
+TEST(ClampedReleaseTest, DegenerateRangeStillNoises) {
+  // Regression: a zero-width range (degenerate fit) used to release the
+  // clamped value exactly — noiselessly. The min-width floor keeps a
+  // Laplace scale of at least kMinReleaseWidth / epsilon.
+  Interval degenerate{5.0, 5.0};
+  Rng rng(7);
+  bool any_noise = false;
+  for (int i = 0; i < 16; ++i) {
+    double released = ClampedLaplaceRelease(5.0, degenerate, 0.1, rng);
+    if (released != 5.0) any_noise = true;
+  }
+  EXPECT_TRUE(any_noise);
+}
+
+TEST(ClampedReleaseTest, DegenerateRangeNoiseScaleMatchesFloor) {
+  Interval degenerate{5.0, 5.0};
+  const double eps = 0.5, floor = 1e-3;
+  Rng rng(8);
+  std::vector<double> noisy(50000);
+  for (auto& x : noisy) {
+    x = ClampedLaplaceRelease(5.0, degenerate, eps, rng, floor);
+  }
+  double expect_sd = std::sqrt(2.0) * floor / eps;
+  EXPECT_NEAR(Mean(noisy), 5.0, 5.0 * expect_sd);
+  EXPECT_NEAR(StdDevSample(noisy), expect_sd, expect_sd * 0.05);
+}
+
+TEST(ClampedReleaseTest, FloorDoesNotInflateWideRanges) {
+  // A range wider than the floor is unaffected: identical RNG stream must
+  // give an identical release with and without the default floor.
+  Interval range{0.0, 10.0};
+  Rng rng_a(9), rng_b(9);
+  double with_default = ClampedLaplaceRelease(4.0, range, 1.0, rng_a);
+  double with_zero_floor =
+      ClampedLaplaceRelease(4.0, range, 1.0, rng_b, /*min_width=*/0.0);
+  EXPECT_DOUBLE_EQ(with_default, with_zero_floor);
+}
+
 // Empirical ε check: the defining iDP inequality
 // P(K(x)=o) ≤ e^ε · P(K(x')=o) for the clamp-then-Laplace release, with
 // |f(x)-f(x')| equal to the full range width (the worst neighbouring pair).

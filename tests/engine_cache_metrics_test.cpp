@@ -129,6 +129,67 @@ TEST(ExecMetricsTest, HitRateEdgeCases) {
   EXPECT_FALSE(s.ToString().empty());
 }
 
+TEST(ExecMetricsTest, NamedCountersAccumulateAndSubtract) {
+  ExecMetrics m;
+  m.AddCounter("service/queries");
+  m.AddCounter("service/queries", 4);
+  m.AddCounter("service/rejected");
+  auto before = m.Snapshot();
+  m.AddCounter("service/queries", 2);
+  auto delta = m.Snapshot() - before;
+  EXPECT_EQ(before.counters.at("service/queries"), 5u);
+  EXPECT_EQ(before.counters.at("service/rejected"), 1u);
+  EXPECT_EQ(delta.counters.at("service/queries"), 2u);
+  EXPECT_EQ(delta.counters.at("service/rejected"), 0u);
+}
+
+TEST(HistogramTest, BucketsCoverMicrosToMinutes) {
+  EXPECT_EQ(HistogramSnapshot::BucketOf(0.0), 0u);
+  EXPECT_EQ(HistogramSnapshot::BucketOf(5e-7), 0u);
+  // Each bucket's upper bound lands in that bucket's range.
+  for (size_t i = 1; i + 1 < HistogramSnapshot::kBuckets; ++i) {
+    double upper = HistogramSnapshot::BucketUpperSeconds(i);
+    EXPECT_EQ(HistogramSnapshot::BucketOf(upper * 0.99), i) << i;
+    EXPECT_EQ(HistogramSnapshot::BucketOf(upper * 1.01), i + 1) << i;
+  }
+  // Far beyond the last bound: clamped into the open-ended top bucket.
+  EXPECT_EQ(HistogramSnapshot::BucketOf(1e9),
+            HistogramSnapshot::kBuckets - 1);
+}
+
+TEST(HistogramTest, QuantilesTrackObservations) {
+  ExecMetrics m;
+  // 90 fast observations (~2µs), 10 slow (~1ms).
+  for (int i = 0; i < 90; ++i) m.RecordLatency("phase", 2e-6);
+  for (int i = 0; i < 10; ++i) m.RecordLatency("phase", 1e-3);
+  auto hist = m.Snapshot().latency.at("phase");
+  EXPECT_EQ(hist.count, 100u);
+  EXPECT_NEAR(hist.MeanSeconds(), (90 * 2e-6 + 10 * 1e-3) / 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(hist.max_seconds, 1e-3);
+  // p50 is in the fast band, p99 in the slow band (bucket resolution 2x).
+  EXPECT_LE(hist.QuantileSeconds(0.5), 8e-6);
+  EXPECT_GE(hist.QuantileSeconds(0.99), 5e-4);
+  // Quantiles never exceed the observed max.
+  EXPECT_LE(hist.QuantileSeconds(1.0), hist.max_seconds);
+  EXPECT_FALSE(hist.ToString().empty());
+}
+
+TEST(HistogramTest, SnapshotSubtractionIsolatesNewObservations) {
+  ExecMetrics m;
+  m.RecordLatency("phase", 1e-3);
+  auto before = m.Snapshot();
+  m.RecordLatency("phase", 4e-3);
+  auto delta = m.Snapshot() - before;
+  EXPECT_EQ(delta.latency.at("phase").count, 1u);
+  EXPECT_NEAR(delta.latency.at("phase").sum_seconds, 4e-3, 1e-9);
+}
+
+TEST(HistogramTest, EmptyHistogramIsWellBehaved) {
+  HistogramSnapshot hist;
+  EXPECT_DOUBLE_EQ(hist.QuantileSeconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.MeanSeconds(), 0.0);
+}
+
 TEST(ExecContextTest, TimePhaseAttributesTime) {
   ExecContext ctx(ExecConfig{.threads = 1, .default_partitions = 2});
   int result = ctx.TimePhase("work", [] { return 7; });

@@ -185,6 +185,89 @@ TEST(RangeEnforcerTest, DifferentArityPriorTriviallyDiffers) {
   EXPECT_FALSE(decision.attack_suspected);
 }
 
+TEST(RangeEnforcerTest, RemovalReCollidingWithEarlierPriorReachesFixpoint) {
+  // Regression for the registry re-scan hole: separating the outputs from
+  // the SECOND prior moves them back into collision with the FIRST. A
+  // per-prior single pass terminates with outputs equal to prior A —
+  // silently violating Algorithm 2's "differs on >= 2 partitions from
+  // every prior" invariant. The fixpoint loop must keep removing.
+  RangeEnforcer enforcer;
+  enforcer.Register({10.0, 20.0});  // prior A
+  enforcer.Register({12.0, 22.0});  // prior B
+  std::vector<double> outputs{10.0, 20.0};
+  // removed=2 → separated from A but identical to B; removed=4 →
+  // separated from B but identical to A again; removed=6 → clear of both.
+  auto recompute = [](size_t removed) {
+    if (removed == 2) return std::vector<double>{12.0, 22.0};
+    if (removed == 4) return std::vector<double>{10.0, 20.0};
+    return std::vector<double>{5.0, 15.0};
+  };
+  auto decision = enforcer.Enforce(outputs, recompute);
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_EQ(decision.records_removed, 6u);
+  EXPECT_GE(decision.fixpoint_passes, 2u);
+  // The universal invariant: final outputs differ from EVERY prior on at
+  // least two partitions simultaneously.
+  for (const auto& prior :
+       {std::vector<double>{10.0, 20.0}, std::vector<double>{12.0, 22.0}}) {
+    size_t diff = 0;
+    for (size_t j = 0; j < prior.size(); ++j) {
+      if (!enforcer.NearlyEqual(outputs[j], prior[j])) ++diff;
+    }
+    EXPECT_GE(diff, 2u) << "re-collided with prior {" << prior[0] << ","
+                        << prior[1] << "}";
+  }
+}
+
+TEST(RangeEnforcerTest, FixpointIsOnePassWithoutRecollision) {
+  RangeEnforcer enforcer;
+  enforcer.Register({1.0, 2.0});
+  enforcer.Register({3.0, 4.0});
+  std::vector<double> outputs{100.0, 200.0};
+  auto decision = enforcer.Enforce(outputs, CountLikeRecompute(outputs));
+  EXPECT_FALSE(decision.attack_suspected);
+  EXPECT_EQ(decision.fixpoint_passes, 1u);
+}
+
+TEST(RangeEnforcerTest, FixpointLoopStillRespectsRemovalCap) {
+  // A recompute that oscillates between the two priors forever must be cut
+  // off by the cap, not loop endlessly.
+  RangeEnforcer enforcer(1e-9, /*max_removals=*/8);
+  enforcer.Register({10.0, 20.0});
+  enforcer.Register({12.0, 22.0});
+  std::vector<double> outputs{10.0, 20.0};
+  auto oscillate = [](size_t removed) {
+    return (removed / 2) % 2 == 1 ? std::vector<double>{12.0, 22.0}
+                                  : std::vector<double>{10.0, 20.0};
+  };
+  auto decision = enforcer.Enforce(outputs, oscillate);
+  EXPECT_TRUE(decision.attack_suspected);
+  EXPECT_TRUE(decision.removal_capped);
+  EXPECT_LE(decision.records_removed, 8u);
+}
+
+TEST(RangeEnforcerTest, SessionEnforceRegisterMatchesStandalone) {
+  RangeEnforcer standalone;
+  standalone.Register({10.0, 20.0});
+  std::vector<double> a{10.0, 21.0};
+  auto expect = standalone.Enforce(a, CountLikeRecompute(a));
+  standalone.Register(a);
+
+  RangeEnforcer sessioned;
+  sessioned.Register({10.0, 20.0});
+  std::vector<double> b{10.0, 21.0};
+  EnforcerDecision got;
+  {
+    RangeEnforcer::Session session(sessioned);
+    got = session.Enforce(b, CountLikeRecompute(b));
+    session.Register(b);
+  }
+  EXPECT_EQ(got.attack_suspected, expect.attack_suspected);
+  EXPECT_EQ(got.records_removed, expect.records_removed);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(sessioned.registry_size(), standalone.registry_size());
+}
+
 TEST(RangeEnforcerTest, SequenceOfQueriesAccumulates) {
   RangeEnforcer enforcer;
   for (int i = 0; i < 5; ++i) {

@@ -101,6 +101,65 @@ TEST(UpaRunnerTest, SmallDatasetSamplesEverything) {
   EXPECT_DOUBLE_EQ(result.value().raw_output, 50.0);
 }
 
+TEST(UpaRunnerTest, RejectsBoundaryPercentileConfig) {
+  // lo <= 0 / hi >= 100 used to crash inside StandardNormalQuantile; the
+  // runner now rejects them as a recoverable error before running.
+  for (auto [lo, hi] : {std::pair{0.0, 99.0},
+                        std::pair{1.0, 100.0},
+                        std::pair{-1.0, 99.0},
+                        std::pair{99.0, 1.0}}) {
+    UpaConfig cfg = NoNoiseConfig();
+    cfg.sensitivity_rule = SensitivityRule::kOutputRange;
+    cfg.lo_percentile = lo;
+    cfg.hi_percentile = hi;
+    UpaRunner runner(cfg);
+    auto result = runner.Run(CountQuery(500), 1);
+    ASSERT_FALSE(result.ok()) << lo << "," << hi;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(UpaRunnerTest, SensitivityHintReleasesBitIdentically) {
+  // A hinted run (sensitivity/range reused from a prior full run of the
+  // same shape) must skip the neighbour evaluation yet release the exact
+  // same bits: enforcer, clamp and noise are untouched by the hint.
+  UpaConfig cfg = NoNoiseConfig();
+  cfg.add_noise = true;
+  UpaRunner full(cfg), hinted(cfg);
+  auto reference = full.Run(CountQuery(5000), 11);
+  ASSERT_TRUE(reference.ok());
+
+  SensitivityHint hint{reference.value().local_sensitivity,
+                       reference.value().out_range,
+                       reference.value().degenerate_sensitivity};
+  auto fast = hinted.Run(CountQuery(5000), 11, &hint);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_DOUBLE_EQ(fast.value().released_output,
+                   reference.value().released_output);
+  EXPECT_DOUBLE_EQ(fast.value().raw_output, reference.value().raw_output);
+  EXPECT_DOUBLE_EQ(fast.value().local_sensitivity,
+                   reference.value().local_sensitivity);
+  EXPECT_EQ(fast.value().partition_outputs,
+            reference.value().partition_outputs);
+  // The skipped work is observable: no neighbour outputs were computed.
+  EXPECT_TRUE(fast.value().neighbour_outputs.empty());
+  EXPECT_EQ(reference.value().neighbour_outputs.size(), 400u);
+}
+
+TEST(UpaRunnerTest, SharedEnforcerSeesOtherRunnersRegistrations) {
+  UpaConfig cfg = NoNoiseConfig();
+  UpaRunner a(cfg), b(cfg);
+  b.share_enforcer(a.shared_enforcer());
+  ASSERT_TRUE(a.Run(CountQuery(5000, "shared-count"), 1).ok());
+  EXPECT_EQ(b.enforcer().registry_size(), 1u);
+  // The same query through the other runner is a repeat against the
+  // shared registry: partition outputs collide and the enforcer reacts.
+  auto repeat = b.Run(CountQuery(5000, "shared-count"), 1);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.value().enforcer.attack_suspected);
+  EXPECT_EQ(a.enforcer().registry_size(), 2u);
+}
+
 TEST(UpaRunnerTest, DeterministicForSameSeed) {
   UpaConfig cfg = NoNoiseConfig();
   cfg.add_noise = true;
