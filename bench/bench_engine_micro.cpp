@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/dataset.h"
 #include "engine/shuffle.h"
@@ -139,6 +141,32 @@ void BM_NestedParallelFor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8 * 64);
 }
 BENCHMARK(BM_NestedParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+// Failpoint guard cost in a hot loop. With no site active the macro is one
+// relaxed atomic load (AnyActive) — Arg(0). Arg(1) activates a site that
+// never fires (every-2^62 trigger) to price the slow path's registry lookup.
+// The delta between Arg(0) and plain loop iteration is the overhead every
+// guarded seam pays in production, and it must stay at noise level.
+void BM_FailpointGuard(benchmark::State& state) {
+  upa::Failpoints::Instance().DeactivateAll();
+  if (state.range(0) == 1) {
+    upa::Failpoints::Spec spec;
+    spec.action = upa::Failpoints::Action::kError;
+    spec.trigger = upa::Failpoints::Trigger::kEveryN;
+    spec.every_n = uint64_t{1} << 62;
+    upa::Failpoints::Instance().Activate("bench/other_site", spec);
+  }
+  auto guarded = []() -> upa::Status {
+    UPA_FAILPOINT("bench/hot_loop");
+    return upa::Status::Ok();
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guarded().ok());
+  }
+  upa::Failpoints::Instance().DeactivateAll();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointGuard)->Arg(0)->Arg(1);
 
 void BM_HashJoin(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

@@ -6,10 +6,15 @@
 //     invalidation when the data changes, via BumpEpoch),
 //   - the shared RANGE ENFORCER registry flagging a repeat-query attack
 //     no matter which tenant submits the repeat,
+//   - deadlines and client cancellation (both refund the budget charge),
+//   - durable journaling: a restarted service recovers registry + ledger,
 //   - the /stats report.
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "service/service.h"
@@ -28,6 +33,24 @@ core::QueryInstance PatientCount(engine::ExecContext* ctx, size_t n,
   std::iota(records->begin(), records->end(), 0);
   spec.records = records;
   spec.map_record = [](const int&) { return core::Vec{1.0}; };
+  spec.sample_domain = [](Rng& rng) {
+    return static_cast<int>(rng.UniformU64(1000000));
+  };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+/// Like PatientCount but sleeping per mapped record — slow enough for a
+/// deadline or a client cancel to land mid-run.
+core::QueryInstance SlowAudit(engine::ExecContext* ctx, size_t n,
+                              const std::string& name) {
+  core::SimpleQuerySpec<int> spec;
+  spec.name = name;
+  spec.ctx = ctx;
+  spec.records = std::make_shared<std::vector<int>>(n, 0);
+  spec.map_record = [](const int&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return core::Vec{1.0};
+  };
   spec.sample_domain = [](Rng& rng) {
     return static_cast<int>(rng.UniformU64(1000000));
   };
@@ -84,6 +107,83 @@ int main() {
               service.accountant().Spent("hospital-a"),
               service.accountant().Remaining("hospital-a"));
 
+  std::printf("\n== deadline: a slow audit gets 50ms, trips mid-run,\n"
+              "   and its charge is refunded ==\n");
+  {
+    service::QueryRequest request;
+    request.tenant = "carol";
+    request.dataset_id = "hospital-b";
+    request.query = SlowAudit(&ctx, 8000, "slow-audit");
+    request.epsilon = 0.1;
+    request.seed = 8;
+    request.deadline_ms = 50;
+    double before = service.accountant().Spent("hospital-b");
+    Show("carol", service.Execute(request));
+    std::printf("hospital-b spent before=%.2f after=%.2f (refunded)\n", before,
+                service.accountant().Spent("hospital-b"));
+  }
+
+  std::printf("\n== cancellation: carol closes the tab mid-query ==\n");
+  {
+    service::QueryRequest request;
+    request.tenant = "carol";
+    request.dataset_id = "hospital-b";
+    request.query = SlowAudit(&ctx, 8000, "slow-audit");
+    request.epsilon = 0.1;
+    request.seed = 9;
+    request.cancel = std::make_shared<CancelToken>();
+    auto pending = service.Submit(request);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    request.cancel->Cancel(StatusCode::kCancelled, "client went away");
+    Show("carol", pending.get());
+    std::printf("hospital-b spent=%.2f (still nothing charged)\n",
+                service.accountant().Spent("hospital-b"));
+  }
+
   std::printf("\n%s", service.StatsReport().c_str());
+
+  std::printf("\n== durability: a journaled service survives a restart ==\n");
+  namespace fs = std::filesystem;
+  const std::string journal_dir =
+      (fs::temp_directory_path() / "upa_service_demo_journal").string();
+  fs::remove_all(journal_dir);
+  service::ServiceConfig durable_config = config;
+  durable_config.journal_dir = journal_dir;
+  {
+    service::UpaService first(&ctx, durable_config);
+    service::QueryRequest request;
+    request.tenant = "alice";
+    request.dataset_id = "clinic-c";
+    request.query = PatientCount(&ctx, 12000, "patient-count");
+    request.epsilon = 0.1;
+    request.seed = 10;
+    Show("alice", first.Execute(request));
+    auto durable = first.DebugState("clinic-c");
+    std::printf("pre-crash:  epoch=%llu charged=%.2f refunded=%.2f "
+                "registry=%zu priors\n",
+                static_cast<unsigned long long>(durable.epoch),
+                durable.budget.charged_total, durable.budget.refunded_total,
+                durable.registry.size());
+  }  // service destroyed — simulated crash/restart boundary
+  {
+    service::UpaService second(&ctx, durable_config);
+    auto durable = second.DebugState("clinic-c");
+    std::printf("recovered:  epoch=%llu charged=%.2f refunded=%.2f "
+                "registry=%zu priors (recovery: %s)\n",
+                static_cast<unsigned long long>(durable.epoch),
+                durable.budget.charged_total, durable.budget.refunded_total,
+                durable.registry.size(),
+                second.recovery_status().ToString().c_str());
+    // The recovered registry still powers the repeat-query defense.
+    service::QueryRequest request;
+    request.tenant = "bob";
+    request.dataset_id = "clinic-c";
+    request.query = PatientCount(&ctx, 12000, "patient-count");
+    request.epsilon = 0.1;
+    request.seed = 11;
+    Show("bob", second.Execute(request));
+    std::printf("\n%s", second.StatsReport().c_str());
+  }
+  fs::remove_all(journal_dir);
   return 0;
 }

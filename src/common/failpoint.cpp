@@ -1,0 +1,274 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace upa {
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+Status ParseStatusCode(const std::string& name, StatusCode* out) {
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"unsupported", StatusCode::kUnsupported},
+      {"failed_precondition", StatusCode::kFailedPrecondition},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"internal", StatusCode::kInternal},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
+      {"cancelled", StatusCode::kCancelled},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+  };
+  std::string lower = ToLower(name);
+  for (const auto& [text, code] : kCodes) {
+    if (lower == text) {
+      *out = code;
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown status code '" + name + "'");
+}
+
+/// Splits "name(args)" into name and args ("" when no parens).
+Status SplitCall(const std::string& text, std::string* name,
+                 std::string* args) {
+  size_t open = text.find('(');
+  if (open == std::string::npos) {
+    *name = text;
+    args->clear();
+    return Status::Ok();
+  }
+  if (text.back() != ')') {
+    return Status::InvalidArgument("unbalanced parens in '" + text + "'");
+  }
+  *name = text.substr(0, open);
+  *args = text.substr(open + 1, text.size() - open - 2);
+  return Status::Ok();
+}
+
+Status ParsePositiveU64(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v == 0) {
+    return Status::InvalidArgument("expected positive integer, got '" + text +
+                                   "'");
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status ParseNonNegativeDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0) {
+    return Status::InvalidArgument("expected non-negative number, got '" +
+                                   text + "'");
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  // First use loads UPA_FAILPOINTS so every binary honours the env var
+  // without per-main() wiring. A malformed schedule aborts: silently
+  // dropping it would report a chaos drill as passing without ever
+  // injecting a fault.
+  static Failpoints* instance = [] {
+    auto* fp = new Failpoints();
+    Status env = fp->LoadFromEnv();
+    if (!env.ok()) {
+      std::fprintf(stderr, "UPA_FAILPOINTS: %s\n", env.ToString().c_str());
+      std::abort();
+    }
+    return fp;
+  }();
+  return *instance;
+}
+
+Status Failpoints::ParseSpec(const std::string& text, Spec* out) {
+  Spec spec;
+  size_t colon = text.find(':');
+  std::string action_text =
+      colon == std::string::npos ? text : text.substr(0, colon);
+  std::string name, args;
+  UPA_RETURN_IF_ERROR(SplitCall(action_text, &name, &args));
+  if (name == "error") {
+    spec.action = Action::kError;
+    if (!args.empty()) {
+      size_t comma = args.find(',');
+      std::string code = comma == std::string::npos ? args
+                                                    : args.substr(0, comma);
+      UPA_RETURN_IF_ERROR(ParseStatusCode(code, &spec.error_code));
+      if (comma != std::string::npos) {
+        spec.error_message = args.substr(comma + 1);
+      }
+    }
+  } else if (name == "delay") {
+    spec.action = Action::kDelay;
+    if (args.empty()) {
+      return Status::InvalidArgument("delay needs a millisecond argument");
+    }
+    UPA_RETURN_IF_ERROR(ParseNonNegativeDouble(args, &spec.delay_millis));
+  } else if (name == "abort") {
+    spec.action = Action::kAbort;
+    if (!args.empty()) {
+      return Status::InvalidArgument("abort takes no arguments");
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + name + "'");
+  }
+
+  if (colon != std::string::npos) {
+    std::string trigger_text = text.substr(colon + 1);
+    UPA_RETURN_IF_ERROR(SplitCall(trigger_text, &name, &args));
+    if (name == "every") {
+      spec.trigger = Trigger::kEveryN;
+      if (args.empty()) {
+        return Status::InvalidArgument("every needs a count argument");
+      }
+      UPA_RETURN_IF_ERROR(ParsePositiveU64(args, &spec.every_n));
+    } else if (name == "prob") {
+      spec.trigger = Trigger::kProbability;
+      size_t comma = args.find(',');
+      std::string p = comma == std::string::npos ? args : args.substr(0, comma);
+      UPA_RETURN_IF_ERROR(ParseNonNegativeDouble(p, &spec.probability));
+      if (spec.probability > 1.0) {
+        return Status::InvalidArgument("probability must be in [0, 1]");
+      }
+      if (comma != std::string::npos) {
+        std::string seed_text = args.substr(comma + 1);
+        char* end = nullptr;
+        spec.seed = std::strtoull(seed_text.c_str(), &end, 10);
+        if (end == seed_text.c_str() || *end != '\0') {
+          return Status::InvalidArgument("bad prob seed '" + seed_text + "'");
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown failpoint trigger '" + name +
+                                     "'");
+    }
+  }
+  *out = spec;
+  return Status::Ok();
+}
+
+Status Failpoints::Activate(const std::string& site, const std::string& spec) {
+  Spec parsed;
+  UPA_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+  Activate(site, parsed);
+  return Status::Ok();
+}
+
+void Failpoints::Activate(const std::string& site, const Spec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sites_[site];
+  if (slot == nullptr) {
+    active_count_.fetch_add(1, std::memory_order_relaxed);
+    slot = std::make_shared<Site>();
+  }
+  slot->spec = spec;
+  slot->hits.store(0, std::memory_order_relaxed);
+  slot->fires.store(0, std::memory_order_relaxed);
+}
+
+void Failpoints::Deactivate(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    active_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DeactivateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_count_.fetch_sub(static_cast<int>(sites_.size()),
+                          std::memory_order_relaxed);
+  sites_.clear();
+}
+
+Status Failpoints::LoadFromEnv(const char* env_value) {
+  const char* raw = env_value != nullptr ? env_value
+                                         : std::getenv("UPA_FAILPOINTS");
+  if (raw == nullptr || *raw == '\0') return Status::Ok();
+  std::string text(raw);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t semi = text.find(';', pos);
+    std::string entry = text.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? text.size() : semi + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("UPA_FAILPOINTS entry '" + entry +
+                                     "' missing '='");
+    }
+    UPA_RETURN_IF_ERROR(Activate(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::Ok();
+}
+
+Failpoints::SiteStats Failpoints::StatsFor(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return {};
+  return {it->second->hits.load(std::memory_order_relaxed),
+          it->second->fires.load(std::memory_order_relaxed)};
+}
+
+Status Failpoints::Evaluate(const char* site) {
+  Spec spec;
+  std::shared_ptr<Site> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::Ok();
+    entry = it->second;
+    spec = entry->spec;
+  }
+  // Hit indices start at 1: every(n) fires on hits n, 2n, ...; prob(p, s)
+  // fires iff SplitMix64(s ^ hit) maps below p — deterministic per hit.
+  uint64_t hit = entry->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  if (spec.trigger == Trigger::kEveryN) {
+    fire = (hit % spec.every_n) == 0;
+  } else {
+    uint64_t mixed = SplitMix64(spec.seed ^ hit).Next();
+    double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+    fire = u < spec.probability;
+  }
+  if (!fire) return Status::Ok();
+  entry->fires.fetch_add(1, std::memory_order_relaxed);
+
+  switch (spec.action) {
+    case Action::kError: {
+      std::string msg = spec.error_message.empty()
+                            ? "injected fault at '" + std::string(site) + "'"
+                            : spec.error_message;
+      return Status(spec.error_code, std::move(msg));
+    }
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          spec.delay_millis));
+      return Status::Ok();
+    case Action::kAbort:
+      std::fprintf(stderr, "failpoint '%s': injected abort (hit %llu)\n",
+                   site, static_cast<unsigned long long>(hit));
+      std::abort();
+  }
+  return Status::Ok();
+}
+
+}  // namespace upa

@@ -23,6 +23,12 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kResourceExhausted,
+  /// The caller (or the service watchdog) cancelled the operation before
+  /// it released anything. Two-phase budget semantics refund the charge.
+  kCancelled,
+  /// The operation's deadline passed before it completed. Like kCancelled,
+  /// nothing was released and the charge is refunded.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a StatusCode (stable, for logs and tests).
@@ -56,6 +62,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/cancel.h"
+#include "common/failpoint.h"
 #include "common/status.h"
 
 namespace upa {
@@ -47,9 +49,15 @@ size_t ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) 
 size_t ThreadPool::ParallelForChunks(
     size_t n, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return 0;
+  // Cooperative cancellation: chunks are the polling boundary. Each chunk
+  // re-installs the caller's token on the worker that runs it (tokens ride
+  // a thread-local scope, not the call signature) and is skipped once the
+  // token trips — the caller is abandoning the result anyway, so skipped
+  // chunks only shed work; the caller converts the trip into a Status.
+  CancelToken* token = CancelScope::Current();
   size_t chunks = std::min(n, thread_count());
   if (chunks <= 1) {
-    fn(0, n);
+    if (token == nullptr || token->Check().ok()) fn(0, n);
     return 1;
   }
   size_t per = (n + chunks - 1) / chunks;
@@ -59,7 +67,10 @@ size_t ThreadPool::ParallelForChunks(
     size_t begin = c * per;
     size_t end = std::min(n, begin + per);
     if (begin >= end) break;
-    futures.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+    futures.push_back(Submit([&fn, begin, end, token] {
+      CancelScope scope(token);
+      if (token == nullptr || token->Check().ok()) fn(begin, end);
+    }));
   }
   // Wait for every chunk before propagating any error: chunks reference
   // caller stack state, so unwinding while siblings still run would be a
@@ -98,6 +109,7 @@ bool ThreadPool::TryRunOneTask() {
     task = std::move(queue_.front());
     queue_.pop();
   }
+  UPA_FAILPOINT_HIT("threadpool/task");
   task();
   return true;
 }
@@ -112,6 +124,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    UPA_FAILPOINT_HIT("threadpool/task");
     task();
   }
 }

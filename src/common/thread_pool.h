@@ -8,6 +8,11 @@
 // ParallelFor / ParallelForChunks are safe to call from inside a pool worker:
 // while a caller waits for its chunks it help-runs queued tasks instead of
 // blocking, so nested parallelism cannot deadlock even on a 1-thread pool.
+//
+// Cooperative cancellation: both helpers poll the caller's CancelScope
+// token at chunk boundaries — once the token trips, not-yet-started chunks
+// are skipped (the caller converts the trip into kCancelled /
+// kDeadlineExceeded and discards the partial result). See common/cancel.h.
 #pragma once
 
 #include <condition_variable>

@@ -5,6 +5,16 @@
 // queries that would exceed the configured budget — the operational side of
 // "the analyst keeps conducting queries on one dataset" in UPA's threat
 // model (§III).
+//
+// Two-phase semantics: the service charges a query before it runs and
+// refunds it if the run fails (or is cancelled / hits its deadline) before
+// anything was released. Besides the live `spent` balance, the accountant
+// keeps the cumulative charge/refund ledger, so the conservation invariant
+//
+//   spent == charged_total − refunded_total   (and 0 ≤ spent ≤ budget)
+//
+// can be audited at any point (VerifyConservation) — the chaos suite calls
+// it after every fault schedule and recovery cycle.
 #pragma once
 
 #include <map>
@@ -14,6 +24,13 @@
 #include "common/status.h"
 
 namespace upa::dp {
+
+/// Point-in-time ledger for one dataset (all in ε units).
+struct BudgetCheckpoint {
+  double spent = 0.0;
+  double charged_total = 0.0;
+  double refunded_total = 0.0;
+};
 
 class PrivacyAccountant {
  public:
@@ -38,10 +55,30 @@ class PrivacyAccountant {
   double Remaining(const std::string& dataset_id) const;
   double total_budget() const { return total_budget_; }
 
+  /// Snapshot of one dataset's ledger (zeros when never charged).
+  BudgetCheckpoint Checkpoint(const std::string& dataset_id) const;
+
+  /// Debug audit used by the chaos suite: for every dataset, checks
+  /// spent == charged − refunded (within float-accumulation tolerance),
+  /// 0 ≤ spent ≤ budget + slack, and refunded ≤ charged. Returns the
+  /// first violation as INTERNAL.
+  Status VerifyConservation() const;
+
+  /// Recovery: overwrite `dataset_id`'s ledger with journaled state. The
+  /// live balance is charged − refunded by construction.
+  void RestoreLedger(const std::string& dataset_id, double charged_total,
+                     double refunded_total);
+
  private:
+  struct Ledger {
+    double spent = 0.0;
+    double charged = 0.0;
+    double refunded = 0.0;
+  };
+
   double total_budget_;
   mutable std::mutex mu_;
-  std::map<std::string, double> spent_;
+  std::map<std::string, Ledger> ledgers_;
 };
 
 }  // namespace upa::dp

@@ -9,6 +9,7 @@
 #include <memory>
 #include <type_traits>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/cache.h"
@@ -38,6 +39,15 @@ class ExecContext {
   ExecMetrics& metrics() { return metrics_; }
   BlockCache& cache() { return cache_; }
   const ExecConfig& config() const { return config_; }
+
+  /// The cancel token governing the current request on this thread
+  /// (installed by the service's CancelScope), or nullptr when none. One
+  /// context serves many concurrent queries, so the token rides the
+  /// thread-local scope rather than the context itself.
+  static CancelToken* CurrentCancel() { return CancelScope::Current(); }
+  /// OK, or the current token's kCancelled/kDeadlineExceeded status.
+  /// Polls any armed deadline; engine phases call this between stages.
+  static Status CheckCancel() { return CancelScope::CheckCurrent(); }
 
   /// Time a named phase; attributed in metrics().Snapshot().phase_seconds.
   template <typename Fn>

@@ -7,7 +7,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/exact_sum.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "relational/kernels.h"
@@ -20,6 +22,8 @@ namespace upa::rel {
 
 std::shared_ptr<const ColumnarTable> ColumnarTable::Build(
     Schema schema, const std::vector<Row>& rows) {
+  // No Status channel here (delay/abort actions only; see failpoint.h).
+  UPA_FAILPOINT_HIT("columnar/build");
   auto ct = std::shared_ptr<ColumnarTable>(new ColumnarTable());
   ct->schema_ = std::move(schema);
   ct->num_rows_ = rows.size();
@@ -188,6 +192,9 @@ class ColumnarEvaluator {
 
  private:
   Result<ColRel> EvalUncached(const PlanPtr& plan) {
+    // Between plan nodes is the coarse cancellation boundary; within a
+    // node, the batch-kernel ParallelFor polls at chunk granularity.
+    UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
     switch (plan->kind) {
       case PlanKind::kScan:
         return EvalScan(plan);
@@ -499,6 +506,8 @@ struct BatchAgg {
 Result<ExecResult> ExecuteColumnar(engine::ExecContext* ctx,
                                    const Catalog* catalog, const PlanPtr& plan,
                                    const ExecOptions& options) {
+  UPA_FAILPOINT("columnar/execute");
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
   ColumnarEvaluator evaluator(ctx, catalog, options);
   Result<ColRel> relr = evaluator.Eval(plan->left);
   if (!relr.ok()) return relr.status();

@@ -1,8 +1,12 @@
 #include "relational/csv.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "common/failpoint.h"
 
 namespace upa::rel {
 namespace {
@@ -22,11 +26,15 @@ std::string QuoteField(const std::string& s) {
 }
 
 /// Splits one CSV record (handles quoted fields; `pos` advances past the
-/// record's trailing newline). Returns false at end of input.
+/// record's trailing newline). Returns false at end of input. `truncated`
+/// reports a record terminated by end-of-input instead of a newline — a
+/// malformation signal when the record is also short on fields.
 bool NextRecord(const std::string& csv, size_t& pos,
-                std::vector<std::string>& fields, bool& bad_quoting) {
+                std::vector<std::string>& fields, bool& bad_quoting,
+                bool& truncated) {
   fields.clear();
   bad_quoting = false;
+  truncated = false;
   if (pos >= csv.size()) return false;
   std::string field;
   bool in_quotes = false;
@@ -71,28 +79,48 @@ bool NextRecord(const std::string& csv, size_t& pos,
     ++pos;
   }
   if (in_quotes) bad_quoting = true;
+  truncated = true;
   fields.push_back(std::move(field));
   return true;
 }
 
-Result<Value> ParseCell(const std::string& text, ValueType type,
-                        size_t line) {
+/// Row context for malformed-input errors: "line N, column 'name'".
+std::string CellContext(size_t line, const std::string& column) {
+  return "line " + std::to_string(line) + ", column '" + column + "'";
+}
+
+Result<Value> ParseCell(const std::string& text, ValueType type, size_t line,
+                        const std::string& column) {
   switch (type) {
     case ValueType::kInt: {
       char* end = nullptr;
+      errno = 0;
       long long v = std::strtoll(text.c_str(), &end, 10);
       if (end == text.c_str() || *end != '\0') {
-        return Status::InvalidArgument("line " + std::to_string(line) +
+        return Status::InvalidArgument(CellContext(line, column) +
                                        ": not an integer: '" + text + "'");
+      }
+      if (errno == ERANGE) {
+        // strtoll silently clamps on overflow; surface it instead of
+        // loading a corrupted value.
+        return Status::InvalidArgument(CellContext(line, column) +
+                                       ": integer out of range: '" + text +
+                                       "'");
       }
       return Value{static_cast<int64_t>(v)};
     }
     case ValueType::kDouble: {
       char* end = nullptr;
+      errno = 0;
       double v = std::strtod(text.c_str(), &end);
       if (end == text.c_str() || *end != '\0') {
-        return Status::InvalidArgument("line " + std::to_string(line) +
+        return Status::InvalidArgument(CellContext(line, column) +
                                        ": not a number: '" + text + "'");
+      }
+      if (errno == ERANGE && std::isinf(v)) {
+        return Status::InvalidArgument(CellContext(line, column) +
+                                       ": number out of range: '" + text +
+                                       "'");
       }
       return Value{v};
     }
@@ -131,10 +159,12 @@ Status WriteCsvFile(const Table& table, const std::string& path) {
 
 Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
                            const std::string& csv) {
+  UPA_FAILPOINT("csv/load");
   size_t pos = 0;
   std::vector<std::string> fields;
   bool bad_quoting = false;
-  if (!NextRecord(csv, pos, fields, bad_quoting)) {
+  bool truncated = false;
+  if (!NextRecord(csv, pos, fields, bad_quoting, truncated)) {
     return Status::InvalidArgument("empty CSV (missing header)");
   }
   if (bad_quoting) {
@@ -155,7 +185,7 @@ Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
 
   std::vector<Row> rows;
   size_t line = 1;
-  while (NextRecord(csv, pos, fields, bad_quoting)) {
+  while (NextRecord(csv, pos, fields, bad_quoting, truncated)) {
     ++line;
     if (bad_quoting) {
       return Status::InvalidArgument("line " + std::to_string(line) +
@@ -166,12 +196,16 @@ Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
       return Status::InvalidArgument(
           "line " + std::to_string(line) + ": expected " +
           std::to_string(schema.NumColumns()) + " fields, got " +
-          std::to_string(fields.size()));
+          std::to_string(fields.size()) +
+          (truncated && fields.size() < schema.NumColumns()
+               ? " (truncated row at end of input)"
+               : ""));
     }
     Row row;
     row.reserve(fields.size());
     for (size_t c = 0; c < fields.size(); ++c) {
-      Result<Value> cell = ParseCell(fields[c], schema.column(c).type, line);
+      Result<Value> cell = ParseCell(fields[c], schema.column(c).type, line,
+                                     schema.column(c).name);
       if (!cell.ok()) return cell.status();
       row.push_back(std::move(cell).value());
     }

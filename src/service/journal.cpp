@@ -1,0 +1,504 @@
+#include "service/journal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+
+namespace upa::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MiB sanity bound
+constexpr char kSnapshotMagic[8] = {'U', 'P', 'A', 'S', 'N', 'A', 'P', '1'};
+
+uint64_t BitsFromDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void AppendU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian cursor over a byte buffer.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string* out) {
+    if (pos_ + n > size_) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+std::string EncodePayload(const JournalRecord& record) {
+  std::string payload;
+  AppendU8(payload, static_cast<uint8_t>(record.type));
+  AppendU64(payload, record.qid);
+  AppendU64(payload, BitsFromDouble(record.epsilon));
+  AppendU64(payload, record.epoch);
+  AppendU32(payload, static_cast<uint32_t>(record.partition_outputs.size()));
+  for (double v : record.partition_outputs) {
+    AppendU64(payload, BitsFromDouble(v));
+  }
+  AppendU32(payload, static_cast<uint32_t>(record.dataset_id.size()));
+  payload.append(record.dataset_id);
+  return payload;
+}
+
+bool DecodePayload(const std::string& payload, JournalRecord* record) {
+  Reader r(payload.data(), payload.size());
+  uint8_t type = 0;
+  uint64_t eps_bits = 0;
+  uint32_t vec_len = 0;
+  uint32_t id_len = 0;
+  if (!r.ReadU8(&type) || !r.ReadU64(&record->qid) || !r.ReadU64(&eps_bits) ||
+      !r.ReadU64(&record->epoch) || !r.ReadU32(&vec_len)) {
+    return false;
+  }
+  if (type < static_cast<uint8_t>(JournalRecord::Type::kOpen) ||
+      type > static_cast<uint8_t>(JournalRecord::Type::kEpochBump)) {
+    return false;
+  }
+  record->type = static_cast<JournalRecord::Type>(type);
+  record->epsilon = DoubleFromBits(eps_bits);
+  record->partition_outputs.clear();
+  record->partition_outputs.reserve(vec_len);
+  for (uint32_t i = 0; i < vec_len; ++i) {
+    uint64_t bits = 0;
+    if (!r.ReadU64(&bits)) return false;
+    record->partition_outputs.push_back(DoubleFromBits(bits));
+  }
+  if (!r.ReadU32(&id_len)) return false;
+  if (!r.ReadBytes(id_len, &record->dataset_id)) return false;
+  return r.AtEnd();
+}
+
+std::string FrameRecord(const JournalRecord& record) {
+  std::string payload = EncodePayload(record);
+  std::string frame;
+  frame.reserve(payload.size() + 12);
+  AppendU32(frame, static_cast<uint32_t>(payload.size()));
+  AppendU64(frame, Fnv1a(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot create '" + tmp + "'");
+  }
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename '" + tmp + "' -> '" + path +
+                            "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+std::string JournalPath(const std::string& dir, const std::string& dataset_id) {
+  return (fs::path(dir) / (Journal::FileStem(dataset_id) + ".journal"))
+      .string();
+}
+
+std::string SnapshotPath(const std::string& dir,
+                         const std::string& dataset_id) {
+  return (fs::path(dir) / (Journal::FileStem(dataset_id) + ".snapshot"))
+      .string();
+}
+
+/// Applies one replayed record to the accumulating state. kOpen is a file
+/// header, not a mutation; an unknown dataset_id mismatch is a corruption
+/// signal handled by the caller.
+void ApplyRecord(const JournalRecord& rec, DatasetDurableState* state,
+                 std::map<uint64_t, double>* pending) {
+  switch (rec.type) {
+    case JournalRecord::Type::kOpen:
+      break;
+    case JournalRecord::Type::kCharge:
+      state->charged_total += rec.epsilon;
+      (*pending)[rec.qid] = rec.epsilon;
+      break;
+    case JournalRecord::Type::kRelease:
+      state->registry.push_back(rec.partition_outputs);
+      pending->erase(rec.qid);
+      break;
+    case JournalRecord::Type::kRefund:
+      state->refunded_total += rec.epsilon;
+      pending->erase(rec.qid);
+      break;
+    case JournalRecord::Type::kEpochBump:
+      state->epoch = rec.epoch;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Journal::FileStem(const std::string& dataset_id) {
+  std::string sanitized;
+  for (char c : dataset_id) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-' || c == '_';
+    sanitized.push_back(safe ? c : '_');
+    if (sanitized.size() >= 48) break;
+  }
+  if (sanitized.empty()) sanitized = "dataset";
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), "-%016llx",
+                static_cast<unsigned long long>(Fnv1a(dataset_id)));
+  return sanitized + suffix;
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
+                                               const std::string& dataset_id) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create journal dir '" + dir +
+                            "': " + ec.message());
+  }
+  std::string path = JournalPath(dir, dataset_id);
+  bool fresh = !fs::exists(path);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("cannot open journal '" + path + "'");
+  }
+  std::unique_ptr<Journal> journal(new Journal(std::move(path), f));
+  if (fresh) {
+    JournalRecord open;
+    open.type = JournalRecord::Type::kOpen;
+    open.dataset_id = dataset_id;
+    UPA_RETURN_IF_ERROR(journal->Append(open));
+  }
+  return journal;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Journal::Append(const JournalRecord& record) {
+  std::string frame = FrameRecord(record);
+  std::lock_guard lock(mu_);
+  // Crash sites for the recovery tests: aborting at before_append leaves
+  // the record absent; at after_append, durable. Both must recover to a
+  // conserving state.
+  UPA_FAILPOINT("journal/before_append");
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal '" + path_ + "' is closed");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    // A short write may have left a torn frame; anything appended after
+    // it would be unreachable (readers stop at the first bad frame), so
+    // the journal is poisoned: every later Append fails fast and the
+    // service stops mutating this dataset until restart/recovery.
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::Internal("journal append failed on '" + path_ +
+                            "' (journal closed; restart to recover)");
+  }
+  UPA_FAILPOINT("journal/after_append");
+  return Status::Ok();
+}
+
+Result<std::vector<JournalRecord>> Journal::ReadAll(const std::string& path,
+                                                    bool* torn_tail,
+                                                    uint64_t* intact_bytes) {
+  if (torn_tail != nullptr) *torn_tail = false;
+  if (intact_bytes != nullptr) *intact_bytes = 0;
+  auto data_or = ReadWholeFile(path);
+  UPA_RETURN_IF_ERROR(data_or.status());
+  const std::string& data = data_or.value();
+
+  std::vector<JournalRecord> records;
+  Reader r(data.data(), data.size());
+  while (!r.AtEnd()) {
+    uint32_t len = 0;
+    uint64_t checksum = 0;
+    std::string payload;
+    JournalRecord rec;
+    if (!r.ReadU32(&len) || !r.ReadU64(&checksum) || len > kMaxPayloadBytes ||
+        !r.ReadBytes(len, &payload) || Fnv1a(payload) != checksum ||
+        !DecodePayload(payload, &rec)) {
+      // Torn tail: the process died mid-append. Everything before the
+      // last intact record is trusted; the fragment is discarded.
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    if (intact_bytes != nullptr) *intact_bytes = r.pos();
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Status WriteSnapshot(const std::string& dir, const DatasetDurableState& state,
+                     uint64_t covered_bytes) {
+  UPA_FAILPOINT("journal/snapshot");
+  std::string body;
+  AppendU32(body, static_cast<uint32_t>(state.dataset_id.size()));
+  body.append(state.dataset_id);
+  AppendU64(body, state.epoch);
+  AppendU64(body, BitsFromDouble(state.charged_total));
+  AppendU64(body, BitsFromDouble(state.refunded_total));
+  AppendU64(body, covered_bytes);
+  AppendU32(body, static_cast<uint32_t>(state.registry.size()));
+  for (const auto& prior : state.registry) {
+    AppendU32(body, static_cast<uint32_t>(prior.size()));
+    for (double v : prior) AppendU64(body, BitsFromDouble(v));
+  }
+
+  std::string file;
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendU64(file, Fnv1a(body));
+  file.append(body);
+  return WriteFileAtomic(SnapshotPath(dir, state.dataset_id), file);
+}
+
+Result<DatasetDurableState> ReadSnapshot(const std::string& path,
+                                         uint64_t* covered_bytes) {
+  auto data_or = ReadWholeFile(path);
+  UPA_RETURN_IF_ERROR(data_or.status());
+  const std::string& data = data_or.value();
+  if (data.size() < sizeof(kSnapshotMagic) + 8 ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Internal("snapshot '" + path + "': bad magic");
+  }
+  Reader header(data.data() + sizeof(kSnapshotMagic), 8);
+  uint64_t checksum = 0;
+  header.ReadU64(&checksum);
+  const char* body = data.data() + sizeof(kSnapshotMagic) + 8;
+  size_t body_size = data.size() - sizeof(kSnapshotMagic) - 8;
+  if (Fnv1a(std::string_view(body, body_size)) != checksum) {
+    return Status::Internal("snapshot '" + path + "': checksum mismatch");
+  }
+
+  DatasetDurableState state;
+  Reader r(body, body_size);
+  uint32_t id_len = 0;
+  uint64_t charged_bits = 0;
+  uint64_t refunded_bits = 0;
+  uint64_t covered = 0;
+  uint32_t registry_len = 0;
+  bool ok = r.ReadU32(&id_len) && r.ReadBytes(id_len, &state.dataset_id) &&
+            r.ReadU64(&state.epoch) && r.ReadU64(&charged_bits) &&
+            r.ReadU64(&refunded_bits) && r.ReadU64(&covered) &&
+            r.ReadU32(&registry_len);
+  if (ok) {
+    state.charged_total = DoubleFromBits(charged_bits);
+    state.refunded_total = DoubleFromBits(refunded_bits);
+    state.registry.reserve(registry_len);
+    for (uint32_t i = 0; ok && i < registry_len; ++i) {
+      uint32_t n = 0;
+      ok = r.ReadU32(&n);
+      std::vector<double> prior;
+      prior.reserve(ok ? n : 0);
+      for (uint32_t j = 0; ok && j < n; ++j) {
+        uint64_t bits = 0;
+        ok = r.ReadU64(&bits);
+        if (ok) prior.push_back(DoubleFromBits(bits));
+      }
+      if (ok) state.registry.push_back(std::move(prior));
+    }
+  }
+  if (!ok || !r.AtEnd()) {
+    return Status::Internal("snapshot '" + path + "': truncated body");
+  }
+  if (covered_bytes != nullptr) *covered_bytes = covered;
+  return state;
+}
+
+Result<DatasetDurableState> RecoverDataset(const std::string& dir,
+                                           const std::string& dataset_id,
+                                           bool compact) {
+  std::string journal_path = JournalPath(dir, dataset_id);
+  std::error_code ec;
+  bool journal_exists = fs::exists(journal_path, ec);
+
+  DatasetDurableState state;
+  state.dataset_id = dataset_id;
+  uint64_t covered = 0;
+  auto snap_or = ReadSnapshot(SnapshotPath(dir, dataset_id), &covered);
+  if (snap_or.ok()) {
+    if (snap_or.value().dataset_id != dataset_id) {
+      return Status::Internal("snapshot for '" + dataset_id +
+                              "' names dataset '" +
+                              snap_or.value().dataset_id + "'");
+    }
+    state = std::move(snap_or).value();
+  } else if (snap_or.status().code() != StatusCode::kNotFound) {
+    return snap_or.status();
+  }
+  std::map<uint64_t, double> pending;
+  uint64_t intact_bytes = 0;
+  if (journal_exists) {
+    bool torn = false;
+    auto records_or = Journal::ReadAll(journal_path, &torn, &intact_bytes);
+    UPA_RETURN_IF_ERROR(records_or.status());
+    // Drop a torn tail fragment from disk: frames appended after it would
+    // be unreachable (readers stop at the first bad frame).
+    if (torn) {
+      fs::resize_file(journal_path, intact_bytes, ec);
+      if (ec) {
+        return Status::Internal("cannot truncate torn journal '" +
+                                journal_path + "': " + ec.message());
+      }
+    }
+    if (covered > intact_bytes) covered = intact_bytes;
+    // Replay only records past the snapshot's coverage, walking byte
+    // offsets frame by frame (encoding is deterministic, so re-framing
+    // reproduces each record's on-disk size).
+    uint64_t offset = 0;
+    for (const auto& rec : records_or.value()) {
+      uint64_t frame_bytes = 12 + EncodePayload(rec).size();
+      bool beyond_snapshot = offset >= covered;
+      offset += frame_bytes;
+      if (!beyond_snapshot) continue;
+      if (rec.type == JournalRecord::Type::kOpen &&
+          rec.dataset_id != dataset_id) {
+        return Status::Internal("journal '" + journal_path +
+                                "' names dataset '" + rec.dataset_id + "'");
+      }
+      ApplyRecord(rec, &state, &pending);
+    }
+  }
+
+  // Dangling charges: the query was charged but neither released nor
+  // refunded before the crash. Nothing was acknowledged (release records
+  // precede promise resolution), so the charge is returned — exactly once,
+  // because recovery either compacts the resolution into a snapshot or
+  // re-derives the same dangling set deterministically next time.
+  for (const auto& [qid, eps] : pending) {
+    state.refunded_total += eps;
+    state.recovered_refunds[qid] = eps;
+  }
+
+  if (compact) {
+    UPA_RETURN_IF_ERROR(WriteSnapshot(dir, state, intact_bytes));
+  }
+  return state;
+}
+
+Result<std::vector<DatasetDurableState>> RecoverAll(const std::string& dir,
+                                                    bool compact) {
+  std::vector<DatasetDurableState> states;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return states;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".journal") continue;
+    // The kOpen header names the dataset; the filename alone cannot be
+    // reversed (sanitized + hashed).
+    auto records_or = Journal::ReadAll(entry.path().string());
+    if (!records_or.ok()) return records_or.status();
+    const auto& records = records_or.value();
+    if (records.empty() ||
+        records.front().type != JournalRecord::Type::kOpen) {
+      return Status::Internal("journal '" + entry.path().string() +
+                              "' has no open header");
+    }
+    auto state_or =
+        RecoverDataset(dir, records.front().dataset_id, compact);
+    UPA_RETURN_IF_ERROR(state_or.status());
+    states.push_back(std::move(state_or).value());
+  }
+  if (ec) {
+    return Status::Internal("cannot scan journal dir '" + dir +
+                            "': " + ec.message());
+  }
+  return states;
+}
+
+}  // namespace upa::service

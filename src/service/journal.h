@@ -1,0 +1,139 @@
+// Durable enforcer/budget journal (per dataset).
+//
+// Every privacy-critical mutation the service performs — budget charges,
+// releases (which register the query's partition outputs in the Algorithm 2
+// enforcer registry), refunds, and data-epoch bumps — is appended to a
+// per-dataset journal file before the response is acknowledged to the
+// client. A restarted service replays the journal and reconstructs the
+// enforcer registry, the privacy accountant's ledger and the epoch
+// bit-identically: doubles travel as raw IEEE-754 bits, and the registry
+// preserves registration order (Enforce iterates priors in order).
+//
+// Record wire format (little-endian):
+//
+//   [u32 payload_len][u64 fnv1a(payload)][payload]
+//   payload := u8 type, u64 qid, u64 epsilon_bits, u64 epoch,
+//              u32 vec_len, vec_len × u64 double_bits,
+//              u32 id_len, id_len bytes        (dataset id; kOpen only)
+//
+// A torn tail (partial header, impossible length, checksum mismatch —
+// the process died mid-append) ends replay at the last intact record;
+// everything before it is trusted, everything after discarded. A charge
+// with no matching release/refund at the end of replay is a query that
+// died in flight: nothing was acknowledged to the analyst (the service
+// appends the release record BEFORE resolving the response), so recovery
+// refunds it — exactly the two-phase in-memory semantics, made durable.
+//
+// The snapshot file (atomic write-then-rename) compacts replay: it stores
+// the full recovered state plus `covered_bytes`, the journal offset it
+// absorbed; recovery loads the snapshot and replays only records past that
+// offset. The journal itself is append-only and never rewritten, so a
+// crash at any point leaves either the old or the new snapshot — both
+// consistent with the same journal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upa::service {
+
+struct JournalRecord {
+  enum class Type : uint8_t {
+    kOpen = 1,       // file header: names the dataset
+    kCharge = 2,     // qid charged `epsilon` against the dataset's budget
+    kRelease = 3,    // qid released; partition_outputs joined the registry
+    kRefund = 4,     // qid's charge was returned (failure/cancel/deadline)
+    kEpochBump = 5,  // dataset data changed; `epoch` is the new value
+  };
+
+  Type type = Type::kCharge;
+  uint64_t qid = 0;
+  double epsilon = 0.0;
+  uint64_t epoch = 0;
+  std::vector<double> partition_outputs;  // kRelease only
+  std::string dataset_id;                 // kOpen only
+};
+
+/// One dataset's durable state, as reconstructed by recovery.
+struct DatasetDurableState {
+  std::string dataset_id;
+  uint64_t epoch = 0;
+  double charged_total = 0.0;
+  double refunded_total = 0.0;
+  /// Registered prior-query outputs in registration order.
+  std::vector<std::vector<double>> registry;
+  /// Charges that were still in flight when the journal ended (crash):
+  /// recovery refunds them (qid → epsilon). Kept for observability.
+  std::map<uint64_t, double> recovered_refunds;
+};
+
+/// Append-side handle for one dataset's journal file. Thread-safe: appends
+/// from the run path and epoch bumps may interleave.
+class Journal {
+ public:
+  /// Opens (creating if needed) `<dir>/<FileStem(dataset_id)>.journal` for
+  /// appending; a fresh file gets a kOpen header record.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& dir,
+                                               const std::string& dataset_id);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Serialize, checksum, append and flush one record. Failpoint sites
+  /// "journal/before_append" / "journal/after_append" bracket the write
+  /// (abort there = crash with / without the record durable).
+  Status Append(const JournalRecord& record);
+
+  const std::string& path() const { return path_; }
+
+  /// Deterministic filesystem stem for a dataset id: sanitized prefix plus
+  /// an FNV-1a suffix so distinct ids never collide after sanitizing.
+  static std::string FileStem(const std::string& dataset_id);
+
+  /// Reads every intact record; stops (without error) at a torn tail.
+  /// `torn_tail` reports whether trailing bytes were discarded and
+  /// `intact_bytes` the offset of the last intact record's end — recovery
+  /// truncates the file there, because frames appended after a fragment
+  /// would be unreachable (readers stop at the first bad frame).
+  static Result<std::vector<JournalRecord>> ReadAll(
+      const std::string& path, bool* torn_tail = nullptr,
+      uint64_t* intact_bytes = nullptr);
+
+ private:
+  Journal(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Writes `<dir>/<stem>.snapshot` atomically (tmp + rename).
+/// `covered_bytes` is the journal size the state absorbs.
+Status WriteSnapshot(const std::string& dir, const DatasetDurableState& state,
+                     uint64_t covered_bytes);
+
+/// Loads a snapshot; NOT_FOUND when absent, INTERNAL on corruption.
+/// `covered_bytes` receives the journal offset the snapshot covers.
+Result<DatasetDurableState> ReadSnapshot(const std::string& path,
+                                         uint64_t* covered_bytes);
+
+/// Full recovery for one dataset: snapshot (if any) + journal replay past
+/// `covered_bytes`, dangling charges refunded. `compact` then writes a
+/// fresh snapshot absorbing the whole journal.
+Result<DatasetDurableState> RecoverDataset(const std::string& dir,
+                                           const std::string& dataset_id,
+                                           bool compact);
+
+/// Scans `dir` for journals and recovers every dataset found.
+Result<std::vector<DatasetDurableState>> RecoverAll(const std::string& dir,
+                                                    bool compact);
+
+}  // namespace upa::service

@@ -1,8 +1,10 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 
 namespace upa::service {
@@ -47,24 +49,100 @@ UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
   UPA_CHECK_MSG(config_.max_in_flight > 0, "max_in_flight must be positive");
   UPA_CHECK_MSG(config_.max_queue_per_tenant > 0,
                 "max_queue_per_tenant must be positive");
+
+  if (!config_.journal_dir.empty()) {
+    // Recover every dataset the journal dir knows about, compacting each
+    // into a fresh snapshot (replay work done once per crash, not once
+    // per restart), then resume the in-memory state from it.
+    auto recovered_or = RecoverAll(config_.journal_dir, /*compact=*/true);
+    if (!recovered_or.ok()) {
+      recovery_status_ = recovered_or.status();
+      ctx_->metrics().AddCounter("service/journal_errors");
+    } else {
+      for (auto& state : recovered_or.value()) {
+        auto ds = std::make_shared<DatasetState>();
+        ds->epoch = state.epoch;
+        ds->enforcer->RestoreRegistry(std::move(state.registry));
+        accountant_.RestoreLedger(state.dataset_id, state.charged_total,
+                                  state.refunded_total);
+        auto journal_or = Journal::Open(config_.journal_dir, state.dataset_id);
+        if (journal_or.ok()) {
+          ds->journal = std::move(journal_or).value();
+        } else {
+          ds->journal_status = journal_or.status();
+          ctx_->metrics().AddCounter("service/journal_errors");
+        }
+        ctx_->metrics().AddCounter("service/recovered_datasets");
+        ctx_->metrics().AddCounter("service/recovered_refunds",
+                                   state.recovered_refunds.size());
+        std::lock_guard<std::mutex> lock(datasets_mu_);
+        datasets_[state.dataset_id] = std::move(ds);
+      }
+    }
+  }
+
+  if (config_.watchdog_interval_ms > 0.0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 UpaService::~UpaService() {
-  std::unique_lock<std::mutex> lock(mu_);
-  shutting_down_ = true;
-  idle_cv_.wait(lock, [this] {
-    if (in_flight_ > 0) return false;
-    for (const auto& [name, tenant] : tenants_) {
-      if (!tenant.queue.empty()) return false;
-    }
-    return true;
-  });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    idle_cv_.wait(lock, [this] {
+      if (in_flight_ > 0) return false;
+      for (const auto& [name, tenant] : tenants_) {
+        if (!tenant.queue.empty()) return false;
+      }
+      return true;
+    });
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void UpaService::CountCancelMetric(StatusCode code) {
+  if (code == StatusCode::kDeadlineExceeded) {
+    ctx_->metrics().AddCounter("service/deadline_exceeded");
+  } else {
+    ctx_->metrics().AddCounter("service/cancelled");
+  }
 }
 
 std::future<Result<QueryResponse>> UpaService::Submit(QueryRequest request) {
   auto pending = std::make_shared<Pending>();
   pending->request = std::move(request);
   std::future<Result<QueryResponse>> future = pending->promise.get_future();
+
+  // Admission fault site (chaos suite): an injected error here must look
+  // exactly like any other rejection — immediate resolution, no charge.
+  if (Failpoints::Instance().AnyActive()) {
+    Status injected = Failpoints::Instance().Evaluate("service/admit");
+    if (!injected.ok()) {
+      ctx_->metrics().AddCounter("service/rejected");
+      pending->promise.set_value(injected);
+      return future;
+    }
+  }
+
+  QueryRequest& req = pending->request;
+  if (req.cancel != nullptr || req.deadline_ms > 0) {
+    pending->token =
+        req.cancel != nullptr ? req.cancel : std::make_shared<CancelToken>();
+    if (req.deadline_ms > 0) {
+      pending->token->SetDeadlineAfterMillis(req.deadline_ms);
+    }
+    // Dead on arrival (caller cancelled before submitting, or a
+    // non-positive effective deadline): fail without queueing.
+    Status st = pending->token->Check();
+    if (!st.ok()) {
+      CountCancelMetric(st.code());
+      pending->promise.set_value(st);
+      return future;
+    }
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   if (shutting_down_) {
@@ -116,8 +194,7 @@ void UpaService::MaybeDispatchLocked() {
       ctx_->pool().Submit([this, pending, tenant_name] {
         double queue_seconds = pending->queued.ElapsedSeconds();
         ctx_->metrics().RecordLatency("service/queue", queue_seconds);
-        Result<QueryResponse> result =
-            RunOne(pending->request, queue_seconds);
+        Result<QueryResponse> result = RunOne(*pending, queue_seconds);
         {
           std::lock_guard<std::mutex> lock(mu_);
           TenantState& t = tenants_[tenant_name];
@@ -137,30 +214,123 @@ void UpaService::MaybeDispatchLocked() {
   }
 }
 
+void UpaService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            config_.watchdog_interval_ms),
+        [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+
+    // Prune queued requests whose token tripped: they fail now instead of
+    // waiting for a dispatch slot they can no longer use. In-flight
+    // requests need no help — their runs poll the same token at every
+    // cooperative check.
+    std::vector<std::shared_ptr<Pending>> expired;
+    for (auto& [name, tenant] : tenants_) {
+      for (auto it = tenant.queue.begin(); it != tenant.queue.end();) {
+        Pending& p = **it;
+        if (p.token != nullptr && !p.token->Check().ok()) {
+          ++tenant.cancelled;
+          expired.push_back(std::move(*it));
+          it = tenant.queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!expired.empty()) {
+      idle_cv_.notify_all();  // the destructor waits on empty queues
+      lock.unlock();
+      for (auto& p : expired) {
+        Status st = p->token->status();
+        CountCancelMetric(st.code());
+        p->promise.set_value(st);
+      }
+      lock.lock();
+    }
+  }
+}
+
 std::shared_ptr<UpaService::DatasetState> UpaService::DatasetFor(
     const std::string& dataset_id) {
   std::lock_guard<std::mutex> lock(datasets_mu_);
   auto& slot = datasets_[dataset_id];
-  if (!slot) slot = std::make_shared<DatasetState>();
+  if (!slot) {
+    slot = std::make_shared<DatasetState>();
+    if (!config_.journal_dir.empty()) {
+      auto journal_or = Journal::Open(config_.journal_dir, dataset_id);
+      if (journal_or.ok()) {
+        slot->journal = std::move(journal_or).value();
+      } else {
+        slot->journal_status = journal_or.status();
+        ctx_->metrics().AddCounter("service/journal_errors");
+      }
+    }
+  }
   return slot;
 }
 
-Result<QueryResponse> UpaService::RunOne(QueryRequest& request,
+Result<QueryResponse> UpaService::RunOne(Pending& pending,
                                          double queue_seconds) {
+  QueryRequest& request = pending.request;
   Stopwatch total;
   engine::ExecMetrics& metrics = ctx_->metrics();
   metrics.AddCounter("service/queries");
+  UPA_FAILPOINT("service/run");
+
+  // Install the request's token for this thread; ParallelFor re-installs
+  // it inside every chunk task, so the whole run tree sees it.
+  CancelToken* token = pending.token.get();
+  CancelScope cancel_scope(token);
+
+  // Pre-flight: a query that expired in the queue is failed before any
+  // charge, so there is nothing to refund.
+  Status pre = CancelScope::CheckCurrent();
+  if (!pre.ok()) {
+    CountCancelMetric(pre.code());
+    return pre;
+  }
 
   // The dispatcher admits one request per dataset at a time, so from here
   // to return the dataset's budget, registry and cache see no concurrent
   // release. ds->mu is taken only for short epoch/cache sections — never
   // across the run (see DatasetState::mu).
   std::shared_ptr<DatasetState> ds = DatasetFor(request.dataset_id);
+  if (!config_.journal_dir.empty() && ds->journal == nullptr) {
+    // Durability was requested but this dataset's journal is broken:
+    // failing the query is the conservative choice (running it would
+    // silently lose the mutation on restart).
+    metrics.AddCounter("service/journal_errors");
+    return ds->journal_status.ok()
+               ? Status::Internal("journal unavailable for '" +
+                                  request.dataset_id + "'")
+               : ds->journal_status;
+  }
 
   Status charged = accountant_.Charge(request.dataset_id, request.epsilon);
   if (!charged.ok()) {
     metrics.AddCounter("service/budget_denied");
     return charged;
+  }
+
+  // Two-phase + journal: the charge is durable before the run starts; a
+  // crash from here on leaves a dangling charge that recovery refunds.
+  uint64_t qid = next_qid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ds->journal != nullptr) {
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kCharge;
+    rec.qid = qid;
+    rec.epsilon = request.epsilon;
+    Status journaled = ds->journal->Append(rec);
+    if (!journaled.ok()) {
+      accountant_.Refund(request.dataset_id, request.epsilon);
+      metrics.AddCounter("service/refunds");
+      metrics.AddCounter("service/journal_errors");
+      return journaled;
+    }
   }
 
   uint64_t fingerprint = request.fingerprint != 0
@@ -187,12 +357,58 @@ Result<QueryResponse> UpaService::RunOne(QueryRequest& request,
   Result<core::UpaRunResult> run =
       runner.Run(request.query, request.seed, cache_hit ? &hint : nullptr);
   if (!run.ok()) {
-    // Nothing was released: hand the budget back (two-phase charge).
+    // Nothing was released — the runner's last cancellation check sits
+    // before the enforcer Register — so the budget is handed back
+    // (two-phase charge), durable before the caller learns the outcome.
     accountant_.Refund(request.dataset_id, request.epsilon);
     metrics.AddCounter("service/refunds");
+    StatusCode code = run.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      CountCancelMetric(code);
+    }
+    if (ds->journal != nullptr) {
+      JournalRecord rec;
+      rec.type = JournalRecord::Type::kRefund;
+      rec.qid = qid;
+      rec.epsilon = request.epsilon;
+      if (!ds->journal->Append(rec).ok()) {
+        // The refund record was lost, so the journal shows a dangling
+        // charge — which recovery refunds. Disk and memory agree either
+        // way; just count it.
+        metrics.AddCounter("service/journal_errors");
+      }
+    }
     return run.status();
   }
   const core::UpaRunResult& result = run.value();
+
+  if (ds->journal != nullptr) {
+    // The release becomes durable BEFORE the response resolves: an
+    // unacknowledged release must look like it never happened, and an
+    // acknowledged one must survive a crash.
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kRelease;
+    rec.qid = qid;
+    rec.epsilon = request.epsilon;
+    rec.partition_outputs = result.partition_outputs;
+    Status journaled = ds->journal->Append(rec);
+    if (!journaled.ok()) {
+      // The analyst never sees this output (we return the error), so the
+      // charge is refunded. The in-memory registry keeps the stray prior
+      // until restart — strictly conservative: an extra prior can only
+      // trigger more enforcement, never less.
+      accountant_.Refund(request.dataset_id, request.epsilon);
+      metrics.AddCounter("service/refunds");
+      metrics.AddCounter("service/journal_errors");
+      JournalRecord refund;
+      refund.type = JournalRecord::Type::kRefund;
+      refund.qid = qid;
+      refund.epsilon = request.epsilon;
+      (void)ds->journal->Append(refund);
+      return journaled;
+    }
+  }
 
   {
     std::lock_guard<std::mutex> ds_lock(ds->mu);
@@ -239,6 +455,17 @@ void UpaService::BumpEpoch(const std::string& dataset_id) {
   // Stale epochs can never be queried again; drop their entries now
   // instead of waiting for LRU pressure.
   ds->cache.Clear();
+  if (ds->journal != nullptr) {
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kEpochBump;
+    rec.epoch = ds->epoch;
+    if (!ds->journal->Append(rec).ok()) {
+      // A lost bump record only under-counts the epoch after restart; the
+      // sensitivity cache starts empty then, so no stale hint can be
+      // served. Count it and move on.
+      ctx_->metrics().AddCounter("service/journal_errors");
+    }
+  }
 }
 
 uint64_t UpaService::Epoch(const std::string& dataset_id) const {
@@ -257,6 +484,19 @@ size_t UpaService::CachedSensitivities(const std::string& dataset_id) const {
   return it->second->cache.size();
 }
 
+UpaService::DatasetDurableDebug UpaService::DebugState(
+    const std::string& dataset_id) {
+  std::shared_ptr<DatasetState> ds = DatasetFor(dataset_id);
+  DatasetDurableDebug debug;
+  {
+    std::lock_guard<std::mutex> ds_lock(ds->mu);
+    debug.epoch = ds->epoch;
+  }
+  debug.registry = ds->enforcer->RegistrySnapshot();
+  debug.budget = accountant_.Checkpoint(dataset_id);
+  return debug;
+}
+
 std::string UpaService::StatsReport() const {
   std::ostringstream out;
   out << "== upa service ==\n";
@@ -269,6 +509,7 @@ std::string UpaService::StatsReport() const {
       out << "  " << name << ": submitted=" << tenant.submitted
           << " completed=" << tenant.completed
           << " rejected=" << tenant.rejected
+          << " cancelled=" << tenant.cancelled
           << " queued=" << tenant.queue.size()
           << (tenant.running ? " [running]" : "") << "\n";
     }
@@ -283,7 +524,8 @@ std::string UpaService::StatsReport() const {
           << " registry=" << ds->enforcer->registry_size()
           << " cached_sens=" << ds->cache.size()
           << " spent=" << accountant_.Spent(id)
-          << " remaining=" << accountant_.Remaining(id) << "\n";
+          << " remaining=" << accountant_.Remaining(id)
+          << (ds->journal != nullptr ? " [journaled]" : "") << "\n";
     }
   }
   engine::MetricsSnapshot snapshot = ctx_->metrics().Snapshot();

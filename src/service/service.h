@@ -12,7 +12,11 @@
 //     ranges keyed by query fingerprint × epoch: a repeated query shape on
 //     unchanged data skips phase 3b's exclusion scans and the normal fit —
 //     the expensive half of a run — and releases bit-identically to the
-//     full run (see core::SensitivityHint).
+//     full run (see core::SensitivityHint),
+//   - optionally (ServiceConfig::journal_dir) a durable journal of every
+//     charge/release/refund/epoch-bump, replayed on construction so a
+//     restarted service resumes with a bit-identical registry and ledger
+//     (see journal.h for the crash-consistency protocol).
 //
 // Admission and ordering:
 //   - at most `max_in_flight` queries execute at once (global), and at
@@ -27,13 +31,24 @@
 //     order, not bit-reproducible — that is inherent, the registry is
 //     order-dependent).
 //
+// Deadlines and cancellation: a request may carry `deadline_ms` and/or a
+// caller-held CancelToken. Cancellation is cooperative — the token is
+// checked between runner phases, at ParallelFor chunk boundaries and
+// between plan nodes — and interacts with the budget as "refund iff
+// nothing was released": the runner's last check sits immediately before
+// the enforcer Register, so a cancelled run can never have released and
+// its charge is always returned. A watchdog thread prunes queued requests
+// whose deadline expired before dispatch.
+//
 // Observability: per-phase latency histograms (service/queue,
 // service/total, upa/sample|map|reduce|enforce) and named counters
-// (admissions, rejections, cache hits/misses, refunds, suspected attacks)
-// recorded in the ExecContext's engine::Metrics, plus a "/stats"-style
-// text dump (StatsReport) used by examples/sql_console.cpp.
+// (admissions, rejections, cache hits/misses, refunds, cancellations,
+// deadline misses, journal errors, suspected attacks) recorded in the
+// ExecContext's engine::Metrics, plus a "/stats"-style text dump
+// (StatsReport) used by examples/sql_console.cpp.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,12 +59,15 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "dp/accountant.h"
 #include "engine/context.h"
+#include "service/journal.h"
 #include "upa/runner.h"
 
 namespace upa::service {
@@ -65,6 +83,13 @@ struct ServiceConfig {
   size_t max_queue_per_tenant = 256;
   /// Capacity of each dataset's sensitivity LRU cache (0 disables reuse).
   size_t sensitivity_cache_capacity = 64;
+  /// When non-empty, every budget/registry mutation is journaled here and
+  /// replayed on construction (crash-safe durability; see journal.h).
+  std::string journal_dir;
+  /// Poll period of the watchdog that prunes queued requests whose
+  /// deadline expired before dispatch. 0 disables the watchdog (in-flight
+  /// deadline checks are unaffected — those are cooperative).
+  double watchdog_interval_ms = 2.0;
 };
 
 struct QueryRequest {
@@ -81,6 +106,15 @@ struct QueryRequest {
   /// Query-shape fingerprint for the sensitivity cache (PlanFingerprint
   /// for relational plans); 0 → derived from the query name.
   uint64_t fingerprint = 0;
+  /// Wall-clock deadline measured from Submit; 0 = none. An overdue query
+  /// fails with DEADLINE_EXCEEDED — from the queue via the watchdog, or
+  /// mid-run at the next cooperative check — and its charge is refunded.
+  int64_t deadline_ms = 0;
+  /// Optional caller-held cancellation handle: Cancel() aborts the query
+  /// at the next cooperative check (CANCELLED, charge refunded) — or
+  /// never, if the release already happened. Created internally when only
+  /// deadline_ms is set.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 struct QueryResponse {
@@ -111,7 +145,7 @@ class UpaService {
 
   /// Enqueue a request on its tenant's FIFO queue. The future resolves
   /// when the release completes (or is rejected/fails). Rejections
-  /// (backlog full, shutdown) resolve immediately.
+  /// (backlog full, shutdown, already-cancelled) resolve immediately.
   std::future<Result<QueryResponse>> Submit(QueryRequest request);
 
   /// Submit + wait. Do not call from inside an engine pool task.
@@ -129,6 +163,20 @@ class UpaService {
   engine::ExecContext* ctx() { return ctx_; }
   const ServiceConfig& config() const { return config_; }
 
+  /// Non-OK when journal recovery failed at construction (the service
+  /// still serves datasets whose journals did recover).
+  const Status& recovery_status() const { return recovery_status_; }
+
+  /// Everything recovery must reproduce for one dataset, read from the
+  /// live service. The chaos/crash-recovery suites compare this across a
+  /// restart for bit-identical equality.
+  struct DatasetDurableDebug {
+    uint64_t epoch = 0;
+    dp::BudgetCheckpoint budget;
+    std::vector<std::vector<double>> registry;
+  };
+  DatasetDurableDebug DebugState(const std::string& dataset_id);
+
   /// "/stats"-style plain-text dump: admission state, per-tenant queue
   /// stats, per-dataset budget/registry/cache state, latency histograms.
   std::string StatsReport() const;
@@ -138,6 +186,9 @@ class UpaService {
     QueryRequest request;
     std::promise<Result<QueryResponse>> promise;
     Stopwatch queued;
+    /// Cancellation handle: the caller's token, or service-created when
+    /// only deadline_ms was set. Null when neither was requested.
+    std::shared_ptr<CancelToken> token;
   };
 
   struct TenantState {
@@ -148,6 +199,9 @@ class UpaService {
     uint64_t submitted = 0;
     uint64_t completed = 0;
     uint64_t rejected = 0;
+    /// Pruned from the queue by the watchdog (deadline/cancel) before
+    /// ever being dispatched.
+    uint64_t cancelled = 0;
   };
 
   /// One dataset's sensitivity LRU: (fingerprint, epoch) → hint, most
@@ -177,6 +231,11 @@ class UpaService {
     uint64_t epoch = 0;
     uint64_t queries = 0;
     SensitivityCache cache;
+    /// Durable journal; null when durability is off or the journal failed
+    /// to open (then journal_status carries the error and queries on this
+    /// dataset fail rather than silently losing durability).
+    std::unique_ptr<Journal> journal;
+    Status journal_status = Status::Ok();
   };
 
   std::shared_ptr<DatasetState> DatasetFor(const std::string& dataset_id);
@@ -187,11 +246,16 @@ class UpaService {
   /// dataset waits — head-of-line order is what makes per-dataset request
   /// order deterministic. Called with `mu_` held.
   void MaybeDispatchLocked();
-  Result<QueryResponse> RunOne(QueryRequest& request, double queue_seconds);
+  Result<QueryResponse> RunOne(Pending& pending, double queue_seconds);
+  /// Prunes queued requests whose token tripped (deadline/cancel) so they
+  /// fail fast instead of occupying backlog until dispatch.
+  void WatchdogLoop();
+  void CountCancelMetric(StatusCode code);
 
   engine::ExecContext* ctx_;
   ServiceConfig config_;
   dp::PrivacyAccountant accountant_;
+  Status recovery_status_ = Status::Ok();
 
   mutable std::mutex mu_;  // tenants_, busy_datasets_, in_flight_, shutdown
   std::condition_variable idle_cv_;
@@ -203,6 +267,15 @@ class UpaService {
 
   mutable std::mutex datasets_mu_;
   std::map<std::string, std::shared_ptr<DatasetState>> datasets_;
+
+  /// Journal record ids, unique within this process lifetime; recovery
+  /// compacts the journal, so restarting from 1 cannot collide with
+  /// replayed records.
+  std::atomic<uint64_t> next_qid_{0};
+
+  std::condition_variable watchdog_cv_;  // paired with mu_
+  bool watchdog_stop_ = false;           // guarded by mu_
+  std::thread watchdog_;
 };
 
 }  // namespace upa::service

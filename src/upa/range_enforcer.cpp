@@ -98,4 +98,14 @@ void RangeEnforcer::Reset() {
   prior_.clear();
 }
 
+std::vector<std::vector<double>> RangeEnforcer::RegistrySnapshot() const {
+  std::lock_guard lock(mu_);
+  return prior_;
+}
+
+void RangeEnforcer::RestoreRegistry(std::vector<std::vector<double>> priors) {
+  std::lock_guard lock(mu_);
+  prior_ = std::move(priors);
+}
+
 }  // namespace upa::core

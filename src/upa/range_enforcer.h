@@ -83,6 +83,13 @@ class RangeEnforcer {
   size_t registry_size() const;
   void Reset();
 
+  /// Copy of the registered per-partition outputs, in registration order
+  /// (order matters: Enforce iterates the registry in this order). Used by
+  /// the service journal's snapshots; doubles are preserved bit-exactly.
+  std::vector<std::vector<double>> RegistrySnapshot() const;
+  /// Recovery: replace the registry wholesale with journaled priors.
+  void RestoreRegistry(std::vector<std::vector<double>> priors);
+
   /// Exposed for tests: the "same value" predicate used in comparisons.
   bool NearlyEqual(double a, double b) const;
 

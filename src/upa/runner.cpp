@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dp/mechanism.h"
@@ -88,7 +90,15 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
     query.ctx->metrics().AddPhaseTasks(phase, launched);
   };
 
+  // Cancellation points sit between phases (and, via ParallelForChunks, at
+  // every chunk boundary inside them). The last check runs before the
+  // enforcer session: past that point the query registers and releases, so
+  // a later cancellation must NOT abandon the run — "refund iff nothing
+  // was released" depends on cancelled runs never reaching Register.
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
+
   // ---- Phase 1: Partition & Sample -------------------------------------
+  UPA_FAILPOINT("upa/phase_sample");
   Stopwatch phase_watch;
   const size_t n = std::min(config_.sample_n, query.num_records);
   result.sample_size = n;
@@ -102,10 +112,16 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   result.seconds.sample = phase_watch.ElapsedSeconds();
 
   // ---- Phase 2 + S'-side of phase 3 (delegated to the query) -----------
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
+  UPA_FAILPOINT("upa/phase_map");
   phase_watch.Reset();
   MappedBatches batches =
       query.execute_phases(sample_indices, num_partitions, n, seed);
   result.seconds.map = phase_watch.ElapsedSeconds();
+  // A token that tripped mid-map leaves partially-built batches behind
+  // (ParallelFor skips the remaining chunks), so the cancellation must be
+  // surfaced before the shape checks get a chance to call it corruption.
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
   if (batches.sample_mapped.size() != n) {
     return Status::Internal(
         "query '" + query.name +
@@ -118,6 +134,8 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   }
 
   // ---- Phase 3b: Union-Preserving Reduce --------------------------------
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
+  UPA_FAILPOINT("upa/phase_reduce");
   phase_watch.Reset();
   Vec r_sprime = VecSum::Identity();
   for (const Vec& partial : batches.sprime_partials) {
@@ -150,6 +168,8 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
   result.seconds.reduce = phase_watch.ElapsedSeconds();
 
   // ---- Phase 4: iDP Enforcement -----------------------------------------
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
+  UPA_FAILPOINT("upa/phase_enforce");
   phase_watch.Reset();
   const double f_x = query.OutputOf(f_vec);
   if (hint != nullptr) {
@@ -229,6 +249,11 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
     return outs;
   };
   result.partition_outputs = partition_outputs_for(0);
+
+  // Point of no return: past this check the query registers in the shared
+  // registry and releases. A cancellation observed here still refunds; one
+  // arriving later is ignored (the release already happened).
+  UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
 
   if (config_.enable_enforcer) {
     // The registry may be shared with other runners (the service shares

@@ -1,0 +1,188 @@
+// Failpoint framework: spec parsing, deterministic triggers, env
+// activation, stats, and the macro contract.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace upa {
+namespace {
+
+/// Every test starts and ends with a clean registry — failpoints are
+/// process-global, so leaks would bleed into unrelated tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Instance().DeactivateAll(); }
+  void TearDown() override { Failpoints::Instance().DeactivateAll(); }
+};
+
+Status GuardedSite(const char* site) {
+  UPA_FAILPOINT(site);
+  return Status::Ok();
+}
+
+TEST_F(FailpointTest, InactiveSiteIsOkAndAnyActiveFalse) {
+  EXPECT_FALSE(Failpoints::Instance().AnyActive());
+  EXPECT_TRUE(GuardedSite("test/nowhere").ok());
+  Failpoints::SiteStats stats = Failpoints::Instance().StatsFor("test/nowhere");
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.fires, 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionInjectsStatus) {
+  ASSERT_TRUE(Failpoints::Instance().Activate("test/site", "error(internal)")
+                  .ok());
+  EXPECT_TRUE(Failpoints::Instance().AnyActive());
+  Status st = GuardedSite("test/site");
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("test/site"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ErrorActionCarriesCodeAndMessage) {
+  ASSERT_TRUE(Failpoints::Instance()
+                  .Activate("test/site", "error(resource_exhausted,no slots)")
+                  .ok());
+  Status st = GuardedSite("test/site");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "no slots");
+}
+
+TEST_F(FailpointTest, EveryNFiresOnExactMultiples) {
+  ASSERT_TRUE(
+      Failpoints::Instance().Activate("test/site", "error(internal):every(3)")
+          .ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!GuardedSite("test/site").ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  Failpoints::SiteStats stats = Failpoints::Instance().StatsFor("test/site");
+  EXPECT_EQ(stats.hits, 9u);
+  EXPECT_EQ(stats.fires, 3u);
+}
+
+TEST_F(FailpointTest, ProbabilityScheduleIsDeterministicInSeed) {
+  auto schedule = [&](uint64_t seed) {
+    Failpoints::Spec spec;
+    spec.action = Failpoints::Action::kError;
+    spec.trigger = Failpoints::Trigger::kProbability;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    Failpoints::Instance().Activate("test/site", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!GuardedSite("test/site").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> a = schedule(42);
+  std::vector<bool> b = schedule(42);
+  std::vector<bool> c = schedule(43);
+  EXPECT_EQ(a, b);  // same seed → bit-identical schedule
+  EXPECT_NE(a, c);  // different seed → different schedule
+  // p=0.5 over 64 hits: both outcomes must occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FailpointTest, ProbabilityExtremesNeverAndAlways) {
+  Failpoints::Spec spec;
+  spec.action = Failpoints::Action::kError;
+  spec.trigger = Failpoints::Trigger::kProbability;
+  spec.probability = 0.0;
+  Failpoints::Instance().Activate("test/site", spec);
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(GuardedSite("test/site").ok());
+  spec.probability = 1.0;
+  Failpoints::Instance().Activate("test/site", spec);
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(GuardedSite("test/site").ok());
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndReturnsOk) {
+  ASSERT_TRUE(Failpoints::Instance().Activate("test/site", "delay(20)").ok());
+  Stopwatch timer;
+  EXPECT_TRUE(GuardedSite("test/site").ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST_F(FailpointTest, VoidContextMacroCountsFires) {
+  ASSERT_TRUE(Failpoints::Instance().Activate("test/site", "error").ok());
+  UPA_FAILPOINT_HIT("test/site");
+  UPA_FAILPOINT_HIT("test/site");
+  Failpoints::SiteStats stats = Failpoints::Instance().StatsFor("test/site");
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.fires, 2u);
+}
+
+TEST_F(FailpointTest, DeactivateRestoresSite) {
+  ASSERT_TRUE(Failpoints::Instance().Activate("test/site", "error").ok());
+  EXPECT_FALSE(GuardedSite("test/site").ok());
+  Failpoints::Instance().Deactivate("test/site");
+  EXPECT_FALSE(Failpoints::Instance().AnyActive());
+  EXPECT_TRUE(GuardedSite("test/site").ok());
+}
+
+TEST_F(FailpointTest, ActivationReplacesSpecAndResetsCounters) {
+  ASSERT_TRUE(Failpoints::Instance().Activate("test/site", "error").ok());
+  (void)GuardedSite("test/site");
+  ASSERT_TRUE(
+      Failpoints::Instance().Activate("test/site", "error(internal):every(2)")
+          .ok());
+  EXPECT_EQ(Failpoints::Instance().StatsFor("test/site").hits, 0u);
+  EXPECT_TRUE(GuardedSite("test/site").ok());    // hit 1 of every(2)
+  EXPECT_FALSE(GuardedSite("test/site").ok());   // hit 2 fires
+}
+
+TEST_F(FailpointTest, LoadFromEnvActivatesMultipleSites) {
+  ASSERT_TRUE(Failpoints::Instance()
+                  .LoadFromEnv("a/x=error(not_found):every(2);b/y=delay(0)")
+                  .ok());
+  EXPECT_TRUE(GuardedSite("a/x").ok());
+  EXPECT_EQ(GuardedSite("a/x").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(GuardedSite("b/y").ok());
+  EXPECT_EQ(Failpoints::Instance().StatsFor("b/y").fires, 1u);
+}
+
+TEST_F(FailpointTest, LoadFromEnvEmptyIsOk) {
+  EXPECT_TRUE(Failpoints::Instance().LoadFromEnv("").ok());
+  EXPECT_TRUE(Failpoints::Instance().LoadFromEnv(nullptr).ok());
+  EXPECT_FALSE(Failpoints::Instance().AnyActive());
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
+  Failpoints::Spec spec;
+  EXPECT_FALSE(Failpoints::ParseSpec("explode", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("error(bogus_code)", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("delay", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("delay(-3)", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("abort(now)", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("error:every(0)", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("error:prob(1.5)", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("error:sometimes", &spec).ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("error(internal", &spec).ok());
+  EXPECT_FALSE(
+      Failpoints::Instance().LoadFromEnv("missing_equals_sign").ok());
+}
+
+TEST_F(FailpointTest, ParseAcceptsFullGrammar) {
+  Failpoints::Spec spec;
+  ASSERT_TRUE(Failpoints::ParseSpec("error(cancelled,gone):prob(0.25,7)",
+                                    &spec)
+                  .ok());
+  EXPECT_EQ(spec.action, Failpoints::Action::kError);
+  EXPECT_EQ(spec.error_code, StatusCode::kCancelled);
+  EXPECT_EQ(spec.error_message, "gone");
+  EXPECT_EQ(spec.trigger, Failpoints::Trigger::kProbability);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+  EXPECT_EQ(spec.seed, 7u);
+
+  ASSERT_TRUE(Failpoints::ParseSpec("abort:every(5)", &spec).ok());
+  EXPECT_EQ(spec.action, Failpoints::Action::kAbort);
+  EXPECT_EQ(spec.every_n, 5u);
+}
+
+}  // namespace
+}  // namespace upa

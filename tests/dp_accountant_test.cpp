@@ -90,6 +90,77 @@ TEST(AccountantTest, RefundRejectsUnknownDatasetAndBadEpsilon) {
   EXPECT_DOUBLE_EQ(acc.Spent("ds"), 0.5);  // failed refunds change nothing
 }
 
+TEST(AccountantTest, CheckpointTracksChargedAndRefundedTotals) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge("ds", 0.3).ok());
+  EXPECT_TRUE(acc.Charge("ds", 0.2).ok());
+  EXPECT_TRUE(acc.Refund("ds", 0.2).ok());
+  BudgetCheckpoint cp = acc.Checkpoint("ds");
+  EXPECT_DOUBLE_EQ(cp.charged_total, 0.5);
+  EXPECT_DOUBLE_EQ(cp.refunded_total, 0.2);
+  EXPECT_DOUBLE_EQ(cp.spent, 0.3);
+  // Failed charges must not appear in the ledger.
+  EXPECT_FALSE(acc.Charge("ds", 5.0).ok());
+  EXPECT_DOUBLE_EQ(acc.Checkpoint("ds").charged_total, 0.5);
+  // Unknown datasets read as an all-zero ledger.
+  BudgetCheckpoint fresh = acc.Checkpoint("never-seen");
+  EXPECT_DOUBLE_EQ(fresh.spent, 0.0);
+  EXPECT_DOUBLE_EQ(fresh.charged_total, 0.0);
+  EXPECT_DOUBLE_EQ(fresh.refunded_total, 0.0);
+}
+
+TEST(AccountantTest, VerifyConservationHoldsThroughChargeRefundCycles) {
+  PrivacyAccountant acc(2.0);
+  EXPECT_TRUE(acc.VerifyConservation().ok());  // empty accountant
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(acc.Charge("a", 0.07).ok());
+    if (i % 3 != 0) ASSERT_TRUE(acc.Refund("a", 0.07).ok());
+    ASSERT_TRUE(acc.Charge("b", 0.01).ok());
+    ASSERT_TRUE(acc.VerifyConservation().ok()) << "iteration " << i;
+  }
+  BudgetCheckpoint cp = acc.Checkpoint("a");
+  EXPECT_NEAR(cp.spent, cp.charged_total - cp.refunded_total, 1e-12);
+}
+
+TEST(AccountantTest, RestoreLedgerRebuildsSpentFromTotals) {
+  // Recovery overwrites the ledger with journaled totals; the live balance
+  // is charged − refunded by construction, and conservation must hold on
+  // the restored state.
+  PrivacyAccountant acc(1.0);
+  acc.RestoreLedger("ds", 0.55, 0.15);
+  BudgetCheckpoint cp = acc.Checkpoint("ds");
+  EXPECT_DOUBLE_EQ(cp.charged_total, 0.55);
+  EXPECT_DOUBLE_EQ(cp.refunded_total, 0.15);
+  EXPECT_DOUBLE_EQ(cp.spent, 0.40);
+  EXPECT_TRUE(acc.VerifyConservation().ok());
+  // The restored balance composes with new charges.
+  EXPECT_TRUE(acc.Charge("ds", 0.6).ok());
+  EXPECT_FALSE(acc.Charge("ds", 0.1).ok());
+}
+
+TEST(AccountantTest, FailedRunAfterChargeRefundsExactlyOnce) {
+  // Regression for the service's two-phase contract: a run that fails (or
+  // is cancelled) after Charge refunds exactly once. A double refund would
+  // show up here as refunded_total > charged_total — which conservation
+  // rejects — and as minted budget.
+  PrivacyAccountant acc(1.0);
+  ASSERT_TRUE(acc.Charge("ds", 0.4).ok());
+  ASSERT_TRUE(acc.Refund("ds", 0.4).ok());  // the one refund
+  BudgetCheckpoint cp = acc.Checkpoint("ds");
+  EXPECT_DOUBLE_EQ(cp.spent, 0.0);
+  EXPECT_DOUBLE_EQ(cp.refunded_total, 0.4);
+  EXPECT_TRUE(acc.VerifyConservation().ok());
+  // A second refund of the same charge is clamped to spent (0): it cannot
+  // mint budget, and the audit still balances because the clamped amount
+  // is what lands in refunded_total.
+  ASSERT_TRUE(acc.Refund("ds", 0.4).ok());
+  cp = acc.Checkpoint("ds");
+  EXPECT_DOUBLE_EQ(cp.spent, 0.0);
+  EXPECT_DOUBLE_EQ(cp.refunded_total, 0.4);  // clamp kept the ledger honest
+  EXPECT_TRUE(acc.VerifyConservation().ok());
+  EXPECT_TRUE(acc.Charge("ds", 1.0).ok());   // full budget, nothing minted
+}
+
 TEST(AccountantTest, ChargeRefundTwoPhaseUnderConcurrency) {
   // Failed work refunds its charge; the net spend must equal only the
   // successful (non-refunded) charges regardless of interleaving.

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "common/failpoint.h"
+
 namespace upa::rel {
 namespace {
 
@@ -103,6 +105,70 @@ TEST(CsvTest, UnterminatedQuoteRejected) {
   auto parsed = TableFromCsv("t", TestSchema(),
                              "id,score,label\n1,1.0,\"oops\n");
   EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, MalformationsAreInvalidArgumentWithRowContext) {
+  // Every malformed-input path must return INVALID_ARGUMENT (never crash or
+  // abort) and name the offending row so the analyst can fix the file.
+  struct Case {
+    const char* label;
+    const char* csv;
+    const char* context;
+  } cases[] = {
+      {"non-numeric int", "id,score,label\n1,1.0,a\nxy,2.0,b\n", "line 3"},
+      {"non-numeric double", "id,score,label\n1,oops,a\n", "line 2"},
+      {"wrong arity (extra field)", "id,score,label\n1,1.0,a,extra\n",
+       "line 2"},
+      {"trailing garbage after number", "id,score,label\n1,1.0x,a\n",
+       "line 2"},
+  };
+  for (const Case& c : cases) {
+    auto parsed = TableFromCsv("t", TestSchema(), c.csv);
+    ASSERT_FALSE(parsed.ok()) << c.label;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << c.label;
+    EXPECT_NE(parsed.status().message().find(c.context), std::string::npos)
+        << c.label << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(CsvTest, IntegerOverflowRejected) {
+  // strtoll clamps on overflow; loading the clamp silently would corrupt
+  // the data, so the loader must surface it.
+  auto parsed = TableFromCsv(
+      "t", TestSchema(), "id,score,label\n99999999999999999999999,1.0,a\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("out of range"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("column 'id'"), std::string::npos);
+}
+
+TEST(CsvTest, DoubleOverflowRejected) {
+  auto parsed = TableFromCsv("t", TestSchema(), "id,score,label\n1,1e999,a\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(CsvTest, TruncatedFinalRowNamesTheTruncation) {
+  // A file cut off mid-row (no trailing newline, too few fields) is the
+  // classic partial-download shape.
+  auto parsed = TableFromCsv("t", TestSchema(), "id,score,label\n1,2.5");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("truncated row"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, LoadFailpointInjectsStatus) {
+  Failpoints::Instance().DeactivateAll();
+  ASSERT_TRUE(
+      Failpoints::Instance()
+          .Activate("csv/load", "error(resource_exhausted,disk)")
+          .ok());
+  auto parsed = TableFromCsv("t", TestSchema(), "id,score,label\n1,1.0,a\n");
+  Failpoints::Instance().DeactivateAll();
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(CsvTest, QuotedFieldWithNewlineRoundTrips) {

@@ -1,0 +1,434 @@
+// Chaos verification (ISSUE tentpole): drives UpaService under a seeded
+// random fault schedule — injected phase errors, delays, deadlines,
+// client cancellations, crash-and-recover cycles — and asserts the
+// robustness invariants:
+//   - budget conservation (spent == charged − refunded, audited by the
+//     accountant after every schedule and recovery),
+//   - a cancelled/failed/deadline-exceeded query refunds its charge and
+//     registers nothing,
+//   - recovery reconstructs the enforcer registry bit-identically and the
+//     ledger totals exactly as journaled,
+//   - the service keeps draining (no deadlock) with faults active.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "service/service.h"
+#include "upa/simple_query.h"
+
+namespace upa::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+engine::ExecContext& Ctx() {
+  static engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 4});
+  return ctx;
+}
+
+/// A counting query over `n` records: M(r) = [1], f(x) = |x|.
+core::QueryInstance CountQuery(size_t n, const std::string& name = "count") {
+  core::SimpleQuerySpec<int> spec;
+  spec.name = name;
+  spec.ctx = &Ctx();
+  auto records = std::make_shared<std::vector<int>>(n, 0);
+  std::iota(records->begin(), records->end(), 0);
+  spec.records = records;
+  spec.map_record = [](const int&) { return core::Vec{1.0}; };
+  spec.sample_domain = [](Rng& rng) {
+    return static_cast<int>(rng.UniformU64(1000000));
+  };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+/// A counting query whose map phase sleeps per record — slow enough that a
+/// mid-run cancel/deadline reliably lands before the map→reduce boundary
+/// check observes it.
+core::QueryInstance SleepyQuery(size_t n, const std::string& name = "sleepy") {
+  core::SimpleQuerySpec<int> spec;
+  spec.name = name;
+  spec.ctx = &Ctx();
+  auto records = std::make_shared<std::vector<int>>(n, 0);
+  spec.records = records;
+  spec.map_record = [](const int&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return core::Vec{1.0};
+  };
+  spec.sample_domain = [](Rng& rng) {
+    return static_cast<int>(rng.UniformU64(1000000));
+  };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+ServiceConfig FastConfig() {
+  ServiceConfig config;
+  config.upa.sample_n = 100;
+  config.upa.add_noise = false;
+  return config;
+}
+
+QueryRequest MakeRequest(const std::string& tenant, const std::string& dataset,
+                         core::QueryInstance query, uint64_t seed = 1) {
+  QueryRequest request;
+  request.tenant = tenant;
+  request.dataset_id = dataset;
+  request.query = std::move(query);
+  request.epsilon = 0.05;
+  request.seed = seed;
+  return request;
+}
+
+/// Registries must match double-for-double at the bit level.
+void ExpectRegistryBitIdentical(
+    const std::vector<std::vector<double>>& a,
+    const std::vector<std::vector<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "prior " << i;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(std::memcmp(&a[i][j], &b[i][j], sizeof(double)), 0)
+          << "prior " << i << " partition " << j;
+    }
+  }
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Instance().DeactivateAll();
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("upa_chaos_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    Failpoints::Instance().DeactivateAll();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ChaosTest, DeadlineExceededMidRunRefundsCharge) {
+  UpaService service(&Ctx(), FastConfig());
+  QueryRequest request = MakeRequest("a", "ds", SleepyQuery(2000));
+  request.deadline_ms = 50;
+  auto result = service.Execute(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Refund iff nothing was released: the charge came back and nothing
+  // joined the registry.
+  EXPECT_DOUBLE_EQ(service.accountant().Spent("ds"), 0.0);
+  EXPECT_EQ(service.DebugState("ds").registry.size(), 0u);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+TEST_F(ChaosTest, ClientCancelMidRunRefundsCharge) {
+  UpaService service(&Ctx(), FastConfig());
+  QueryRequest request = MakeRequest("a", "ds", SleepyQuery(2000));
+  request.cancel = std::make_shared<CancelToken>();
+  auto token = request.cancel;
+  auto future = service.Submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  token->Cancel(StatusCode::kCancelled, "analyst closed the session");
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status().message(), "analyst closed the session");
+  EXPECT_DOUBLE_EQ(service.accountant().Spent("ds"), 0.0);
+  EXPECT_EQ(service.DebugState("ds").registry.size(), 0u);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+TEST_F(ChaosTest, CancelAfterCompletionIsIgnored) {
+  UpaService service(&Ctx(), FastConfig());
+  QueryRequest request = MakeRequest("a", "ds", CountQuery(2000));
+  request.cancel = std::make_shared<CancelToken>();
+  auto token = request.cancel;
+  auto result = service.Execute(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The release already happened; a late cancel must not claw it back.
+  token->Cancel();
+  EXPECT_DOUBLE_EQ(service.accountant().Spent("ds"), 0.05);
+  EXPECT_EQ(service.DebugState("ds").registry.size(), 1u);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+TEST_F(ChaosTest, PreCancelledRequestNeverCharges) {
+  UpaService service(&Ctx(), FastConfig());
+  QueryRequest request = MakeRequest("a", "ds", CountQuery(2000));
+  request.cancel = std::make_shared<CancelToken>();
+  request.cancel->Cancel();
+  auto result = service.Execute(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_DOUBLE_EQ(service.accountant().Spent("ds"), 0.0);
+}
+
+TEST_F(ChaosTest, WatchdogPrunesQueuedExpiredRequests) {
+  ServiceConfig config = FastConfig();
+  config.watchdog_interval_ms = 1.0;
+  UpaService service(&Ctx(), config);
+
+  // Tenant a holds the dataset in flight with a slow query; tenant b's
+  // request can't dispatch (one in-flight per dataset) and its deadline
+  // expires in the queue — the watchdog must fail it without running it.
+  auto slow = service.Submit(MakeRequest("a", "ds", SleepyQuery(2000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  QueryRequest queued = MakeRequest("b", "ds", CountQuery(2000));
+  queued.deadline_ms = 20;
+  auto pruned = service.Submit(std::move(queued));
+
+  auto pruned_result = pruned.get();
+  ASSERT_FALSE(pruned_result.ok());
+  EXPECT_EQ(pruned_result.status().code(), StatusCode::kDeadlineExceeded);
+  (void)slow.get();  // drain; the slow query itself is unconstrained
+  // The pruned request never charged; only the slow query's outcome moved
+  // the ledger.
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+  EXPECT_EQ(service.DebugState("ds").budget.refunded_total, 0.0);
+}
+
+TEST_F(ChaosTest, InjectedPhaseErrorsAlwaysRefund) {
+  UpaService service(&Ctx(), FastConfig());
+  ASSERT_TRUE(Failpoints::Instance()
+                  .Activate("upa/phase_reduce", "error(internal):every(2)")
+                  .ok());
+  size_t ok_count = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto result =
+        service.Execute(MakeRequest("a", "ds", CountQuery(2000), 10 + i));
+    if (result.ok()) {
+      ++ok_count;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    }
+  }
+  Failpoints::Instance().DeactivateAll();
+  EXPECT_EQ(ok_count, 4u);  // every(2): exactly half the runs fail
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.05 * ok_count, 1e-9);
+  EXPECT_EQ(service.DebugState("ds").registry.size(), ok_count);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+// The tentpole scenario: several crash-free service generations under a
+// seeded fault schedule, each followed by a restart from the journal.
+// Every generation asserts conservation; every restart asserts the
+// recovered registry/ledger is bit-identical to the pre-shutdown state.
+TEST_F(ChaosTest, SeededFaultScheduleSurvivesRestarts) {
+  constexpr uint64_t kSeed = 20260806;
+  const std::vector<std::string> datasets = {"dsA", "dsB"};
+  std::map<std::string, size_t> expected_registry;
+  std::map<std::string, UpaService::DatasetDurableDebug> before_restart;
+
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir_;
+
+  for (int round = 0; round < 3; ++round) {
+    UpaService service(&Ctx(), config);
+    ASSERT_TRUE(service.recovery_status().ok())
+        << service.recovery_status().ToString();
+
+    // Restart check: the fresh service must agree bit-for-bit with the
+    // state captured just before the previous generation shut down.
+    for (const auto& [id, expected] : before_restart) {
+      UpaService::DatasetDurableDebug recovered = service.DebugState(id);
+      EXPECT_EQ(recovered.epoch, expected.epoch) << id;
+      ExpectRegistryBitIdentical(recovered.registry, expected.registry);
+      EXPECT_EQ(recovered.budget.charged_total, expected.budget.charged_total)
+          << id;
+      EXPECT_EQ(recovered.budget.refunded_total,
+                expected.budget.refunded_total)
+          << id;
+      EXPECT_NEAR(recovered.budget.spent, expected.budget.spent, 1e-9) << id;
+    }
+
+    // Seeded fault schedule for this round: phase errors with a seeded
+    // probability, deterministic every-N enforcement faults, and latency
+    // injection in the service and pool. Bit-reproducible from kSeed.
+    uint64_t seed = kSeed + static_cast<uint64_t>(round) * 1000;
+    ASSERT_TRUE(Failpoints::Instance()
+                    .Activate("upa/phase_map", "error(internal,chaos-map):"
+                                               "prob(0.3," +
+                                                   std::to_string(seed) + ")")
+                    .ok());
+    ASSERT_TRUE(Failpoints::Instance()
+                    .Activate("upa/phase_enforce", "error(internal):every(5)")
+                    .ok());
+    ASSERT_TRUE(Failpoints::Instance()
+                    .Activate("service/run",
+                              "delay(1):prob(0.4," + std::to_string(seed + 1) +
+                                  ")")
+                    .ok());
+    ASSERT_TRUE(Failpoints::Instance()
+                    .Activate("threadpool/task",
+                              "delay(0.2):prob(0.05," +
+                                  std::to_string(seed + 2) + ")")
+                    .ok());
+
+    std::vector<std::pair<std::string, std::future<Result<QueryResponse>>>>
+        futures;
+    for (int i = 0; i < 12; ++i) {
+      const std::string& dataset = datasets[i % datasets.size()];
+      QueryRequest request = MakeRequest(
+          "tenant" + std::to_string(i % 3), dataset,
+          CountQuery(2000, "count-" + dataset),
+          seed + static_cast<uint64_t>(i));
+      if (i % 5 == 4) request.deadline_ms = 2000;  // generous: exercises the
+                                                   // deadline plumbing only
+      futures.emplace_back(dataset, service.Submit(std::move(request)));
+    }
+    for (auto& [dataset, future] : futures) {
+      auto result = future.get();
+      if (result.ok()) ++expected_registry[dataset];
+    }
+    Failpoints::Instance().DeactivateAll();
+
+    // Cover the epoch-bump record once.
+    if (round == 1) service.BumpEpoch("dsA");
+
+    // Invariants while the generation is still alive.
+    ASSERT_TRUE(service.accountant().VerifyConservation().ok());
+    for (const auto& id : datasets) {
+      UpaService::DatasetDurableDebug debug = service.DebugState(id);
+      EXPECT_EQ(debug.registry.size(), expected_registry[id]) << id;
+      EXPECT_NEAR(debug.budget.spent, 0.05 * expected_registry[id], 1e-9)
+          << id;
+      before_restart[id] = std::move(debug);
+    }
+  }
+
+  // One final cold start over everything the schedule left behind.
+  UpaService final_service(&Ctx(), config);
+  ASSERT_TRUE(final_service.recovery_status().ok());
+  ASSERT_TRUE(final_service.accountant().VerifyConservation().ok());
+  for (const auto& [id, expected] : before_restart) {
+    UpaService::DatasetDurableDebug recovered = final_service.DebugState(id);
+    ExpectRegistryBitIdentical(recovered.registry, expected.registry);
+    EXPECT_EQ(recovered.budget.charged_total, expected.budget.charged_total);
+    EXPECT_EQ(recovered.budget.refunded_total, expected.budget.refunded_total);
+  }
+}
+
+// Faults on the journal's own append path: the in-memory ledger and the
+// durable state must agree (up to float re-association) whichever side of
+// the append the error lands on.
+TEST_F(ChaosTest, JournalAppendFaultsKeepDiskAndMemoryConsistent) {
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir_;
+  std::map<std::string, dp::BudgetCheckpoint> live;
+  {
+    UpaService service(&Ctx(), config);
+    ASSERT_TRUE(Failpoints::Instance()
+                    .Activate("journal/before_append",
+                              "error(internal,journal-chaos):prob(0.25,99)")
+                    .ok());
+    for (int i = 0; i < 10; ++i) {
+      // Outcomes vary (some appends fail → query fails + refund); every
+      // path must keep both ledgers consistent.
+      (void)service.Execute(
+          MakeRequest("a", "ds", CountQuery(2000), 100 + i));
+    }
+    Failpoints::Instance().DeactivateAll();
+    ASSERT_TRUE(service.accountant().VerifyConservation().ok());
+    live["ds"] = service.DebugState("ds").budget;
+  }
+  UpaService recovered(&Ctx(), config);
+  ASSERT_TRUE(recovered.recovery_status().ok());
+  ASSERT_TRUE(recovered.accountant().VerifyConservation().ok());
+  // A failed charge-append refunds in memory but journals nothing, so the
+  // cumulative totals may legitimately differ — the live balance must not.
+  EXPECT_NEAR(recovered.DebugState("ds").budget.spent, live["ds"].spent,
+              1e-9);
+}
+
+// Crash-and-recover: the child process aborts inside the journal append
+// (after the record is durable); the parent then recovers from the same
+// journal dir and must see exactly the acknowledged state.
+using ServiceCrashDeathTest = ChaosTest;
+
+TEST_F(ServiceCrashDeathTest, AbortAfterChargeAppendRecoversWithRefund) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::string dir = dir_;
+  EXPECT_DEATH(
+      {
+        // threadsafe style re-execs the binary: the child gets its own
+        // Ctx() with live pool threads.
+        ServiceConfig config = FastConfig();
+        config.journal_dir = dir;
+        UpaService service(&Ctx(), config);
+        // Journal appends for a fresh dataset: kOpen (hit 1), kCharge
+        // (hit 2) — abort right after the charge is durable.
+        Failpoints::Instance().Activate(
+            "journal/after_append",
+            Failpoints::Spec{.action = Failpoints::Action::kAbort,
+                             .trigger = Failpoints::Trigger::kEveryN,
+                             .every_n = 2});
+        (void)service.Execute(MakeRequest("a", "ds", CountQuery(2000)));
+      },
+      "injected abort");
+
+  // Parent: the journal holds kOpen + a dangling charge. Recovery refunds
+  // it exactly once; nothing was released, nothing registers.
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir;
+  UpaService service(&Ctx(), config);
+  ASSERT_TRUE(service.recovery_status().ok())
+      << service.recovery_status().ToString();
+  UpaService::DatasetDurableDebug debug = service.DebugState("ds");
+  EXPECT_EQ(debug.registry.size(), 0u);
+  EXPECT_DOUBLE_EQ(debug.budget.charged_total, 0.05);
+  EXPECT_DOUBLE_EQ(debug.budget.refunded_total, 0.05);
+  EXPECT_DOUBLE_EQ(debug.budget.spent, 0.0);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+TEST_F(ServiceCrashDeathTest, AbortAfterReleaseAppendRecoversTheRelease) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::string dir = dir_;
+  EXPECT_DEATH(
+      {
+        ServiceConfig config = FastConfig();
+        config.journal_dir = dir;
+        UpaService service(&Ctx(), config);
+        // kOpen (1), kCharge (2), kRelease (3): the release is durable,
+        // the crash hits before the response resolves.
+        Failpoints::Instance().Activate(
+            "journal/after_append",
+            Failpoints::Spec{.action = Failpoints::Action::kAbort,
+                             .trigger = Failpoints::Trigger::kEveryN,
+                             .every_n = 3});
+        (void)service.Execute(MakeRequest("a", "ds", CountQuery(2000)));
+      },
+      "injected abort");
+
+  // The release record is on disk, so the query's charge sticks and its
+  // partition outputs are in the registry — an acknowledged-release crash
+  // loses nothing.
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir;
+  UpaService service(&Ctx(), config);
+  ASSERT_TRUE(service.recovery_status().ok());
+  UpaService::DatasetDurableDebug debug = service.DebugState("ds");
+  EXPECT_EQ(debug.registry.size(), 1u);
+  EXPECT_DOUBLE_EQ(debug.budget.charged_total, 0.05);
+  EXPECT_DOUBLE_EQ(debug.budget.refunded_total, 0.0);
+  EXPECT_DOUBLE_EQ(debug.budget.spent, 0.05);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+}  // namespace
+}  // namespace upa::service

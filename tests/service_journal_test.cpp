@@ -1,0 +1,339 @@
+// Journal wire format, torn-tail handling, snapshots, and recovery
+// semantics (dangling charges refund exactly once; replay is bit-exact).
+#include "service/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upa::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh empty directory per test, removed afterwards.
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("upa_journal_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+JournalRecord Charge(uint64_t qid, double eps) {
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kCharge;
+  rec.qid = qid;
+  rec.epsilon = eps;
+  return rec;
+}
+
+JournalRecord Release(uint64_t qid, double eps, std::vector<double> outputs) {
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kRelease;
+  rec.qid = qid;
+  rec.epsilon = eps;
+  rec.partition_outputs = std::move(outputs);
+  return rec;
+}
+
+JournalRecord Refund(uint64_t qid, double eps) {
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kRefund;
+  rec.qid = qid;
+  rec.epsilon = eps;
+  return rec;
+}
+
+TEST_F(JournalTest, RoundTripsRecordsBitExactly) {
+  auto journal_or = Journal::Open(dir_, "sales");
+  ASSERT_TRUE(journal_or.ok()) << journal_or.status().ToString();
+  std::unique_ptr<Journal> journal = std::move(journal_or).value();
+
+  // Values chosen to stress bit-exactness: denormals, negatives, values
+  // with no short decimal representation.
+  std::vector<double> outputs{1.0 / 3.0, -0.0, 5e-324, 1e308};
+  ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+  ASSERT_TRUE(journal->Append(Release(1, 0.1, outputs)).ok());
+  JournalRecord bump;
+  bump.type = JournalRecord::Type::kEpochBump;
+  bump.epoch = 7;
+  ASSERT_TRUE(journal->Append(bump).ok());
+
+  bool torn = true;
+  auto records_or = Journal::ReadAll(journal->path(), &torn);
+  ASSERT_TRUE(records_or.ok()) << records_or.status().ToString();
+  EXPECT_FALSE(torn);
+  const auto& records = records_or.value();
+  ASSERT_EQ(records.size(), 4u);  // kOpen header + 3 appends
+  EXPECT_EQ(records[0].type, JournalRecord::Type::kOpen);
+  EXPECT_EQ(records[0].dataset_id, "sales");
+  EXPECT_EQ(records[1].type, JournalRecord::Type::kCharge);
+  EXPECT_EQ(records[1].qid, 1u);
+  EXPECT_EQ(records[2].type, JournalRecord::Type::kRelease);
+  ASSERT_EQ(records[2].partition_outputs.size(), outputs.size());
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    // Bitwise comparison: -0.0 == 0.0 under operator==, so compare
+    // representations.
+    EXPECT_EQ(std::memcmp(&records[2].partition_outputs[i], &outputs[i],
+                          sizeof(double)),
+              0)
+        << "output " << i;
+  }
+  EXPECT_EQ(records[3].type, JournalRecord::Type::kEpochBump);
+  EXPECT_EQ(records[3].epoch, 7u);
+}
+
+TEST_F(JournalTest, TornTailStopsAtLastIntactRecord) {
+  std::string path;
+  {
+    auto journal_or = Journal::Open(dir_, "ds");
+    ASSERT_TRUE(journal_or.ok());
+    auto journal = std::move(journal_or).value();
+    ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+    ASSERT_TRUE(journal->Append(Charge(2, 0.2)).ok());
+    path = journal->path();
+  }
+  // Simulate a crash mid-append: chop bytes off the final record.
+  uint64_t size = fs::file_size(path);
+  fs::resize_file(path, size - 5);
+
+  bool torn = false;
+  uint64_t intact = 0;
+  auto records_or = Journal::ReadAll(path, &torn, &intact);
+  ASSERT_TRUE(records_or.ok());
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(records_or.value().size(), 2u);  // kOpen + first charge
+  EXPECT_EQ(records_or.value()[1].qid, 1u);
+  EXPECT_LT(intact, size - 5);
+}
+
+TEST_F(JournalTest, CorruptedPayloadIsATornTail) {
+  std::string path;
+  {
+    auto journal_or = Journal::Open(dir_, "ds");
+    ASSERT_TRUE(journal_or.ok());
+    ASSERT_TRUE(journal_or.value()->Append(Charge(1, 0.1)).ok());
+    path = journal_or.value()->path();
+  }
+  // Flip one byte in the last record's payload: the checksum must catch it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -1, SEEK_END);
+  int last = std::fgetc(f);
+  std::fseek(f, -1, SEEK_END);
+  std::fputc(last ^ 0xff, f);
+  std::fclose(f);
+
+  bool torn = false;
+  auto records_or = Journal::ReadAll(path, &torn);
+  ASSERT_TRUE(records_or.ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(records_or.value().size(), 1u);  // only the kOpen header
+}
+
+TEST_F(JournalTest, SnapshotRoundTrips) {
+  DatasetDurableState state;
+  state.dataset_id = "metrics/daily";
+  state.epoch = 3;
+  state.charged_total = 0.7;
+  state.refunded_total = 0.2;
+  state.registry = {{1.0 / 3.0, 2.0}, {-0.0, 5e-324, 7.0}};
+  ASSERT_TRUE(WriteSnapshot(dir_, state, 1234).ok());
+
+  std::string path =
+      (fs::path(dir_) / (Journal::FileStem(state.dataset_id) + ".snapshot"))
+          .string();
+  uint64_t covered = 0;
+  auto loaded_or = ReadSnapshot(path, &covered);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const DatasetDurableState& loaded = loaded_or.value();
+  EXPECT_EQ(loaded.dataset_id, state.dataset_id);
+  EXPECT_EQ(loaded.epoch, 3u);
+  EXPECT_EQ(covered, 1234u);
+  EXPECT_DOUBLE_EQ(loaded.charged_total, 0.7);
+  EXPECT_DOUBLE_EQ(loaded.refunded_total, 0.2);
+  ASSERT_EQ(loaded.registry.size(), 2u);
+  for (size_t i = 0; i < state.registry.size(); ++i) {
+    ASSERT_EQ(loaded.registry[i].size(), state.registry[i].size());
+    for (size_t j = 0; j < state.registry[i].size(); ++j) {
+      EXPECT_EQ(std::memcmp(&loaded.registry[i][j], &state.registry[i][j],
+                            sizeof(double)),
+                0);
+    }
+  }
+}
+
+TEST_F(JournalTest, CorruptSnapshotIsRejected) {
+  DatasetDurableState state;
+  state.dataset_id = "ds";
+  ASSERT_TRUE(WriteSnapshot(dir_, state, 0).ok());
+  std::string path =
+      (fs::path(dir_) / (Journal::FileStem("ds") + ".snapshot")).string();
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -1, SEEK_END);
+  int last = std::fgetc(f);
+  std::fseek(f, -1, SEEK_END);
+  std::fputc(last ^ 0xff, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadSnapshot(path, nullptr).status().code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(ReadSnapshot((fs::path(dir_) / "absent.snapshot").string(),
+                         nullptr)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(JournalTest, RecoveryReplaysChargesReleasesRefunds) {
+  {
+    auto journal = std::move(Journal::Open(dir_, "ds").value());
+    ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+    ASSERT_TRUE(journal->Append(Release(1, 0.1, {4.0, 5.0})).ok());
+    ASSERT_TRUE(journal->Append(Charge(2, 0.2)).ok());
+    ASSERT_TRUE(journal->Append(Refund(2, 0.2)).ok());
+    ASSERT_TRUE(journal->Append(Charge(3, 0.3)).ok());
+    ASSERT_TRUE(journal->Append(Release(3, 0.3, {6.0, 7.0})).ok());
+  }
+  auto state_or = RecoverDataset(dir_, "ds", /*compact=*/false);
+  ASSERT_TRUE(state_or.ok()) << state_or.status().ToString();
+  const DatasetDurableState& state = state_or.value();
+  EXPECT_DOUBLE_EQ(state.charged_total, 0.1 + 0.2 + 0.3);
+  EXPECT_DOUBLE_EQ(state.refunded_total, 0.2);
+  ASSERT_EQ(state.registry.size(), 2u);
+  EXPECT_EQ(state.registry[0], (std::vector<double>{4.0, 5.0}));
+  EXPECT_EQ(state.registry[1], (std::vector<double>{6.0, 7.0}));
+  EXPECT_TRUE(state.recovered_refunds.empty());
+}
+
+TEST_F(JournalTest, DanglingChargeIsRefundedExactlyOnce) {
+  {
+    auto journal = std::move(Journal::Open(dir_, "ds").value());
+    ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+    // Crash: no release, no refund.
+  }
+  auto first_or = RecoverDataset(dir_, "ds", /*compact=*/true);
+  ASSERT_TRUE(first_or.ok());
+  EXPECT_DOUBLE_EQ(first_or.value().charged_total, 0.1);
+  EXPECT_DOUBLE_EQ(first_or.value().refunded_total, 0.1);
+  ASSERT_EQ(first_or.value().recovered_refunds.size(), 1u);
+  EXPECT_DOUBLE_EQ(first_or.value().recovered_refunds.at(1), 0.1);
+
+  // A second recovery loads the compacted snapshot: the refund is already
+  // baked in, and must not be applied again.
+  auto second_or = RecoverDataset(dir_, "ds", /*compact=*/true);
+  ASSERT_TRUE(second_or.ok());
+  EXPECT_DOUBLE_EQ(second_or.value().charged_total, 0.1);
+  EXPECT_DOUBLE_EQ(second_or.value().refunded_total, 0.1);
+  EXPECT_TRUE(second_or.value().recovered_refunds.empty());
+}
+
+TEST_F(JournalTest, CompactionCoversReplayAndAcceptsNewAppends) {
+  {
+    auto journal = std::move(Journal::Open(dir_, "ds").value());
+    ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+    ASSERT_TRUE(journal->Append(Release(1, 0.1, {4.0, 5.0})).ok());
+  }
+  ASSERT_TRUE(RecoverDataset(dir_, "ds", /*compact=*/true).ok());
+
+  // New process appends past the snapshot's coverage; qids may restart.
+  {
+    auto journal = std::move(Journal::Open(dir_, "ds").value());
+    ASSERT_TRUE(journal->Append(Charge(1, 0.2)).ok());
+    ASSERT_TRUE(journal->Append(Release(1, 0.2, {8.0, 9.0})).ok());
+  }
+  auto state_or = RecoverDataset(dir_, "ds", /*compact=*/true);
+  ASSERT_TRUE(state_or.ok());
+  const DatasetDurableState& state = state_or.value();
+  EXPECT_DOUBLE_EQ(state.charged_total, 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(state.refunded_total, 0.0);
+  ASSERT_EQ(state.registry.size(), 2u);
+  EXPECT_EQ(state.registry[0], (std::vector<double>{4.0, 5.0}));
+  EXPECT_EQ(state.registry[1], (std::vector<double>{8.0, 9.0}));
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedSoNewAppendsAreReachable) {
+  {
+    auto journal = std::move(Journal::Open(dir_, "ds").value());
+    ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+    ASSERT_TRUE(journal->Append(Charge(2, 0.2)).ok());
+  }
+  std::string path =
+      (fs::path(dir_) / (Journal::FileStem("ds") + ".journal")).string();
+  fs::resize_file(path, fs::file_size(path) - 3);
+
+  // Recovery drops the fragment (charge 2) and refunds the dangling
+  // charge 1.
+  auto state_or = RecoverDataset(dir_, "ds", /*compact=*/true);
+  ASSERT_TRUE(state_or.ok());
+  EXPECT_DOUBLE_EQ(state_or.value().charged_total, 0.1);
+  EXPECT_DOUBLE_EQ(state_or.value().refunded_total, 0.1);
+
+  // Appends after the truncation land on a clean tail and replay fine.
+  {
+    auto journal = std::move(Journal::Open(dir_, "ds").value());
+    ASSERT_TRUE(journal->Append(Charge(5, 0.5)).ok());
+    ASSERT_TRUE(journal->Append(Release(5, 0.5, {1.0, 2.0})).ok());
+  }
+  bool torn = true;
+  auto records_or = Journal::ReadAll(path, &torn);
+  ASSERT_TRUE(records_or.ok());
+  EXPECT_FALSE(torn);
+  auto final_or = RecoverDataset(dir_, "ds", /*compact=*/false);
+  ASSERT_TRUE(final_or.ok());
+  EXPECT_DOUBLE_EQ(final_or.value().charged_total, 0.1 + 0.5);
+  ASSERT_EQ(final_or.value().registry.size(), 1u);
+}
+
+TEST_F(JournalTest, RecoverAllFindsEveryDataset) {
+  for (const std::string& id : {"alpha", "beta", "sales/2026 Q1"}) {
+    auto journal = std::move(Journal::Open(dir_, id).value());
+    ASSERT_TRUE(journal->Append(Charge(1, 0.1)).ok());
+    ASSERT_TRUE(journal->Append(Release(1, 0.1, {1.0, 2.0})).ok());
+  }
+  auto states_or = RecoverAll(dir_, /*compact=*/true);
+  ASSERT_TRUE(states_or.ok()) << states_or.status().ToString();
+  ASSERT_EQ(states_or.value().size(), 3u);
+  std::vector<std::string> ids;
+  for (const auto& state : states_or.value()) {
+    ids.push_back(state.dataset_id);
+    EXPECT_EQ(state.registry.size(), 1u) << state.dataset_id;
+  }
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "sales/2026 Q1"), ids.end());
+}
+
+TEST_F(JournalTest, FileStemSanitizesAndDisambiguates) {
+  std::string a = Journal::FileStem("sales/2026 Q1");
+  std::string b = Journal::FileStem("sales_2026_Q1");
+  EXPECT_EQ(a.find('/'), std::string::npos);
+  EXPECT_EQ(a.find(' '), std::string::npos);
+  // Same sanitized prefix, different hash suffix: no collision.
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Journal::FileStem("x"), Journal::FileStem("x"));
+}
+
+TEST_F(JournalTest, RecoverAllOnMissingDirIsEmpty) {
+  auto states_or = RecoverAll((fs::path(dir_) / "nope").string(), true);
+  ASSERT_TRUE(states_or.ok());
+  EXPECT_TRUE(states_or.value().empty());
+}
+
+}  // namespace
+}  // namespace upa::service
