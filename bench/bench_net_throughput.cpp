@@ -1,0 +1,162 @@
+// Network front-door throughput: concurrent wire-protocol clients against
+// one in-process Server over loopback.
+//
+// Each worker thread owns one TCP connection, one tenant and one private
+// dataset (the bit-identity regime), and keeps a window of pipelined
+// requests outstanding — an open-loop generator bounded only by the window,
+// so the server's event loop, not the client's think time, is what
+// saturates. Client-side latency (send → matching response) is recorded in
+// an engine::Metrics histogram; the table reports wall clock, queries/sec,
+// and the p50/p99 of that distribution next to the server-side
+// service/total histogram, so protocol + loop overhead is directly
+// attributable.
+//
+// Knobs: UPA_SAMPLE_N, UPA_RUNS (queries per client), UPA_THREADS (engine
+// pool size, default 4), UPA_PIPELINE (window per connection, default 8),
+// UPA_SEED.
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "engine/metrics.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/service.h"
+#include "upa/simple_query.h"
+
+using namespace upa;
+
+namespace {
+
+core::QueryInstance MakeSumQuery(engine::ExecContext* ctx,
+                                 std::shared_ptr<std::vector<double>> values,
+                                 const std::string& name) {
+  core::SimpleQuerySpec<double> spec;
+  spec.name = name;
+  spec.ctx = ctx;
+  spec.records = values;
+  spec.map_record = [](const double& v) { return core::Vec{v}; };
+  spec.sample_domain = [](Rng& rng) { return rng.UniformDouble(0.0, 1.0); };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::BenchEnv::FromEnv();
+  const size_t threads = env.threads == 0 ? 4 : env.threads;
+  const size_t window = EnvSize("UPA_PIPELINE", 8);
+  bench::PrintBanner("Net throughput — wire-protocol clients", env);
+  std::printf("engine pool threads: %zu, pipeline window: %zu\n\n", threads,
+              window);
+
+  const size_t queries_per_client = env.runs;
+  const size_t dataset_records = 10 * env.sample_n;
+
+  TablePrinter table({"clients", "queries", "wall (ms)", "q/s",
+                      "net p50 (ms)", "net p99 (ms)", "svc p99 (ms)"});
+  for (size_t clients : {1u, 2u, 4u, 8u}) {
+    engine::ExecContext ctx(
+        engine::ExecConfig{.threads = threads, .default_partitions = 4});
+    service::ServiceConfig config;
+    config.upa = env.MakeUpaConfig();
+    config.budget_per_dataset = 1e9;  // throughput, not budget, under test
+    config.max_in_flight = threads;
+    service::UpaService svc(&ctx, config);
+
+    std::vector<std::shared_ptr<std::vector<double>>> datasets;
+    for (size_t i = 0; i < clients; ++i) {
+      auto values = std::make_shared<std::vector<double>>();
+      Rng rng(env.seed + i);
+      for (size_t r = 0; r < dataset_records; ++r) {
+        values->push_back(rng.UniformDouble(0.0, 1.0));
+      }
+      datasets.push_back(std::move(values));
+    }
+
+    // Toy compiler: "sum:<i>" → a sum over client i's private dataset.
+    net::QueryCompiler compiler =
+        [&ctx, &datasets](
+            const net::WireQuery& wire) -> Result<core::QueryInstance> {
+      size_t i = static_cast<size_t>(
+          std::strtoull(wire.sql.c_str() + 4, nullptr, 10));
+      if (wire.sql.rfind("sum:", 0) != 0 || i >= datasets.size()) {
+        return Status::InvalidArgument("expected sum:<client>");
+      }
+      return MakeSumQuery(&ctx, datasets[i], wire.sql);
+    };
+
+    net::ServerConfig net_cfg;
+    net_cfg.max_pipelined_per_connection = window;
+    net::Server server(&svc, compiler, net_cfg);
+    Status started = server.Start();
+    UPA_CHECK_MSG(started.ok(), started.ToString());
+
+    Stopwatch wall;
+    std::vector<std::thread> workers;
+    for (size_t i = 0; i < clients; ++i) {
+      workers.emplace_back([&, i] {
+        auto connected = net::Client::Connect("127.0.0.1", server.port());
+        UPA_CHECK_MSG(connected.ok(), connected.status().ToString());
+        std::unique_ptr<net::Client> client = std::move(connected).value();
+        std::deque<std::pair<uint64_t, Stopwatch>> outstanding;
+        auto await_one = [&] {
+          auto [tag, timer] = outstanding.front();
+          outstanding.pop_front();
+          auto result = client->Await(tag);
+          UPA_CHECK_MSG(result.ok(), result.status().ToString());
+          UPA_CHECK_MSG(result.value().ok(),
+                        result.value().status().ToString());
+          ctx.metrics().RecordLatency("net/request", timer.ElapsedSeconds());
+        };
+        for (size_t q = 0; q < queries_per_client; ++q) {
+          if (outstanding.size() >= window) await_one();
+          net::WireQuery query;
+          query.tenant = "t" + std::to_string(i);
+          query.dataset_id = "d" + std::to_string(i);
+          query.epsilon = 0.1;
+          query.seed = env.seed + i * 1000 + q;
+          query.sql = "sum:" + std::to_string(i);
+          Stopwatch timer;
+          auto tag = client->Send(query);
+          UPA_CHECK_MSG(tag.ok(), tag.status().ToString());
+          outstanding.emplace_back(tag.value(), timer);
+        }
+        while (!outstanding.empty()) await_one();
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    double wall_seconds = wall.ElapsedSeconds();
+    server.Stop();
+
+    engine::MetricsSnapshot snapshot = ctx.metrics().Snapshot();
+    const engine::HistogramSnapshot& net = snapshot.latency["net/request"];
+    const engine::HistogramSnapshot& svc_total =
+        snapshot.latency["service/total"];
+    size_t queries = clients * queries_per_client;
+    table.AddRow(
+        {std::to_string(clients), std::to_string(queries),
+         TablePrinter::FormatDouble(wall_seconds * 1e3, 2),
+         TablePrinter::FormatDouble(queries / wall_seconds, 1),
+         TablePrinter::FormatDouble(net.QuantileSeconds(0.5) * 1e3, 3),
+         TablePrinter::FormatDouble(net.QuantileSeconds(0.99) * 1e3, 3),
+         TablePrinter::FormatDouble(svc_total.QuantileSeconds(0.99) * 1e3,
+                                    3)});
+  }
+  table.Print("net throughput vs concurrent wire clients");
+  return 0;
+}

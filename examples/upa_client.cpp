@@ -1,0 +1,72 @@
+// Command-line client for a running upa_server.
+//
+// Usage:
+//   upa_client <port> "SELECT COUNT(*) FROM lineitem" [private_table]
+//   upa_client <port> --stats
+//
+// The private table defaults to "lineitem"; it is the privacy unit the
+// server charges budget against, so the query must scan it.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/client.h"
+
+using namespace upa;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <port> <sql|--stats> [private_table]\n",
+                 argv[0]);
+    return 2;
+  }
+  uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  auto connected = net::Client::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Client> client = std::move(connected).value();
+
+  if (std::string(argv[2]) == "--stats") {
+    auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", stats.value().c_str());
+    return 0;
+  }
+
+  net::WireQuery query;
+  query.tenant = "cli";
+  query.dataset_id = argc >= 4 ? argv[3] : "lineitem";
+  query.epsilon = 0.5;
+  query.seed = 2026;
+  query.sql = argv[2];
+  auto result = client->Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "transport error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const net::WireResult& wire = result.value();
+  if (!wire.ok()) {
+    std::fprintf(stderr, "server error: %s\n",
+                 wire.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("released = %.4f\n", wire.response.released);
+  std::printf("epsilon  = %.2f  (dataset '%s', epoch %llu)\n",
+              wire.response.epsilon, query.dataset_id.c_str(),
+              static_cast<unsigned long long>(wire.response.dataset_epoch));
+  std::printf("inferred sensitivity %.4g%s%s\n",
+              wire.response.local_sensitivity,
+              wire.response.sensitivity_cache_hit ? ", cached" : "",
+              wire.response.attack_suspected
+                  ? ", repeat-query defense engaged"
+                  : "");
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace upa::net {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wait for fd readiness within the absolute deadline. events is POLLIN or
+/// POLLOUT. OK when ready; kDeadlineExceeded when time ran out.
+Status WaitReady(int fd, short events, int64_t deadline_ns) {
+  for (;;) {
+    int64_t left_ns = deadline_ns - NowNanos();
+    if (left_ns <= 0) return Status::DeadlineExceeded("socket wait timed out");
+    int timeout_ms = static_cast<int>((left_ns + 999999) / 1000000);
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    int n = ::poll(&p, 1, timeout_ms);
+    if (n > 0) return Status::Ok();
+    if (n == 0) return Status::DeadlineExceeded("socket wait timed out");
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("poll: ") + ::strerror(errno));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                int64_t timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host '" + host + "'");
+  }
+
+  int64_t deadline_ns = NowNanos() + timeout_ms * 1000000;
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status st =
+        Status::Internal(std::string("connect: ") + ::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    Status ready = WaitReady(fd, POLLOUT, deadline_ns);
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      Status st = Status::Internal(std::string("connect: ") +
+                                   ::strerror(err != 0 ? err : errno));
+      ::close(fd);
+      return st;
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendBytes(std::string_view bytes) {
+  UPA_RETURN_IF_ERROR(broken_);
+  int64_t deadline_ns = NowNanos() + int64_t{30000} * 1000000;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = WaitReady(fd_, POLLOUT, deadline_ns);
+      if (!ready.ok()) {
+        broken_ = ready;
+        return broken_;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = Status::Internal(std::string("send: ") + ::strerror(errno));
+    return broken_;
+  }
+  return Status::Ok();
+}
+
+Result<Frame> Client::NextFrame(int64_t deadline_ns) {
+  if (!broken_.ok()) return broken_;
+  for (;;) {
+    Frame frame;
+    Status error = Status::Ok();
+    FrameAssembler::Outcome outcome = assembler_.Next(&frame, &error);
+    if (outcome == FrameAssembler::Outcome::kFrame) return frame;
+    if (outcome == FrameAssembler::Outcome::kError) {
+      broken_ = error;
+      return broken_;
+    }
+    Status ready = WaitReady(fd_, POLLIN, deadline_ns);
+    if (!ready.ok()) {
+      broken_ = ready;
+      return broken_;
+    }
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      assembler_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      broken_ = Status::Internal("connection closed by server");
+      return broken_;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    broken_ = Status::Internal(std::string("recv: ") + ::strerror(errno));
+    return broken_;
+  }
+}
+
+Result<Frame> Client::ReadFrame(int64_t timeout_ms) {
+  return NextFrame(NowNanos() + timeout_ms * 1000000);
+}
+
+Result<uint64_t> Client::Send(WireQuery query) {
+  UPA_RETURN_IF_ERROR(broken_);
+  if (query.client_tag == 0) query.client_tag = next_tag_++;
+  uint64_t tag = query.client_tag;
+  UPA_RETURN_IF_ERROR(SendBytes(EncodeQueryFrame(query)));
+  return tag;
+}
+
+Result<WireResult> Client::Await(uint64_t tag, int64_t timeout_ms) {
+  if (auto it = parked_.find(tag); it != parked_.end()) {
+    WireResult result = std::move(it->second);
+    parked_.erase(it);
+    return result;
+  }
+  int64_t deadline_ns = NowNanos() + timeout_ms * 1000000;
+  for (;;) {
+    Result<Frame> frame = NextFrame(deadline_ns);
+    if (!frame.ok()) return frame.status();
+    switch (frame.value().type) {
+      case FrameType::kQueryResponse: {
+        WireResult result;
+        UPA_RETURN_IF_ERROR(
+            DecodeResultPayload(frame.value().payload, &result));
+        if (result.client_tag == tag) return result;
+        // Out-of-order completion for another in-flight tag: park it.
+        parked_[result.client_tag] = std::move(result);
+        break;
+      }
+      case FrameType::kError: {
+        Status server_error = Status::Ok();
+        UPA_RETURN_IF_ERROR(
+            DecodeErrorPayload(frame.value().payload, &server_error));
+        // The server closes after an error frame; the connection is done.
+        broken_ = server_error;
+        return server_error;
+      }
+      default:
+        broken_ = Status::Internal("unexpected frame type from server");
+        return broken_;
+    }
+  }
+}
+
+Result<WireResult> Client::Query(WireQuery query, int64_t timeout_ms) {
+  Result<uint64_t> tag = Send(std::move(query));
+  if (!tag.ok()) return tag.status();
+  return Await(tag.value(), timeout_ms);
+}
+
+Result<std::string> Client::Stats(int64_t timeout_ms) {
+  UPA_RETURN_IF_ERROR(broken_);
+  UPA_RETURN_IF_ERROR(SendBytes(EncodeStatsRequestFrame()));
+  int64_t deadline_ns = NowNanos() + timeout_ms * 1000000;
+  for (;;) {
+    Result<Frame> frame = NextFrame(deadline_ns);
+    if (!frame.ok()) return frame.status();
+    switch (frame.value().type) {
+      case FrameType::kStatsResponse: {
+        std::string text;
+        UPA_RETURN_IF_ERROR(
+            DecodeStatsResponsePayload(frame.value().payload, &text));
+        return text;
+      }
+      case FrameType::kQueryResponse: {
+        // A pipelined query raced the stats request; park it.
+        WireResult result;
+        UPA_RETURN_IF_ERROR(
+            DecodeResultPayload(frame.value().payload, &result));
+        parked_[result.client_tag] = std::move(result);
+        break;
+      }
+      case FrameType::kError: {
+        Status server_error = Status::Ok();
+        UPA_RETURN_IF_ERROR(
+            DecodeErrorPayload(frame.value().payload, &server_error));
+        broken_ = server_error;
+        return server_error;
+      }
+      default:
+        broken_ = Status::Internal("unexpected frame type from server");
+        return broken_;
+    }
+  }
+}
+
+}  // namespace upa::net

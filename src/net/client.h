@@ -1,0 +1,70 @@
+// Blocking client for the UPA wire protocol.
+//
+// One Client is one TCP connection. Query() writes a kQueryRequest frame
+// and reads frames until the response carrying the request's client_tag
+// arrives — responses may complete out of submission order, so earlier
+// arrivals for other tags are parked and handed to their waiters. A single
+// Client is NOT thread-safe; the load generator opens one per worker.
+//
+// The raw SendBytes/ReadFrame escape hatch exists for the protocol torture
+// suites, which need to write deliberately corrupt bytes and observe the
+// server's kError frame + close.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+
+namespace upa::net {
+
+class Client {
+ public:
+  /// Connect to host:port; fails with kDeadlineExceeded when the connect
+  /// does not complete within timeout_ms.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 int64_t timeout_ms = 5000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one query and block for ITS response (matched by client_tag; a
+  /// tag of 0 is replaced with an auto-assigned unique one). A transport
+  /// or timeout failure poisons the connection. A server kError frame is
+  /// returned as its Status (the server closes after sending one).
+  Result<WireResult> Query(WireQuery query, int64_t timeout_ms = 30000);
+
+  /// Fire a query without waiting; pair with Await(tag). Returns the tag.
+  Result<uint64_t> Send(WireQuery query);
+  /// Block for the response to a previously Send()t tag.
+  Result<WireResult> Await(uint64_t tag, int64_t timeout_ms = 30000);
+
+  /// The server's "/stats" text dump (service report + net counters).
+  Result<std::string> Stats(int64_t timeout_ms = 5000);
+
+  /// Raw escape hatches for protocol-torture tests.
+  Status SendBytes(std::string_view bytes);
+  Result<Frame> ReadFrame(int64_t timeout_ms = 5000);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Read until the assembler yields a frame (or timeout/transport error).
+  Result<Frame> NextFrame(int64_t deadline_ns);
+
+  int fd_;
+  uint64_t next_tag_ = 1;
+  FrameAssembler assembler_;
+  /// Responses that arrived while waiting for a different tag.
+  std::map<uint64_t, WireResult> parked_;
+  /// A transport failure is terminal for the connection; latched here so
+  /// every later call fails the same way instead of reading garbage.
+  Status broken_ = Status::Ok();
+};
+
+}  // namespace upa::net

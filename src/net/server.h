@@ -1,0 +1,190 @@
+// TCP front door for UpaService: non-blocking acceptor + wire-protocol
+// connections on a single-threaded EventLoop.
+//
+// Threading contract (DESIGN.md §8):
+//   - the LOOP THREAD owns the listen socket and every connection: it
+//     accepts, reads, frames, decodes, and writes. It never runs a query.
+//   - decoded requests are handed to UpaService::SubmitAsync; the release
+//     pipeline runs on the ENGINE POOL. The completion callback encodes
+//     the response on the pool thread and posts the bytes back to the
+//     loop with RunInLoop — the only cross-thread entry point.
+//
+// Protection at the socket boundary:
+//   - max_connections: surplus accepts are closed immediately,
+//   - max_frame_bytes: an oversize length prefix is rejected before any
+//     buffering commitment (kError frame, then close — a corrupt
+//     length-prefixed stream cannot be resynchronised),
+//   - max_pipelined_per_connection: surplus queries are answered with
+//     RESOURCE_EXHAUSTED instead of queued without bound,
+//   - write backpressure: a connection whose outbound buffer exceeds
+//     write_buffer_high_bytes stops being read until it drains,
+//   - idle timeout: a connection with no readable bytes, no queued
+//     responses and nothing in flight for idle_timeout_ms is reaped,
+//   - client disconnect mid-request: every in-flight request holds a
+//     CancelToken the server trips on close, so the service aborts the
+//     run at the next cooperative check and refunds the charge,
+//   - per-request deadlines ride the wire (WireQuery::deadline_ms) into
+//     QueryRequest::deadline_ms — the same CancelToken machinery.
+//
+// Fault sites (chaos suite): "net/accept", "net/read", "net/write",
+// "net/decode" — an injected error behaves as a transport failure on that
+// connection (closed, in-flight work cancelled); an abort action kills the
+// process for crash-recovery tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/event_loop.h"
+#include "net/wire.h"
+#include "service/service.h"
+
+namespace upa::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  /// Open-connection cap; surplus accepts are closed on arrival.
+  size_t max_connections = 256;
+  /// Frame payload cap enforced before buffering (see wire.h).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// In-flight queries per connection; surplus get RESOURCE_EXHAUSTED.
+  size_t max_pipelined_per_connection = 64;
+  /// Outbound-buffer high watermark: above it the connection's reads are
+  /// paused until the buffer fully drains (write backpressure).
+  size_t write_buffer_high_bytes = 4u << 20;
+  /// Reap connections with no activity (bytes, responses, in-flight work)
+  /// for this long. 0 disables.
+  double idle_timeout_ms = 0.0;
+  /// Granularity of the idle scan.
+  double tick_interval_ms = 20.0;
+  /// Graceful-drain bound for Stop(): how long to wait for in-flight
+  /// queries to complete and response buffers to flush before closing.
+  double drain_timeout_ms = 5000.0;
+  PollerKind poller = PollerKind::kEpoll;
+};
+
+/// Compiles a decoded wire query into the QueryInstance the service runs.
+/// This is the only query-semantics hook the server has: the SQL example
+/// wires parse→plan→MakePlanQuery here; tests wire toy count queries. Runs
+/// on the loop thread — keep it cheap or move heavy compilation into the
+/// QueryInstance's execute_phases.
+using QueryCompiler =
+    std::function<Result<core::QueryInstance>(const WireQuery&)>;
+
+class Server {
+ public:
+  /// `service` and `compiler` must outlive the server.
+  Server(service::UpaService* service, QueryCompiler compiler,
+         ServerConfig config = {});
+  /// Stops (gracefully draining) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the loop thread. kInvalidArgument for a bad
+  /// config, kInternal for socket failures.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, wait (≤ drain_timeout_ms) for
+  /// in-flight queries and response buffers, then close everything and
+  /// join the loop thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected_connections = 0;  // over max_connections / failpoint
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t protocol_errors = 0;  // bad frames / payloads (incl. oversize)
+    uint64_t disconnect_cancels = 0;  // in-flight tokens tripped on close
+    uint64_t idle_closed = 0;
+    uint64_t open_connections = 0;
+  };
+  Stats stats() const;
+
+  /// Human-readable "== net ==" block appended to /stats responses.
+  std::string StatsText() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameAssembler assembler;
+    std::string write_buffer;
+    size_t write_offset = 0;
+    bool want_write = false;
+    bool reads_paused = false;
+    bool close_after_flush = false;
+    int64_t last_activity_ns = 0;
+    /// In-flight request cancel handles, keyed by server-side sequence
+    /// number (client_tags may collide; these never do).
+    std::map<uint64_t, std::shared_ptr<CancelToken>> inflight;
+
+    explicit Connection(size_t max_frame_bytes)
+        : assembler(max_frame_bytes) {}
+  };
+
+  /// Liveness bridge between pool-thread completions and the loop: the
+  /// callback takes the lock, and posts only while `loop` is non-null.
+  /// ~Server nulls it before tearing the loop down.
+  struct Mailbox {
+    std::mutex mu;
+    EventLoop* loop = nullptr;
+  };
+
+  // All of the below run on the loop thread.
+  void HandleAccept();
+  void HandleReadable(uint64_t conn_id);
+  void HandleWritable(uint64_t conn_id);
+  void ProcessFrames(Connection& conn);
+  void DispatchQuery(Connection& conn, WireQuery query);
+  void QueueWrite(Connection& conn, std::string bytes);
+  void TryFlush(Connection& conn);
+  void UpdateInterest(Connection& conn);
+  void CloseConnection(uint64_t conn_id, bool cancel_inflight);
+  void OnTick();
+  /// Completion re-entry: response bytes for (conn_id, seq).
+  void CompleteRequest(uint64_t conn_id, uint64_t seq, std::string bytes);
+
+  service::UpaService* service_;
+  QueryCompiler compiler_;
+  ServerConfig config_;
+
+  EventLoop loop_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  uint64_t next_conn_id_ = 1;  // loop thread only
+  uint64_t next_req_seq_ = 1;  // loop thread only
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+
+  // Drain/observability counters (mixed-thread readers).
+  std::atomic<uint64_t> pending_requests_{0};
+  std::atomic<uint64_t> unflushed_bytes_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_connections_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> disconnect_cancels_{0};
+  std::atomic<uint64_t> idle_closed_{0};
+  std::atomic<uint64_t> open_connections_{0};
+};
+
+}  // namespace upa::net

@@ -1,0 +1,189 @@
+// Binary wire protocol for the UPA network front door.
+//
+// Everything that crosses the socket is a FRAME:
+//
+//   offset  size  field
+//   0       4     magic      0x55504157 ("UPAW", little-endian u32)
+//   4       1     version    kWireVersion (1)
+//   5       1     type       FrameType
+//   6       2     reserved   must be 0
+//   8       4     payload_len  (little-endian; capped by the receiver)
+//   12      8     checksum   FNV-1a 64 over header[0..12) ++ payload
+//   20      len   payload
+//
+// The checksum covers the header prefix as well as the payload, so ANY
+// single-byte corruption of a frame — magic, version, type, length,
+// payload, or the checksum itself — is detected: the frame either fails a
+// field validation or fails the checksum. This is the property the wire
+// torture suite exercises exhaustively (tests/net_wire_test.cpp).
+//
+// Payload scalars are little-endian; doubles travel as their raw IEEE-754
+// bits (the same convention as the service journal — releases must be
+// bit-identical across the wire). Strings are u32 length + bytes.
+//
+// Request/response payloads:
+//   kQueryRequest   client_tag, tenant, dataset_id, epsilon, seed,
+//                   fingerprint, deadline_ms, sql
+//   kQueryResponse  client_tag, status code + message, released value and
+//                   the full decision metadata of service::QueryResponse
+//   kStatsRequest   (empty)
+//   kStatsResponse  client_tag(0), text
+//   kError          status code + message; the server closes the
+//                   connection after sending one (framing can no longer be
+//                   trusted once a frame was rejected).
+//
+// `client_tag` is chosen by the client and echoed verbatim: responses may
+// complete out of submission order (two datasets pipelined on one
+// connection), so the tag — not arrival order — matches them up.
+//
+// Decoding never trusts a length field: every read is bounds-checked
+// against the remaining bytes and trailing garbage is rejected, so a
+// hostile frame can make a decode FAIL but never over-read (ASan-verified
+// by the torture suite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/service.h"
+
+namespace upa::net {
+
+inline constexpr uint32_t kWireMagic = 0x55504157u;  // "UPAW"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Default receiver-side cap on payload_len. A frame claiming more is
+/// rejected before any buffering commitment is made.
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kError = 5,
+};
+
+/// A decoded frame: type + raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// One analyst query as it travels client → server.
+struct WireQuery {
+  uint64_t client_tag = 0;
+  std::string tenant;
+  std::string dataset_id;
+  double epsilon = 0.1;
+  uint64_t seed = 0;
+  uint64_t fingerprint = 0;
+  int64_t deadline_ms = 0;
+  std::string sql;
+};
+
+/// The full release outcome as it travels server → client: the Status plus
+/// (when ok) every field of service::QueryResponse.
+struct WireResult {
+  uint64_t client_tag = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  service::QueryResponse response;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status status() const {
+    return ok() ? Status::Ok() : Status(code, message);
+  }
+};
+
+/// FNV-1a 64 over arbitrary bytes (seed continuation form, so the header
+/// prefix and payload can be folded in one pass).
+uint64_t WireChecksum(std::string_view bytes,
+                      uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Bounds-checked little-endian payload reader. Every getter fails with
+/// kInvalidArgument instead of reading past the end.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);  // raw IEEE-754 bits
+  Status GetString(std::string* out);
+  /// Rejects trailing bytes — a valid payload is consumed exactly.
+  Status ExpectEnd() const;
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// Little-endian payload writer (appends to an internal buffer).
+class PayloadWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);  // raw IEEE-754 bits
+  void PutString(std::string_view s);
+
+  std::string Take() { return std::move(out_); }
+  const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Wrap a payload in a checksummed frame, ready to write to a socket.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+std::string EncodeQueryFrame(const WireQuery& query);
+std::string EncodeResultFrame(const WireResult& result);
+std::string EncodeStatsRequestFrame();
+std::string EncodeStatsResponseFrame(std::string_view text);
+std::string EncodeErrorFrame(const Status& status);
+
+Status DecodeQueryPayload(std::string_view payload, WireQuery* out);
+Status DecodeResultPayload(std::string_view payload, WireResult* out);
+Status DecodeStatsResponsePayload(std::string_view payload, std::string* out);
+Status DecodeErrorPayload(std::string_view payload, Status* out);
+
+/// Incremental frame extraction from a byte stream. Feed whatever the
+/// socket produced; Next() hands back complete, checksum-verified frames.
+/// Any framing violation (bad magic/version/reserved, oversize length,
+/// checksum mismatch, unknown type) is terminal for the stream: the
+/// assembler latches the error and the connection must be closed — there
+/// is no way to resynchronise a corrupt length-prefixed stream.
+class FrameAssembler {
+ public:
+  enum class Outcome { kNeedMore, kFrame, kError };
+
+  explicit FrameAssembler(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(std::string_view bytes);
+
+  /// kFrame: `*frame` holds the next complete frame. kNeedMore: the buffer
+  /// holds only a partial frame. kError: the stream is corrupt; `*error`
+  /// explains (and every later call returns the same error).
+  Outcome Next(Frame* frame, Status* error);
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ already handed out as frames
+  Status latched_error_ = Status::Ok();
+  bool poisoned_ = false;
+};
+
+}  // namespace upa::net

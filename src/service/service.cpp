@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "common/failpoint.h"
 #include "common/hash.h"
 
 namespace upa::service {
+
+Status ValidateServiceConfig(const ServiceConfig& config) {
+  if (config.max_in_flight == 0) {
+    return Status::InvalidArgument(
+        "ServiceConfig::max_in_flight must be positive (0 would admit "
+        "nothing)");
+  }
+  if (config.max_queue_per_tenant == 0) {
+    return Status::InvalidArgument(
+        "ServiceConfig::max_queue_per_tenant must be positive (0 would "
+        "reject every submission)");
+  }
+  if (!std::isfinite(config.budget_per_dataset) ||
+      config.budget_per_dataset < 0.0) {
+    return Status::InvalidArgument(
+        "ServiceConfig::budget_per_dataset must be finite and >= 0, got " +
+        std::to_string(config.budget_per_dataset));
+  }
+  if (!std::isfinite(config.watchdog_interval_ms) ||
+      config.watchdog_interval_ms < 0.0) {
+    return Status::InvalidArgument(
+        "ServiceConfig::watchdog_interval_ms must be finite and >= 0, got " +
+        std::to_string(config.watchdog_interval_ms));
+  }
+  return Status::Ok();
+}
 
 bool UpaService::SensitivityCache::Lookup(const Key& key,
                                           core::SensitivityHint* out) {
@@ -46,9 +73,11 @@ UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
       config_(std::move(config)),
       accountant_(config_.budget_per_dataset) {
   UPA_CHECK(ctx_ != nullptr);
-  UPA_CHECK_MSG(config_.max_in_flight > 0, "max_in_flight must be positive");
-  UPA_CHECK_MSG(config_.max_queue_per_tenant > 0,
-                "max_queue_per_tenant must be positive");
+  // A bad config makes the service inert (every submission fails with
+  // kInvalidArgument) instead of aborting the process: the front door may
+  // be constructing it from untrusted operator input.
+  config_status_ = ValidateServiceConfig(config_);
+  if (!config_status_.ok()) return;
 
   if (!config_.journal_dir.empty()) {
     // Recover every dataset the journal dir knows about, compacting each
@@ -111,10 +140,35 @@ void UpaService::CountCancelMetric(StatusCode code) {
   }
 }
 
+void UpaService::Resolve(Pending& pending, Result<QueryResponse> result) {
+  if (pending.done) {
+    pending.done(std::move(result));
+  } else {
+    pending.promise.set_value(std::move(result));
+  }
+}
+
 std::future<Result<QueryResponse>> UpaService::Submit(QueryRequest request) {
   auto pending = std::make_shared<Pending>();
   pending->request = std::move(request);
   std::future<Result<QueryResponse>> future = pending->promise.get_future();
+  Enqueue(std::move(pending));
+  return future;
+}
+
+void UpaService::SubmitAsync(QueryRequest request, Callback done) {
+  UPA_CHECK(done != nullptr);
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->done = std::move(done);
+  Enqueue(std::move(pending));
+}
+
+void UpaService::Enqueue(std::shared_ptr<Pending> pending) {
+  if (!config_status_.ok()) {
+    Resolve(*pending, config_status_);
+    return;
+  }
 
   // Admission fault site (chaos suite): an injected error here must look
   // exactly like any other rejection — immediate resolution, no charge.
@@ -122,8 +176,8 @@ std::future<Result<QueryResponse>> UpaService::Submit(QueryRequest request) {
     Status injected = Failpoints::Instance().Evaluate("service/admit");
     if (!injected.ok()) {
       ctx_->metrics().AddCounter("service/rejected");
-      pending->promise.set_value(injected);
-      return future;
+      Resolve(*pending, injected);
+      return;
     }
   }
 
@@ -139,32 +193,33 @@ std::future<Result<QueryResponse>> UpaService::Submit(QueryRequest request) {
     Status st = pending->token->Check();
     if (!st.ok()) {
       CountCancelMetric(st.code());
-      pending->promise.set_value(st);
-      return future;
+      Resolve(*pending, st);
+      return;
     }
   }
 
   std::unique_lock<std::mutex> lock(mu_);
   if (shutting_down_) {
     lock.unlock();
-    pending->promise.set_value(
-        Status::FailedPrecondition("service is shutting down"));
-    return future;
+    Resolve(*pending,
+            Status::FailedPrecondition("service is shutting down"));
+    return;
   }
   TenantState& tenant = tenants_[pending->request.tenant];
   if (tenant.queue.size() >= config_.max_queue_per_tenant) {
     ++tenant.rejected;
     lock.unlock();
     ctx_->metrics().AddCounter("service/rejected");
-    pending->promise.set_value(Status::ResourceExhausted(
-        "tenant '" + pending->request.tenant + "' backlog full (" +
-        std::to_string(config_.max_queue_per_tenant) + " queued)"));
-    return future;
+    Resolve(*pending, Status::ResourceExhausted(
+                          "tenant '" + pending->request.tenant +
+                          "' backlog full (" +
+                          std::to_string(config_.max_queue_per_tenant) +
+                          " queued)"));
+    return;
   }
   ++tenant.submitted;
   tenant.queue.push_back(std::move(pending));
   MaybeDispatchLocked();
-  return future;
 }
 
 Result<QueryResponse> UpaService::Execute(QueryRequest request) {
@@ -206,8 +261,8 @@ void UpaService::MaybeDispatchLocked() {
           idle_cv_.notify_all();
         }
         // After the bookkeeping above the service may be destroyed at any
-        // time; `pending` is self-owned, so resolving the promise is safe.
-        pending->promise.set_value(std::move(result));
+        // time; `pending` is self-owned, so resolving the outcome is safe.
+        Resolve(*pending, std::move(result));
       });
       if (in_flight_ >= config_.max_in_flight) break;
     }
@@ -247,7 +302,7 @@ void UpaService::WatchdogLoop() {
       for (auto& p : expired) {
         Status st = p->token->status();
         CountCancelMetric(st.code());
-        p->promise.set_value(st);
+        Resolve(*p, st);
       }
       lock.lock();
     }

@@ -52,6 +52,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -91,6 +92,12 @@ struct ServiceConfig {
   /// deadline checks are unaffected — those are cooperative).
   double watchdog_interval_ms = 2.0;
 };
+
+/// Rejects nonsensical configurations (zero admission/queue limits,
+/// negative or non-finite budget / watchdog period) with kInvalidArgument.
+/// UpaService runs it at construction and fails every submission with the
+/// verdict rather than accepting a config that could never serve a query.
+Status ValidateServiceConfig(const ServiceConfig& config);
 
 struct QueryRequest {
   /// Queueing/fairness unit: one tenant's requests run one at a time, in
@@ -148,6 +155,16 @@ class UpaService {
   /// (backlog full, shutdown, already-cancelled) resolve immediately.
   std::future<Result<QueryResponse>> Submit(QueryRequest request);
 
+  /// Completion signature for SubmitAsync.
+  using Callback = std::function<void(Result<QueryResponse>)>;
+
+  /// Callback flavour of Submit, for callers that must not block a thread
+  /// per pending request (the network front door's event loop). `done`
+  /// runs exactly once: on an engine pool thread when the query executed,
+  /// or inline on the submitting thread for immediate rejections (backlog
+  /// full, shutdown, dead-on-arrival). It must not block.
+  void SubmitAsync(QueryRequest request, Callback done);
+
   /// Submit + wait. Do not call from inside an engine pool task.
   Result<QueryResponse> Execute(QueryRequest request);
 
@@ -167,6 +184,11 @@ class UpaService {
   /// still serves datasets whose journals did recover).
   const Status& recovery_status() const { return recovery_status_; }
 
+  /// ValidateServiceConfig's verdict on the construction config. Non-OK
+  /// means every submission is rejected with this status (the service is
+  /// inert: no watchdog, no journal recovery).
+  const Status& config_status() const { return config_status_; }
+
   /// Everything recovery must reproduce for one dataset, read from the
   /// live service. The chaos/crash-recovery suites compare this across a
   /// restart for bit-identical equality.
@@ -185,11 +207,19 @@ class UpaService {
   struct Pending {
     QueryRequest request;
     std::promise<Result<QueryResponse>> promise;
+    /// When set (SubmitAsync), the outcome goes through the callback and
+    /// the promise is never touched.
+    Callback done;
     Stopwatch queued;
     /// Cancellation handle: the caller's token, or service-created when
     /// only deadline_ms was set. Null when neither was requested.
     std::shared_ptr<CancelToken> token;
   };
+
+  /// Deliver the outcome through whichever channel the submission chose.
+  static void Resolve(Pending& pending, Result<QueryResponse> result);
+  /// Shared admission path behind Submit/SubmitAsync.
+  void Enqueue(std::shared_ptr<Pending> pending);
 
   struct TenantState {
     // shared_ptr: the in-flight task keeps its Pending alive past service
@@ -256,6 +286,7 @@ class UpaService {
   ServiceConfig config_;
   dp::PrivacyAccountant accountant_;
   Status recovery_status_ = Status::Ok();
+  Status config_status_ = Status::Ok();
 
   mutable std::mutex mu_;  // tenants_, busy_datasets_, in_flight_, shutdown
   std::condition_variable idle_cv_;

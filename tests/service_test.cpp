@@ -236,6 +236,33 @@ TEST(ServiceTest, StatsReportCoversTenantsDatasetsAndLatency) {
   EXPECT_NE(report.find("service/total"), std::string::npos) << report;
 }
 
+// Regression: a zero queue or in-flight limit used to be accepted at
+// construction and then wedge every submission; now it is rejected up
+// front and every query answers with the construction-time verdict.
+TEST(ServiceTest, InvalidLimitsAreRejectedAtConstruction) {
+  {
+    ServiceConfig config = FastConfig();
+    config.max_in_flight = 0;
+    EXPECT_EQ(ValidateServiceConfig(config).code(),
+              StatusCode::kInvalidArgument);
+    UpaService service(&Ctx(), config);
+    EXPECT_EQ(service.config_status().code(), StatusCode::kInvalidArgument);
+    auto result = service.Execute(MakeRequest("t", "ds", CountQuery(100)));
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_DOUBLE_EQ(service.accountant().Spent("ds"), 0.0);
+  }
+  {
+    ServiceConfig config = FastConfig();
+    config.max_queue_per_tenant = 0;
+    EXPECT_EQ(ValidateServiceConfig(config).code(),
+              StatusCode::kInvalidArgument);
+    UpaService service(&Ctx(), config);
+    auto result = service.Execute(MakeRequest("t", "ds", CountQuery(100)));
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(ValidateServiceConfig(FastConfig()).ok());
+}
+
 TEST(ServiceTest, DestructorDrainsPendingWork) {
   std::vector<std::future<Result<QueryResponse>>> futures;
   {
