@@ -177,6 +177,11 @@ Status EventLoop::UpdateFd(int fd, bool want_read, bool want_write) {
 void EventLoop::UnregisterFd(int fd) {
   (void)poller_->Remove(fd);
   callbacks_.erase(fd);
+  // Poison any readiness events for this fd still queued in the current
+  // dispatch round: a callback that follows may accept a new connection
+  // whose socket reuses this fd number, and the stale events (notably a
+  // stale `error` flag) must not reach the fresh registration.
+  dead_this_round_.push_back(fd);
 }
 
 void EventLoop::RunInLoop(std::function<void()> fn) {
@@ -229,6 +234,7 @@ void EventLoop::Run() {
 
     // Posted closures first: they may register/close fds the readiness
     // list below refers to (the callback lookup tolerates removals).
+    dead_this_round_.clear();
     to_run.clear();
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
@@ -239,6 +245,14 @@ void EventLoop::Run() {
     for (const Poller::Event& event : events) {
       if (event.fd == wake_read_fd_) {
         DrainWakeups();
+        continue;
+      }
+      // Skip fds unregistered earlier in this round even if the number was
+      // re-registered since: the event belongs to the OLD socket, and a
+      // fresh connection reusing the fd must not inherit it (the new fd's
+      // own readiness arrives level-triggered on the next Wait).
+      if (std::find(dead_this_round_.begin(), dead_this_round_.end(),
+                    event.fd) != dead_this_round_.end()) {
         continue;
       }
       // Re-look-up per event: an earlier callback may have closed this fd.

@@ -103,6 +103,10 @@ class EventLoop {
 
   std::unique_ptr<Poller> poller_;
   std::map<int, FdCallback> callbacks_;
+  /// fds unregistered during the current dispatch round; their remaining
+  /// queued events are skipped so a reused fd number can't receive the old
+  /// socket's readiness. Cleared at the top of each loop iteration.
+  std::vector<int> dead_this_round_;
 
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;

@@ -118,7 +118,11 @@ Status Server::Start() {
     return st;
   }
   port_ = ntohs(bound.sin_port);
-  UPA_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  if (Status st = SetNonBlocking(listen_fd_); !st.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
 
   started_ = true;
   loop_thread_ = std::thread([this] {
@@ -176,7 +180,8 @@ void Server::Stop() {
       ids.reserve(connections_.size());
       for (const auto& [id, conn] : connections_) ids.push_back(id);
       for (uint64_t id : ids) HandleReadable(id);
-      bool quiet = pending_requests_.load(std::memory_order_acquire) == 0;
+      bool quiet =
+          mailbox_->pending_requests.load(std::memory_order_acquire) == 0;
       for (const auto& [id, conn] : connections_) {
         if (!conn->inflight.empty() ||
             conn->write_offset < conn->write_buffer.size() ||
@@ -194,7 +199,7 @@ void Server::Stop() {
       break;  // loop wedged past the drain deadline; stop anyway
     }
     if (quiescent.get() &&
-        pending_requests_.load(std::memory_order_acquire) == 0 &&
+        mailbox_->pending_requests.load(std::memory_order_acquire) == 0 &&
         unflushed_bytes_.load(std::memory_order_acquire) == 0) {
       break;
     }
@@ -332,6 +337,17 @@ void Server::HandleReadable(uint64_t conn_id) {
   }
 }
 
+void Server::AbortConnection(Connection& conn, const Status& error) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  // close_after_flush must be set BEFORE the write is queued: QueueWrite
+  // flushes inline, and a hard send() error (or the net/write failpoint)
+  // inside that flush destroys the Connection. With the flag already set,
+  // a clean full flush also closes — no second touch of `conn` is needed,
+  // and callers must not make one.
+  conn.close_after_flush = true;
+  QueueWrite(conn, EncodeErrorFrame(error));
+}
+
 void Server::ProcessFrames(Connection& conn) {
   uint64_t conn_id = conn.id;
   for (;;) {
@@ -341,19 +357,13 @@ void Server::ProcessFrames(Connection& conn) {
     if (outcome == FrameAssembler::Outcome::kNeedMore) return;
     if (outcome == FrameAssembler::Outcome::kError) {
       // The stream cannot be resynchronised: report once, flush, close.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      QueueWrite(conn, EncodeErrorFrame(error));
-      conn.close_after_flush = true;
-      TryFlush(conn);
+      AbortConnection(conn, error);
       return;
     }
     frames_in_.fetch_add(1, std::memory_order_relaxed);
 
     if (Status injected = Probe("net/decode"); !injected.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      QueueWrite(conn, EncodeErrorFrame(injected));
-      conn.close_after_flush = true;
-      TryFlush(conn);
+      AbortConnection(conn, injected);
       return;
     }
 
@@ -362,10 +372,7 @@ void Server::ProcessFrames(Connection& conn) {
         WireQuery query;
         Status decoded = DecodeQueryPayload(frame.payload, &query);
         if (!decoded.ok()) {
-          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-          QueueWrite(conn, EncodeErrorFrame(decoded));
-          conn.close_after_flush = true;
-          TryFlush(conn);
+          AbortConnection(conn, decoded);
           return;
         }
         DispatchQuery(conn, std::move(query));
@@ -379,11 +386,8 @@ void Server::ProcessFrames(Connection& conn) {
       }
       default: {
         // A client has no business sending response/error frames.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        QueueWrite(conn, EncodeErrorFrame(Status::InvalidArgument(
-                             "unexpected frame type from client")));
-        conn.close_after_flush = true;
-        TryFlush(conn);
+        AbortConnection(conn, Status::InvalidArgument(
+                                  "unexpected frame type from client"));
         return;
       }
     }
@@ -432,7 +436,7 @@ void Server::DispatchQuery(Connection& conn, WireQuery query) {
   request.deadline_ms = query.deadline_ms;
   request.cancel = token;
 
-  pending_requests_.fetch_add(1, std::memory_order_acq_rel);
+  mailbox_->pending_requests.fetch_add(1, std::memory_order_acq_rel);
   // The completion runs on an engine pool thread (or inline for immediate
   // rejections). It encodes there — keeping serialization off the loop —
   // and posts finished bytes through the mailbox.
@@ -453,8 +457,9 @@ void Server::DispatchQuery(Connection& conn, WireQuery query) {
         std::string bytes = EncodeResultFrame(result);
         std::lock_guard<std::mutex> lock(mailbox->mu);
         if (mailbox->loop == nullptr) {
-          // Server torn down; the connection is gone anyway.
-          pending_requests_.fetch_sub(1, std::memory_order_acq_rel);
+          // Server torn down; the connection is gone anyway. Only the
+          // shared Mailbox is touched here — `this` may already be dead.
+          mailbox->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
           return;
         }
         mailbox->loop->RunInLoop(
@@ -466,7 +471,7 @@ void Server::DispatchQuery(Connection& conn, WireQuery query) {
 
 void Server::CompleteRequest(uint64_t conn_id, uint64_t seq,
                              std::string bytes) {
-  pending_requests_.fetch_sub(1, std::memory_order_acq_rel);
+  mailbox_->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
   auto it = connections_.find(conn_id);
   if (it == connections_.end()) return;  // client went away mid-request
   Connection& conn = *it->second;
@@ -572,10 +577,13 @@ void Server::OnTick() {
   int64_t budget_ns = static_cast<int64_t>(config_.idle_timeout_ms * 1e6);
   std::vector<uint64_t> victims;
   for (const auto& [id, conn] : connections_) {
-    bool active = !conn->inflight.empty() ||
-                  conn->write_offset < conn->write_buffer.size() ||
-                  conn->assembler.buffered_bytes() > 0;
-    if (active) continue;
+    // Only in-flight queries exempt a connection from reaping: no bytes
+    // flow while the engine computes, so last_activity_ns goes stale
+    // through no fault of the client. Buffered writes and partial frames
+    // do NOT count as activity — a peer that stops reading its responses
+    // (or drips a slow-loris request) makes no forward progress, and
+    // last_activity_ns already advances on every successful recv/send.
+    if (!conn->inflight.empty()) continue;
     if (now - conn->last_activity_ns >= budget_ns) victims.push_back(id);
   }
   for (uint64_t id : victims) {

@@ -138,10 +138,14 @@ class Server {
 
   /// Liveness bridge between pool-thread completions and the loop: the
   /// callback takes the lock, and posts only while `loop` is non-null.
-  /// ~Server nulls it before tearing the loop down.
+  /// ~Server nulls it before tearing the loop down. pending_requests lives
+  /// here (not on the Server) because a completion that loses the drain
+  /// race still decrements it after ~Server has finished — the shared_ptr
+  /// keeps the Mailbox alive; nothing else would keep the Server alive.
   struct Mailbox {
     std::mutex mu;
     EventLoop* loop = nullptr;
+    std::atomic<uint64_t> pending_requests{0};
   };
 
   // All of the below run on the loop thread.
@@ -154,6 +158,10 @@ class Server {
   void TryFlush(Connection& conn);
   void UpdateInterest(Connection& conn);
   void CloseConnection(uint64_t conn_id, bool cancel_inflight);
+  /// Queues an error frame and marks the connection close-after-flush.
+  /// May destroy the Connection before returning (hard flush failure);
+  /// callers must not touch `conn` afterwards.
+  void AbortConnection(Connection& conn, const Status& error);
   void OnTick();
   /// Completion re-entry: response bytes for (conn_id, seq).
   void CompleteRequest(uint64_t conn_id, uint64_t seq, std::string bytes);
@@ -174,8 +182,8 @@ class Server {
   uint64_t next_req_seq_ = 1;  // loop thread only
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;
 
-  // Drain/observability counters (mixed-thread readers).
-  std::atomic<uint64_t> pending_requests_{0};
+  // Drain/observability counters (mixed-thread readers). The in-flight
+  // request count lives in Mailbox::pending_requests — see Mailbox.
   std::atomic<uint64_t> unflushed_bytes_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_connections_{0};

@@ -297,5 +297,36 @@ TEST_F(NetCrashDeathTest, ServerKilledMidReleaseRecoversBitIdentically) {
   EXPECT_DOUBLE_EQ(crashed.budget.refunded_total, 0.0);
 }
 
+// Regression: answering a framing error while the write path is ALSO
+// failing used to free the Connection inside QueueWrite's inline flush and
+// then set close_after_flush / re-flush through the dangling reference
+// (use-after-free, caught under ASan). The error branches must tolerate
+// the queued error frame's flush destroying the connection.
+TEST_F(NetChaosTest, WriteFaultDuringErrorFrameDoesNotTouchFreedConnection) {
+  service::UpaService service(&Ctx(), FastConfig());
+  Server server(&service, CountCompiler(), {});
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(Failpoints::Instance()
+                  .Activate("net/write", "error(internal,always-write)")
+                  .ok());
+
+  for (int i = 0; i < 8; ++i) {
+    auto connected = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    auto client = std::move(connected).value();
+    // Unsynchronisable garbage: the server queues a kError frame, and the
+    // injected write fault closes the connection inside that very queue
+    // call — the path that used to dangle.
+    ASSERT_TRUE(client->SendBytes("these bytes are not a frame").ok());
+    auto frame = client->ReadFrame(/*timeout_ms=*/2000);
+    EXPECT_FALSE(frame.ok());  // closed without a frame ever making it out
+  }
+
+  Failpoints::Instance().DeactivateAll();
+  EXPECT_GE(server.stats().protocol_errors, 8u);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace upa::net
