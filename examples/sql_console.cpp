@@ -35,21 +35,25 @@ int RunOne(engine::ExecContext& ctx,
                  parsed.status().ToString().c_str());
     return 1;
   }
-  // Predicate pushdown: per-table filters run before the joins, like the
-  // hand-built paper queries.
-  Result<rel::PlanPtr> plan =
-      rel::PushDownFilters(parsed.value(), data.catalog());
-  rel::PlanStats stats = rel::AnalyzePlan(plan.value());
+  rel::PlanStats stats = rel::AnalyzePlan(parsed.value());
   if (private_table.empty()) {
     // Default privacy unit: the last-joined scan (the fact-table position
-    // in the left-deep trees the parser builds).
+    // in the left-deep trees the parser builds). Decided on the *parsed*
+    // plan so the choice is independent of how the optimizer reshapes it.
     private_table = stats.tables.empty() ? "" : stats.tables.back();
   }
 
-  // Wrap the parsed plan as a UPA query over the chosen private table.
+  // Cost-based optimization: predicate pushdown, join reorder, conjunct
+  // ordering and build-side hints — bit-identical results, so the DP
+  // release is unaffected.
+  rel::OptimizerOptions opt;
+  opt.private_table = private_table;
+  rel::PlanPtr plan = rel::Optimize(parsed.value(), data.catalog(), opt);
+
+  // Wrap the optimized plan as a UPA query over the chosen private table.
   tpch::TpchQuery query;
   query.name = "sql:" + sql.substr(0, 40);
-  query.plan = plan.value();
+  query.plan = plan;
   query.private_table = private_table;
 
   auto native = executor->Execute(query.plan);
@@ -73,8 +77,10 @@ int RunOne(engine::ExecContext& ctx,
   service::QueryRequest request;
   request.tenant = "console";
   request.dataset_id = private_table;
+  // The plan is already optimized above (we needed it for display and the
+  // fingerprint), so MakePlanQuery must not optimize again.
   request.query = queries::MakePlanQuery(&ctx, std::move(executor), &data,
-                                         query);
+                                         query, nullptr, /*optimize=*/false);
   request.epsilon = service.config().upa.epsilon;
   request.seed = 2026;
   // Cache key: the optimized plan's shape, not the SQL text — two spellings

@@ -43,10 +43,13 @@ net::QueryCompiler MakeSqlCompiler(
     }
     Result<rel::PlanPtr> parsed = rel::ParseSql(wire.sql);
     if (!parsed.ok()) return parsed.status();
-    Result<rel::PlanPtr> plan =
-        rel::PushDownFilters(parsed.value(), data->catalog());
-    if (!plan.ok()) return plan.status();
-    rel::PlanStats stats = rel::AnalyzePlan(plan.value());
+    // Cost-based optimization (pushdown + reorder + hints): bit-identical
+    // results, so sensitivities and the DP release are unaffected.
+    rel::OptimizerOptions opt;
+    opt.private_table = wire.dataset_id;
+    rel::PlanPtr plan =
+        rel::Optimize(parsed.value(), data->catalog(), opt);
+    rel::PlanStats stats = rel::AnalyzePlan(plan);
     if (stats.agg != rel::AggKind::kCount &&
         stats.agg != rel::AggKind::kSum) {
       return Status::Unsupported(
@@ -63,9 +66,11 @@ net::QueryCompiler MakeSqlCompiler(
     }
     tpch::TpchQuery query;
     query.name = "sql:" + wire.sql.substr(0, 40);
-    query.plan = plan.value();
+    query.plan = plan;
     query.private_table = wire.dataset_id;
-    return queries::MakePlanQuery(ctx, executor, data, query);
+    // Already optimized above; don't optimize again inside MakePlanQuery.
+    return queries::MakePlanQuery(ctx, executor, data, query, nullptr,
+                                  /*optimize=*/false);
   };
 }
 

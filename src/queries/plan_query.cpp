@@ -2,13 +2,23 @@
 
 #include <algorithm>
 
+#include "relational/optimizer.h"
+
 namespace upa::queries {
 
 core::QueryInstance MakePlanQuery(
     engine::ExecContext* ctx, std::shared_ptr<const rel::PlanExecutor> executor,
     const tpch::TpchDataset* data, const tpch::TpchQuery& query,
-    std::shared_ptr<const std::vector<rel::Row>> private_rows_override) {
+    std::shared_ptr<const std::vector<rel::Row>> private_rows_override,
+    bool optimize) {
   UPA_CHECK(ctx != nullptr && executor != nullptr && data != nullptr);
+
+  tpch::TpchQuery planned = query;
+  if (optimize) {
+    rel::OptimizerOptions opt;
+    opt.private_table = query.private_table;
+    planned.plan = rel::Optimize(query.plan, data->catalog(), opt);
+  }
 
   core::QueryInstance instance;
   instance.name = query.name;
@@ -20,7 +30,7 @@ core::QueryInstance MakePlanQuery(
   // scalarize = first coordinate (defaults).
 
   instance.execute_phases =
-      [ctx, executor = std::move(executor), data, query,
+      [ctx, executor = std::move(executor), data, query = std::move(planned),
        rows_override = std::move(private_rows_override)](
           std::span<const size_t> sample_indices, size_t num_partitions,
           size_t num_domain, uint64_t seed) {

@@ -26,10 +26,17 @@ namespace upa::queries {
 
 /// `private_rows_override`, when set, substitutes the private table's rows
 /// (a churned copy) for every phase run; sample indices address it.
+///
+/// By default the plan passes through the cost-based optimizer first
+/// (relational/optimizer.h) with the query's private table exempted from
+/// build-side hints. Safe for DP: every optimized plan is bit-identical to
+/// the original, so sensitivities and noise are unchanged. `optimize =
+/// false` runs the plan exactly as given (differential baselines).
 core::QueryInstance MakePlanQuery(
     engine::ExecContext* ctx, std::shared_ptr<const rel::PlanExecutor> executor,
     const tpch::TpchDataset* data, const tpch::TpchQuery& query,
     std::shared_ptr<const std::vector<rel::Row>> private_rows_override =
-        nullptr);
+        nullptr,
+    bool optimize = true);
 
 }  // namespace upa::queries

@@ -1,0 +1,211 @@
+#include "relational/card_est.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+
+namespace upa::rel {
+namespace {
+
+double Clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+
+/// All scans under `plan` whose catalog table provides `column`.
+void CollectOwners(const PlanPtr& plan, const std::string& column,
+                   const Catalog& catalog,
+                   std::vector<const Table*>& owners) {
+  if (plan == nullptr) return;
+  if (plan->kind == PlanKind::kScan) {
+    auto it = catalog.find(plan->table);
+    if (it != catalog.end() && it->second->schema().Has(column)) {
+      owners.push_back(it->second);
+    }
+    return;
+  }
+  CollectOwners(plan->left, column, catalog, owners);
+  CollectOwners(plan->right, column, catalog, owners);
+}
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(const Catalog* catalog)
+    : catalog_(catalog) {
+  UPA_CHECK(catalog_ != nullptr);
+}
+
+const Table* CardinalityEstimator::ResolveColumn(
+    const PlanPtr& input, const std::string& column) const {
+  std::vector<const Table*> owners;
+  CollectOwners(input, column, *catalog_, owners);
+  return owners.size() == 1 ? owners[0] : nullptr;
+}
+
+double CardinalityEstimator::KeyDistinct(const PlanPtr& input,
+                                         const std::string& column) const {
+  const Table* owner = ResolveColumn(input, column);
+  if (owner == nullptr) return 0.0;
+  return static_cast<double>(owner->DistinctCount(column));
+}
+
+double CardinalityEstimator::EstimateSelectivity(const ExprPtr& predicate,
+                                                 const PlanPtr& input) const {
+  if (predicate == nullptr) return 1.0;
+  switch (predicate->kind()) {
+    case Expr::Kind::kBinary: {
+      const BinOp op = predicate->op();
+      if (op == BinOp::kAnd) {
+        // Independence assumption: conjuncts multiply.
+        return Clamp01(EstimateSelectivity(predicate->lhs(), input) *
+                       EstimateSelectivity(predicate->rhs(), input));
+      }
+      if (op == BinOp::kOr) {
+        const double p = EstimateSelectivity(predicate->lhs(), input);
+        const double q = EstimateSelectivity(predicate->rhs(), input);
+        return Clamp01(p + q - p * q);
+      }
+      if (!IsComparison(op)) return defaults_.unknown;
+
+      // Normalize to column-vs-literal where possible; mirror the operator
+      // when the literal sits on the left.
+      const ExprPtr& lhs = predicate->lhs();
+      const ExprPtr& rhs = predicate->rhs();
+      const bool col_lit = lhs->kind() == Expr::Kind::kColumn &&
+                           rhs->kind() == Expr::Kind::kLiteral;
+      const bool lit_col = lhs->kind() == Expr::Kind::kLiteral &&
+                           rhs->kind() == Expr::Kind::kColumn;
+      if (lhs->kind() == Expr::Kind::kColumn &&
+          rhs->kind() == Expr::Kind::kColumn) {
+        // col = col (e.g. l_commitdate < l_receiptdate). Equality uses
+        // 1/max(ndv); ordered comparisons use the range default.
+        if (op == BinOp::kEq) {
+          const double ndv = std::max(KeyDistinct(input, lhs->column_name()),
+                                      KeyDistinct(input, rhs->column_name()));
+          return ndv > 0 ? Clamp01(1.0 / ndv) : defaults_.equality;
+        }
+        if (op == BinOp::kNe) return Clamp01(1.0 - defaults_.equality);
+        return defaults_.range;
+      }
+      if (!col_lit && !lit_col) {
+        // Arithmetic operands: no histogram applies.
+        return op == BinOp::kEq   ? defaults_.equality
+               : op == BinOp::kNe ? Clamp01(1.0 - defaults_.equality)
+                                  : defaults_.range;
+      }
+      const std::string& column =
+          col_lit ? lhs->column_name() : rhs->column_name();
+      const Value& literal = col_lit ? rhs->literal() : lhs->literal();
+      BinOp effective = op;
+      if (lit_col) {
+        // lit < col  ≡  col > lit, etc.
+        switch (op) {
+          case BinOp::kLt: effective = BinOp::kGt; break;
+          case BinOp::kLe: effective = BinOp::kGe; break;
+          case BinOp::kGt: effective = BinOp::kLt; break;
+          case BinOp::kGe: effective = BinOp::kLe; break;
+          default: break;
+        }
+      }
+      const Table* owner = ResolveColumn(input, column);
+      if (owner == nullptr) {
+        return effective == BinOp::kEq   ? defaults_.equality
+               : effective == BinOp::kNe ? Clamp01(1.0 - defaults_.equality)
+                                         : defaults_.range;
+      }
+      const ColumnStats stats = owner->Stats(column);
+      if (effective == BinOp::kEq) {
+        return stats.distinct > 0
+                   ? Clamp01(1.0 / static_cast<double>(stats.distinct))
+                   : defaults_.equality;
+      }
+      if (effective == BinOp::kNe) {
+        return stats.distinct > 0
+                   ? Clamp01(1.0 - 1.0 / static_cast<double>(stats.distinct))
+                   : Clamp01(1.0 - defaults_.equality);
+      }
+      if (!stats.numeric || stats.histogram.empty() ||
+          !IsNumeric(literal)) {
+        return defaults_.range;
+      }
+      const double bound = AsNumeric(literal);
+      const double below = stats.FractionBelow(bound);
+      // Treat <= as < and >= as > plus one equality quantum; the histogram
+      // cannot separate them more finely.
+      const double eq = stats.distinct > 0
+                            ? 1.0 / static_cast<double>(stats.distinct)
+                            : 0.0;
+      switch (effective) {
+        case BinOp::kLt: return Clamp01(below);
+        case BinOp::kLe: return Clamp01(below + eq);
+        case BinOp::kGt: return Clamp01(1.0 - below - eq);
+        default:         return Clamp01(1.0 - below);  // kGe
+      }
+    }
+    case Expr::Kind::kNot:
+      return Clamp01(1.0 - EstimateSelectivity(predicate->lhs(), input));
+    case Expr::Kind::kInSet: {
+      const ExprPtr& lhs = predicate->lhs();
+      if (lhs->kind() == Expr::Kind::kColumn) {
+        const Table* owner = ResolveColumn(input, lhs->column_name());
+        if (owner != nullptr) {
+          const size_t ndv = owner->DistinctCount(lhs->column_name());
+          if (ndv > 0) {
+            return Clamp01(static_cast<double>(predicate->set().size()) /
+                           static_cast<double>(ndv));
+          }
+        }
+      }
+      return Clamp01(defaults_.equality *
+                     static_cast<double>(predicate->set().size()));
+    }
+    case Expr::Kind::kLiteral:
+      // A bare literal predicate is constant-true or constant-false.
+      return IsNumeric(predicate->literal()) &&
+                     AsNumeric(predicate->literal()) != 0.0
+                 ? 1.0
+                 : 0.0;
+    case Expr::Kind::kColumn:
+      return defaults_.unknown;
+  }
+  return defaults_.unknown;
+}
+
+double CardinalityEstimator::EstimateRows(const PlanPtr& plan) const {
+  if (plan == nullptr) return 0.0;
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      auto it = catalog_->find(plan->table);
+      return it != catalog_->end()
+                 ? static_cast<double>(it->second->NumRows())
+                 : 0.0;
+    }
+    case PlanKind::kFilter:
+      return EstimateRows(plan->left) *
+             EstimateSelectivity(plan->predicate, plan->left);
+    case PlanKind::kJoin: {
+      const double l = EstimateRows(plan->left);
+      const double r = EstimateRows(plan->right);
+      const double ndv = std::max(KeyDistinct(plan->left, plan->left_key),
+                                  KeyDistinct(plan->right, plan->right_key));
+      return ndv > 0 ? l * r / ndv : l * r * defaults_.equality;
+    }
+    case PlanKind::kAggregate:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace upa::rel

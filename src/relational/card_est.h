@@ -1,0 +1,55 @@
+// Cardinality estimation for the cost-based optimizer (Selinger-style).
+//
+// Selectivities come from the per-column statistics Table memoizes
+// (relational/table.h): equality predicates estimate 1/ndv, range
+// predicates read the equi-width histogram, conjuncts multiply under an
+// independence assumption. Join outputs use the classic |L|·|R| /
+// max(ndv(lkey), ndv(rkey)) formula with ndv taken from the base tables.
+//
+// Estimates drive plan *choice* only — every emitted plan is semantically
+// identical to its input, so a bad estimate costs performance, never
+// correctness (asserted by the optimizer differential suite).
+#pragma once
+
+#include "relational/plan.h"
+
+namespace upa::rel {
+
+/// Fallback selectivities when statistics cannot resolve a predicate
+/// (column-vs-column comparisons, arithmetic operands, unknown tables).
+/// The classic System R defaults.
+struct SelectivityDefaults {
+  double equality = 0.1;
+  double range = 1.0 / 3.0;
+  double unknown = 0.25;
+};
+
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog* catalog);
+
+  /// Estimated number of rows produced by `plan` (an Aggregate estimates
+  /// through its child; an unknown table estimates 0 — execution fails on
+  /// it before any plan choice matters).
+  double EstimateRows(const PlanPtr& plan) const;
+
+  /// Estimated selectivity in [0, 1] of `predicate` applied to the
+  /// relation produced by `input`. Columns are resolved against the scans
+  /// under `input`; a column provided by zero or several scans falls back
+  /// to the defaults.
+  double EstimateSelectivity(const ExprPtr& predicate,
+                             const PlanPtr& input) const;
+
+  /// Distinct count of `column` resolved under `input`, or 0 if the column
+  /// cannot be attributed to exactly one scanned table.
+  double KeyDistinct(const PlanPtr& input, const std::string& column) const;
+
+ private:
+  const Table* ResolveColumn(const PlanPtr& input,
+                             const std::string& column) const;
+
+  const Catalog* catalog_;
+  SelectivityDefaults defaults_;
+};
+
+}  // namespace upa::rel

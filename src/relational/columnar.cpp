@@ -367,11 +367,16 @@ class ColumnarEvaluator {
     std::vector<int64_t> lkeys = KeyColumn(left, *lk);
     std::vector<int64_t> rkeys = KeyColumn(right, *rk);
 
-    // Build a chained open-addressing table from the smaller side, probe
-    // with the larger in batches. Output order is deterministic (probe
-    // order, chain order) — and irrelevant to results anyway, since every
-    // downstream aggregate is exact and order-independent.
-    const bool build_left = left.num_rows <= right.num_rows;
+    // Build a chained open-addressing table from the hinted side (set by
+    // the cost-based optimizer from estimated cardinalities) or, absent a
+    // hint, from the smaller materialized side; probe with the other in
+    // batches. Output order is deterministic (probe order, chain order) —
+    // and irrelevant to results anyway, since every downstream aggregate is
+    // exact and order-independent.
+    const bool build_left =
+        plan->build_side == BuildSide::kAuto
+            ? left.num_rows <= right.num_rows
+            : plan->build_side == BuildSide::kLeft;
     const std::vector<int64_t>& bkeys = build_left ? lkeys : rkeys;
     const std::vector<int64_t>& pkeys = build_left ? rkeys : lkeys;
     const size_t nbuild = bkeys.size();

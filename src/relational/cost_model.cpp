@@ -1,0 +1,46 @@
+#include "relational/cost_model.h"
+
+#include <algorithm>
+
+namespace upa::rel {
+namespace {
+
+size_t CountConjuncts(const ExprPtr& expr) {
+  if (expr == nullptr) return 0;
+  if (expr->kind() == Expr::Kind::kBinary && expr->op() == BinOp::kAnd) {
+    return CountConjuncts(expr->lhs()) + CountConjuncts(expr->rhs());
+  }
+  return 1;
+}
+
+}  // namespace
+
+double CostModel::JoinCost(double left_rows, double right_rows,
+                           double output_rows) const {
+  const double build = std::min(left_rows, right_rows);
+  const double probe = std::max(left_rows, right_rows);
+  return build * build_row + probe * probe_row +
+         output_rows * join_output_row;
+}
+
+double CostModel::PlanCost(const PlanPtr& plan,
+                           const CardinalityEstimator& est) const {
+  if (plan == nullptr) return 0.0;
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return est.EstimateRows(plan) * scan_row;
+    case PlanKind::kFilter:
+      return PlanCost(plan->left, est) +
+             est.EstimateRows(plan->left) * filter_conjunct_row *
+                 static_cast<double>(CountConjuncts(plan->predicate));
+    case PlanKind::kJoin:
+      return PlanCost(plan->left, est) + PlanCost(plan->right, est) +
+             JoinCost(est.EstimateRows(plan->left),
+                      est.EstimateRows(plan->right), est.EstimateRows(plan));
+    case PlanKind::kAggregate:
+      return PlanCost(plan->left, est) + est.EstimateRows(plan->left);
+  }
+  return 0.0;
+}
+
+}  // namespace upa::rel

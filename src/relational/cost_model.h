@@ -1,0 +1,33 @@
+// Cost model over the physical shapes the engine actually runs: full
+// columnar scans, batch-kernel filters, and build/probe hash joins.
+//
+// Costs are abstract row-touch units, tuned only to rank plans — the
+// optimizer compares alternatives and keeps the cheaper, so only relative
+// order matters. Cardinalities come from CardinalityEstimator.
+#pragma once
+
+#include "relational/card_est.h"
+#include "relational/plan.h"
+
+namespace upa::rel {
+
+struct CostModel {
+  /// Per-row weights. A hash-join build row costs more than a probe row
+  /// (table insert + chain bookkeeping vs a lookup); a filter conjunct is
+  /// one batch-kernel pass over its input.
+  double scan_row = 1.0;
+  double filter_conjunct_row = 0.5;
+  double build_row = 2.0;
+  double probe_row = 1.0;
+  double join_output_row = 1.0;
+
+  /// Total estimated cost of `plan` (recursing through Aggregate roots).
+  double PlanCost(const PlanPtr& plan, const CardinalityEstimator& est) const;
+
+  /// Cost of one hash join given input/output cardinalities; builds from
+  /// the smaller side, as the engine does by default.
+  double JoinCost(double left_rows, double right_rows,
+                  double output_rows) const;
+};
+
+}  // namespace upa::rel

@@ -178,6 +178,7 @@ uint64_t PlanFingerprint(const PlanPtr& plan, const Catalog& catalog) {
     case PlanKind::kJoin:
       h = HashCombine(h, Fnv1a(plan->left_key));
       h = HashCombine(h, Fnv1a(plan->right_key));
+      h = HashCombine(h, static_cast<uint64_t>(plan->build_side));
       h = HashCombine(h, PlanFingerprint(plan->left, catalog));
       return HashCombine(h, PlanFingerprint(plan->right, catalog));
     case PlanKind::kAggregate:

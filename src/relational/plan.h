@@ -21,6 +21,13 @@ using PlanPtr = std::shared_ptr<const PlanNode>;
 
 enum class PlanKind { kScan, kFilter, kJoin, kAggregate };
 
+/// Hash-build side hint for a join, set by the cost-based optimizer from
+/// estimated cardinalities. kAuto lets the columnar engine build from the
+/// smaller materialized side at runtime (the row oracle always ignores the
+/// hint). Purely physical: results are bit-identical either way, since
+/// every aggregate is exact and order-independent.
+enum class BuildSide : uint8_t { kAuto, kLeft, kRight };
+
 /// Count/Sum are the additive aggregates UPA's provenance machinery
 /// supports end-to-end; Avg/Min/Max execute natively (plain runs) but
 /// reject provenance options (per-record influence is not additive).
@@ -38,6 +45,7 @@ struct PlanNode {
   // kJoin — equi-join on left_key = right_key (int64-keyed)
   PlanPtr left, right;
   std::string left_key, right_key;
+  BuildSide build_side = BuildSide::kAuto;
 
   // kAggregate (child in `left`)
   AggKind agg = AggKind::kCount;

@@ -1,5 +1,6 @@
 #include "relational/table.h"
 
+#include <algorithm>
 #include <atomic>
 #include <unordered_map>
 
@@ -11,6 +12,29 @@ namespace upa::rel {
 namespace {
 std::atomic<uint64_t> g_next_table_uid{1};
 }  // namespace
+
+double ColumnStats::FractionBelow(double bound) const {
+  UPA_CHECK_MSG(numeric && !histogram.empty(),
+                "FractionBelow needs a numeric histogram");
+  if (bound <= min) return 0.0;
+  if (bound > max) return 1.0;
+  size_t total = 0;
+  for (size_t c : histogram) total += c;
+  if (total == 0) return 0.0;
+  if (max == min) return 0.0;  // bound in (min, max] with min==max → below none
+  const double width = (max - min) / static_cast<double>(histogram.size());
+  const double offset = (bound - min) / width;
+  const size_t full = std::min(static_cast<size_t>(offset), histogram.size());
+  size_t below = 0;
+  for (size_t b = 0; b < full; ++b) below += histogram[b];
+  double frac = static_cast<double>(below);
+  if (full < histogram.size()) {
+    // Linear interpolation inside the bucket `bound` falls in.
+    frac += static_cast<double>(histogram[full]) *
+            (offset - static_cast<double>(full));
+  }
+  return std::min(1.0, frac / static_cast<double>(total));
+}
 
 Table::Table(std::string name, Schema schema, std::vector<Row> rows)
     : name_(std::move(name)),
@@ -37,11 +61,17 @@ Table::Table(Table&& other) noexcept
     : name_(std::move(other.name_)),
       schema_(std::move(other.schema_)),
       rows_(std::move(other.rows_)),
-      uid_(other.uid_),
-      stats_cache_(std::move(other.stats_cache_)),
-      columnar_(std::move(other.columnar_)) {}
+      uid_(other.uid_) {
+  // Hold the source's cache mutex while stealing its caches, mirroring the
+  // copy constructor: a concurrent StatsFor/Columnar on `other` must not
+  // race the steal (moving from a table another thread still uses is
+  // dubious, but it must not be a data race).
+  std::lock_guard lock(other.cache_mu_);
+  stats_cache_ = std::move(other.stats_cache_);
+  columnar_ = std::move(other.columnar_);
+}
 
-Table::ColumnStats Table::StatsFor(const std::string& column) const {
+ColumnStats Table::StatsFor(const std::string& column) const {
   {
     std::lock_guard lock(cache_mu_);
     auto it = stats_cache_.find(column);
@@ -62,6 +92,39 @@ Table::ColumnStats Table::StatsFor(const std::string& column) const {
     stats.max_frequency = std::max(stats.max_frequency, count);
   }
 
+  // Min/max and an equi-width histogram for numeric columns (the cost-based
+  // optimizer's selectivity inputs). A column mixing strings with numerics
+  // stays non-numeric — range estimation falls back to defaults there.
+  stats.numeric = !rows_.empty();
+  for (const Row& row : rows_) {
+    if (!IsNumeric(row[idx])) {
+      stats.numeric = false;
+      break;
+    }
+  }
+  if (stats.numeric) {
+    stats.min = AsNumeric(rows_.front()[idx]);
+    stats.max = stats.min;
+    for (const Row& row : rows_) {
+      const double v = AsNumeric(row[idx]);
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    const size_t nbuckets = ColumnStats::kHistogramBuckets;
+    stats.histogram.assign(nbuckets, 0);
+    const double span = stats.max - stats.min;
+    for (const Row& row : rows_) {
+      size_t b = 0;
+      if (span > 0) {
+        const double v = AsNumeric(row[idx]);
+        b = std::min(nbuckets - 1,
+                     static_cast<size_t>((v - stats.min) / span *
+                                         static_cast<double>(nbuckets)));
+      }
+      ++stats.histogram[b];
+    }
+  }
+
   std::lock_guard lock(cache_mu_);
   return stats_cache_.emplace(column, stats).first->second;
 }
@@ -72,6 +135,10 @@ size_t Table::MaxFrequency(const std::string& column) const {
 
 size_t Table::DistinctCount(const std::string& column) const {
   return StatsFor(column).distinct;
+}
+
+ColumnStats Table::Stats(const std::string& column) const {
+  return StatsFor(column);
 }
 
 std::shared_ptr<const ColumnarTable> Table::Columnar() const {

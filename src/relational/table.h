@@ -15,6 +15,29 @@ namespace upa::rel {
 
 class ColumnarTable;
 
+/// Per-column statistics, computed lazily on first use. FLEX consumes
+/// max_frequency; the cost-based optimizer (relational/card_est.h) consumes
+/// distinct counts, min/max and the histogram for selectivity estimation.
+struct ColumnStats {
+  static constexpr size_t kHistogramBuckets = 32;
+
+  size_t max_frequency = 0;
+  size_t distinct = 0;
+  /// True iff every cell is int64/double. min/max/histogram are only
+  /// meaningful when set; string columns estimate through `distinct` alone.
+  bool numeric = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Equi-width bucket counts over [min, max] (empty for non-numeric or
+  /// empty columns). The last bucket is closed so `max` lands inside.
+  std::vector<size_t> histogram;
+
+  /// Estimated fraction of cells strictly below `bound` (linear
+  /// interpolation inside the containing bucket). Requires `numeric` and a
+  /// non-empty histogram; callers fall back to a default otherwise.
+  double FractionBelow(double bound) const;
+};
+
 class Table {
  public:
   Table(std::string name, Schema schema, std::vector<Row> rows);
@@ -47,16 +70,17 @@ class Table {
   /// Number of distinct values in `column`. Thread-safe.
   size_t DistinctCount(const std::string& column) const;
 
+  /// Full statistics for `column` (ndv, max frequency, min/max, histogram).
+  /// Computed on first use and memoized under the same cache discipline as
+  /// MaxFrequency/DistinctCount. Thread-safe.
+  ColumnStats Stats(const std::string& column) const;
+
   /// The columnar representation (relational/columnar.h): one typed vector
   /// per column, strings dictionary-encoded. Built on first use and cached
   /// for the table's lifetime; thread-safe.
   std::shared_ptr<const ColumnarTable> Columnar() const;
 
  private:
-  struct ColumnStats {
-    size_t max_frequency = 0;
-    size_t distinct = 0;
-  };
   ColumnStats StatsFor(const std::string& column) const;
 
   std::string name_;

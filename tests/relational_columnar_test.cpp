@@ -27,6 +27,7 @@
 
 #include "common/rng.h"
 #include "relational/executor.h"
+#include "relational/optimizer.h"
 #include "relational/plan.h"
 #include "tpch/generator.h"
 #include "tpch/queries.h"
@@ -112,6 +113,43 @@ class DifferentialRunner {
       ExpectBitIdentical(oracle.value(), got.value(), trace);
     }
   }
+
+  // Oracle from the *unoptimized* plan (row engine, 1 thread); the
+  // *optimized* plan runs under both engines and both pool sizes and must
+  // reproduce the oracle bit-for-bit — the optimizer's safety contract.
+  void RunPair(const std::string& label, const PlanPtr& base,
+               const PlanPtr& optimized, ExecOptions options) {
+    options.engine = ExecEngine::kRowOracle;
+    Result<ExecResult> oracle = exec1_.Execute(base, options);
+
+    struct Variant {
+      const char* name;
+      const PlanExecutor* exec;
+      ExecEngine engine;
+    };
+    const Variant variants[] = {
+        {"opt row/threads=1", &exec1_, ExecEngine::kRowOracle},
+        {"opt columnar/threads=1", &exec1_, ExecEngine::kColumnar},
+        {"opt row/threads=4", &exec4_, ExecEngine::kRowOracle},
+        {"opt columnar/threads=4", &exec4_, ExecEngine::kColumnar},
+    };
+    for (const Variant& v : variants) {
+      options.engine = v.engine;
+      Result<ExecResult> got = v.exec->Execute(optimized, options);
+      const std::string trace = label + " [" + v.name + "]";
+      SCOPED_TRACE(trace);
+      ASSERT_EQ(oracle.ok(), got.ok())
+          << (oracle.ok() ? got.status().ToString()
+                          : oracle.status().ToString());
+      if (!oracle.ok()) {
+        EXPECT_EQ(oracle.status().ToString(), got.status().ToString());
+        continue;
+      }
+      ExpectBitIdentical(oracle.value(), got.value(), trace);
+    }
+  }
+
+  const Catalog& catalog() const { return catalog_; }
 
  private:
   engine::ExecContext ctx1_, ctx4_;
@@ -459,6 +497,112 @@ TEST(ColumnarDifferentialTest, ErrorParity) {
     opts.track_contributions = true;
     runner.Run("min-with-provenance",
                MinPlan(ScanPlan("nation"), Col("n_nationkey")), opts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based optimizer differential: Optimize(plan) must reproduce the
+// unoptimized plan bit-for-bit — outputs, partition outputs and
+// contributions — under both engines and both pool sizes, for the TPC-H
+// plans (hand-built AND lifted-to-SQL-shape) and for seeded random SPJ
+// plans. Join reorder, build-side hints and conjunct reordering are all
+// exercised through the same oracle.
+
+TEST(OptimizerDifferentialTest, TpchPlansAllOptionShapes) {
+  DifferentialRunner runner;
+  const tpch::TpchDataset& ds = Dataset();
+  Rng rng = Rng::ForStream(7, "opt_diff/tpch");
+
+  for (const tpch::TpchQuery& q : tpch::AllTpchQueries()) {
+    const size_t n = ds.table(q.private_table).NumRows();
+    OptimizerOptions opt;
+    opt.private_table = q.private_table;
+    // Two optimized forms: the hand-built plan, and the plan lifted to the
+    // naive SQL shape first (all filters above the joins) so pushdown and
+    // reorder have real work to do.
+    const PlanPtr optimized = Optimize(q.plan, runner.catalog(), opt);
+    const PlanPtr from_lifted =
+        Optimize(LiftFilters(q.plan), runner.catalog(), opt);
+
+    runner.RunPair(q.name + "/plain", q.plan, optimized, ExecOptions{});
+    runner.RunPair(q.name + "/plain-lifted", q.plan, from_lifted,
+                   ExecOptions{});
+
+    {
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.track_contributions = true;
+      runner.RunPair(q.name + "/contrib", q.plan, optimized, opts);
+      runner.RunPair(q.name + "/contrib-lifted", q.plan, from_lifted, opts);
+    }
+    {
+      std::vector<size_t> excluded =
+          rng.SampleWithoutReplacement(n, std::min<size_t>(n, 25));
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.exclude_rows = &excluded;
+      opts.partitions = 3;
+      runner.RunPair(q.name + "/sprime", q.plan, optimized, opts);
+    }
+    {
+      std::vector<size_t> included =
+          rng.SampleWithoutReplacement(n, std::min<size_t>(n, 40));
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.include_rows = &included;
+      opts.track_contributions = true;
+      runner.RunPair(q.name + "/sample", q.plan, optimized, opts);
+    }
+  }
+}
+
+TEST(OptimizerDifferentialTest, RandomPlans) {
+  DifferentialRunner runner;
+  const tpch::TpchDataset& ds = Dataset();
+  constexpr int kPlans = 50;
+
+  for (int i = 0; i < kPlans; ++i) {
+    Rng rng = Rng::ForStream(11, "opt_diff/plan" + std::to_string(i));
+    RandomPlan rp = MakeRandomPlan(rng);
+    const std::string label =
+        "opt-plan" + std::to_string(i) + ": " + PlanToString(rp.plan);
+    const std::string priv = rp.tables[rng.UniformU64(rp.tables.size())];
+
+    OptimizerOptions opt;
+    opt.private_table = priv;
+    const PlanPtr optimized = Optimize(rp.plan, runner.catalog(), opt);
+    // Optimizing the lifted shape stresses pushdown + reorder together on
+    // arbitrary SPJ trees; hints stay on (private_table empty) to also
+    // exercise hinted joins.
+    const PlanPtr from_lifted =
+        Optimize(LiftFilters(rp.plan), runner.catalog());
+
+    runner.RunPair(label + "/plain", rp.plan, optimized, ExecOptions{});
+    runner.RunPair(label + "/plain-lifted", rp.plan, from_lifted,
+                   ExecOptions{});
+
+    {
+      ExecOptions opts;
+      opts.private_table = priv;
+      opts.track_contributions = true;
+      opts.partitions = 1 + rng.UniformU64(4);
+      runner.RunPair(label + "/contrib", rp.plan, optimized, opts);
+    }
+    if (rp.additive) {
+      const size_t n = ds.table(priv).NumRows();
+      std::vector<size_t> subset =
+          rng.SampleWithoutReplacement(n, rng.UniformU64(n + 1));
+      ExecOptions opts;
+      opts.private_table = priv;
+      if (rng.Bernoulli(0.5)) {
+        opts.exclude_rows = &subset;
+      } else {
+        opts.include_rows = &subset;
+      }
+      opts.track_contributions = rng.Bernoulli(0.5);
+      opts.partitions = rng.UniformU64(4);
+      runner.RunPair(label + "/subset", rp.plan, optimized, opts);
+    }
   }
 }
 

@@ -74,6 +74,51 @@ TEST(TableStatsTest, ConcurrentFirstUseIsSafeAndConsistent) {
   }
 }
 
+TEST(TableStatsTest, NumericStatsCarryMinMaxAndHistogram) {
+  Table t = MakeTable();
+  const ColumnStats k = t.Stats("k");
+  EXPECT_TRUE(k.numeric);
+  EXPECT_DOUBLE_EQ(k.min, 0.0);
+  EXPECT_DOUBLE_EQ(k.max, 6.0);
+  EXPECT_EQ(k.distinct, 7u);
+  ASSERT_EQ(k.histogram.size(), ColumnStats::kHistogramBuckets);
+  size_t total = 0;
+  for (size_t c : k.histogram) total += c;
+  EXPECT_EQ(total, 2000u);
+
+  const ColumnStats w = t.Stats("w");
+  EXPECT_TRUE(w.numeric);
+  EXPECT_DOUBLE_EQ(w.min, 0.0);
+  EXPECT_DOUBLE_EQ(w.max, 999.5);
+
+  // Strings carry frequency stats but no numeric histogram.
+  const ColumnStats tag = t.Stats("tag");
+  EXPECT_FALSE(tag.numeric);
+  EXPECT_TRUE(tag.histogram.empty());
+}
+
+TEST(TableStatsTest, FractionBelowInterpolates) {
+  Table t = MakeTable();
+  const ColumnStats k = t.Stats("k");
+  EXPECT_DOUBLE_EQ(k.FractionBelow(0.0), 0.0);    // bound at min
+  EXPECT_DOUBLE_EQ(k.FractionBelow(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.FractionBelow(7.0), 1.0);    // bound past max
+  // k = i % 7 over 2000 rows: 858 rows (286 each of 0,1,2) lie strictly
+  // below 3.0, and 3.0 lands exactly on a bucket edge — no interpolation.
+  EXPECT_DOUBLE_EQ(k.FractionBelow(3.0), 858.0 / 2000.0);
+
+  // w = i * 0.5 is uniform on [0, 999.5]: the midpoint splits ~half.
+  const ColumnStats w = t.Stats("w");
+  EXPECT_NEAR(w.FractionBelow(999.5 / 2), 0.5, 0.01);
+  // Monotone in the bound.
+  double prev = 0.0;
+  for (double b = 0.0; b <= 1000.0; b += 73.0) {
+    const double f = w.FractionBelow(b);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
 TEST(TableStatsTest, CopyCarriesCachesAndUid) {
   Table t = MakeTable();
   auto built = t.Columnar();
