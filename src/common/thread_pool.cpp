@@ -1,11 +1,14 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <numeric>
 
 #include "common/cancel.h"
 #include "common/failpoint.h"
 #include "common/status.h"
+#include "common/timer.h"
 
 namespace upa {
 
@@ -99,6 +102,104 @@ size_t ThreadPool::ParallelForChunks(
   }
   if (first_error) std::rethrow_exception(first_error);
   return futures.size();
+}
+
+double ThreadPool::MorselTimings::SumSeconds() const {
+  return std::accumulate(seconds.begin(), seconds.end(), 0.0);
+}
+
+double ThreadPool::MorselTimings::MaxSeconds() const {
+  double mx = 0.0;
+  for (double s : seconds) mx = std::max(mx, s);
+  return mx;
+}
+
+double ThreadPool::MorselTimings::Imbalance() const {
+  if (seconds.size() <= 1) return 1.0;
+  const double sum = SumSeconds();
+  if (sum <= 0.0) return 1.0;
+  return MaxSeconds() * static_cast<double>(seconds.size()) / sum;
+}
+
+size_t ThreadPool::ParallelForMorsels(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn,
+    MorselTimings* timings) {
+  if (n == 0) return 0;
+  if (grain == 0) {
+    // Several morsels per worker so pulls can rebalance, without making the
+    // cursor a contention point for tiny per-item work.
+    grain = std::max<size_t>(1, n / (thread_count() * 8));
+  }
+  const size_t morsels = (n + grain - 1) / grain;
+  CancelToken* token = CancelScope::Current();
+
+  // Shared pull state. Workers fetch-add the cursor, so morsel boundaries
+  // are a pure function of (n, grain); only *which thread* runs a morsel
+  // varies between executions.
+  std::atomic<size_t> cursor{0};
+  std::mutex timings_mu;
+  auto drain = [&] {
+    std::vector<double> local;
+    for (;;) {
+      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      // Morsel boundaries are the cancellation polling points: a tripped
+      // token sheds every not-yet-pulled morsel.
+      if (token != nullptr && !token->Check().ok()) break;
+      if (timings != nullptr) {
+        Stopwatch watch;
+        fn(begin, std::min(n, begin + grain));
+        local.push_back(watch.ElapsedSeconds());
+      } else {
+        fn(begin, std::min(n, begin + grain));
+      }
+    }
+    if (timings != nullptr && !local.empty()) {
+      std::lock_guard lock(timings_mu);
+      timings->seconds.insert(timings->seconds.end(), local.begin(),
+                              local.end());
+    }
+  };
+
+  const size_t helpers = std::min(morsels, thread_count()) - 1;
+  if (helpers == 0) {
+    drain();
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(helpers);
+    for (size_t h = 0; h < helpers; ++h) {
+      futures.push_back(Submit([&drain, token] {
+        CancelScope scope(token);
+        drain();
+      }));
+    }
+    // The caller participates, then waits with the same help-run loop as
+    // ParallelForChunks (a bare get() would deadlock when the caller is a
+    // pool worker and its helpers sit behind it in the queue). Errors are
+    // propagated only after every helper finished: morsels reference the
+    // caller's stack state.
+    std::exception_ptr first_error;
+    try {
+      drain();
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    for (auto& f : futures) {
+      while (f.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!TryRunOneTask()) {
+          f.wait_for(std::chrono::milliseconds(1));
+        }
+      }
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  return morsels;
 }
 
 bool ThreadPool::TryRunOneTask() {

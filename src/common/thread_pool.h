@@ -5,13 +5,22 @@
 // defaults to the hardware concurrency and can be overridden (the CI box for
 // this repo has a single core; correctness does not depend on parallelism).
 //
-// ParallelFor / ParallelForChunks are safe to call from inside a pool worker:
-// while a caller waits for its chunks it help-runs queued tasks instead of
-// blocking, so nested parallelism cannot deadlock even on a 1-thread pool.
+// ParallelFor / ParallelForChunks / ParallelForMorsels are safe to call from
+// inside a pool worker: while a caller waits for its helpers it help-runs
+// queued tasks instead of blocking, so nested parallelism cannot deadlock
+// even on a 1-thread pool.
 //
-// Cooperative cancellation: both helpers poll the caller's CancelScope
-// token at chunk boundaries — once the token trips, not-yet-started chunks
-// are skipped (the caller converts the trip into kCancelled /
+// ParallelForChunks splits [0, n) statically into ~thread_count chunks; one
+// slow chunk stalls the whole call (bad under skew). ParallelForMorsels is
+// the load-balanced alternative: workers pull fixed-grain morsels off a
+// shared atomic cursor, so a worker stuck on a heavy morsel only delays its
+// own morsel while the others drain the rest. Morsel boundaries depend only
+// on (n, grain) — never on the pool size or pull order — so callers writing
+// disjoint slots per index get bit-identical results at any thread count.
+//
+// Cooperative cancellation: all helpers poll the caller's CancelScope
+// token at chunk/morsel boundaries — once the token trips, not-yet-started
+// work is skipped (the caller converts the trip into kCancelled /
 // kDeadlineExceeded and discards the partial result). See common/cancel.h.
 #pragma once
 
@@ -50,6 +59,30 @@ class ThreadPool {
   /// Returns the number of chunk tasks (1 when run inline).
   size_t ParallelForChunks(size_t n,
                            const std::function<void(size_t, size_t)>& fn);
+
+  /// Per-morsel wall-clock samples from one ParallelForMorsels call, for
+  /// the engine's duration histograms and the max/mean imbalance gauge.
+  struct MorselTimings {
+    std::vector<double> seconds;  // one entry per executed morsel
+    double SumSeconds() const;
+    double MaxSeconds() const;
+    /// max/mean over the executed morsels (1.0 when <= 1 morsel ran): how
+    /// much longer the slowest morsel ran than the average one. With static
+    /// chunking this is the stall factor of the whole phase; with morsel
+    /// stealing it only bounds the tail of one worker.
+    double Imbalance() const;
+  };
+
+  /// Morsel-driven parallel-for: workers (plus the calling thread) pull
+  /// morsels [i, min(n, i+grain)) off a shared atomic cursor and run
+  /// fn(begin, end) on each until the range is drained. grain==0 picks a
+  /// default that yields several morsels per worker. Exceptions propagate
+  /// after every helper finished; `timings`, when non-null, receives one
+  /// duration sample per executed morsel. Returns the number of morsels
+  /// the range divides into. Safe to call from inside a pool worker.
+  size_t ParallelForMorsels(size_t n, size_t grain,
+                            const std::function<void(size_t, size_t)>& fn,
+                            MorselTimings* timings = nullptr);
 
  private:
   void WorkerLoop();

@@ -84,6 +84,7 @@ MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
   for (const auto& [name, hist] : base.latency) {
     d.latency[name] = d.latency[name] - hist;
   }
+  d.gauges = gauges;  // point-in-time values: the later snapshot wins
   return d;
 }
 
@@ -120,6 +121,11 @@ std::string MetricsSnapshot::ToString() const {
   for (const auto& [name, hist] : latency) {
     out += " " + name + "{" + hist.ToString() + "}";
   }
+  for (const auto& [name, value] : gauges) {
+    char pbuf[96];
+    std::snprintf(pbuf, sizeof(pbuf), " %s=%.3f", name.c_str(), value);
+    out += pbuf;
+  }
   return out;
 }
 
@@ -147,6 +153,37 @@ void ExecMetrics::RecordLatency(const std::string& name, double seconds) {
   hist.buckets[HistogramSnapshot::BucketOf(seconds)] += 1;
 }
 
+void ExecMetrics::SetGauge(const std::string& name, double value) {
+  std::lock_guard lock(phase_mu_);
+  gauges_[name] = value;
+}
+
+void ExecMetrics::MaxGauge(const std::string& name, double value) {
+  std::lock_guard lock(phase_mu_);
+  double& g = gauges_[name];
+  g = std::max(g, value);
+}
+
+void ExecMetrics::RecordMorselRun(const std::string& phase,
+                                  const std::vector<double>& morsel_seconds) {
+  if (morsel_seconds.empty()) return;
+  double sum = 0.0, mx = 0.0;
+  std::lock_guard lock(phase_mu_);
+  HistogramSnapshot& hist = latency_["morsel/" + phase];
+  for (double s : morsel_seconds) {
+    hist.count += 1;
+    hist.sum_seconds += s;
+    hist.max_seconds = std::max(hist.max_seconds, s);
+    hist.buckets[HistogramSnapshot::BucketOf(s)] += 1;
+    sum += s;
+    mx = std::max(mx, s);
+  }
+  if (morsel_seconds.size() > 1 && sum > 0.0) {
+    double& g = gauges_["imbalance/" + phase];
+    g = std::max(g, mx * static_cast<double>(morsel_seconds.size()) / sum);
+  }
+}
+
 MetricsSnapshot ExecMetrics::Snapshot() const {
   MetricsSnapshot s;
   s.tasks_launched = tasks_.load(std::memory_order_relaxed);
@@ -163,6 +200,7 @@ MetricsSnapshot ExecMetrics::Snapshot() const {
     s.phase_tasks = phase_tasks_;
     s.counters = counters_;
     s.latency = latency_;
+    s.gauges = gauges_;
   }
   return s;
 }
@@ -181,6 +219,7 @@ void ExecMetrics::Reset() {
   phase_tasks_.clear();
   counters_.clear();
   latency_.clear();
+  gauges_.clear();
 }
 
 }  // namespace upa::engine

@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace upa::engine {
 
@@ -64,8 +65,17 @@ struct MetricsSnapshot {
   /// hits/misses, budget refunds, ...).
   std::map<std::string, uint64_t> counters;
   /// Per-phase latency distributions (one observation per query/request,
-  /// vs phase_seconds which accumulates total time).
+  /// vs phase_seconds which accumulates total time). Morsel-driven phases
+  /// also record one observation per executed morsel under
+  /// "morsel/<phase>", making chunk-duration spread observable (the old
+  /// static chunking hid it entirely).
   std::map<std::string, HistogramSnapshot> latency;
+  /// Point-in-time gauges (doubles, last-write-wins; not subtractable —
+  /// operator- copies the later value). "imbalance/<phase>" is the worst
+  /// max/mean morsel-duration ratio seen for that phase since Reset: 1.0
+  /// means perfectly balanced work, thread_count means one morsel carried
+  /// the entire phase.
+  std::map<std::string, double> gauges;
 
   MetricsSnapshot operator-(const MetricsSnapshot& base) const;
 
@@ -108,6 +118,16 @@ class ExecMetrics {
   void AddCounter(const std::string& name, uint64_t n = 1);
   /// Record one latency observation into the named histogram.
   void RecordLatency(const std::string& name, double seconds);
+  /// Set a point-in-time gauge (last-write-wins).
+  void SetGauge(const std::string& name, double value);
+  /// Keep the larger of the existing gauge and `value` (worst-seen gauges).
+  void MaxGauge(const std::string& name, double value);
+  /// Record one morsel-driven parallel section: every duration in
+  /// `morsel_seconds` lands in the "morsel/<phase>" histogram and the
+  /// run's max/mean imbalance updates the worst-seen "imbalance/<phase>"
+  /// gauge. No-op on an empty sample.
+  void RecordMorselRun(const std::string& phase,
+                       const std::vector<double>& morsel_seconds);
 
   MetricsSnapshot Snapshot() const;
   void Reset();
@@ -127,6 +147,7 @@ class ExecMetrics {
   std::map<std::string, uint64_t> phase_tasks_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, HistogramSnapshot> latency_;
+  std::map<std::string, double> gauges_;
 };
 
 }  // namespace upa::engine

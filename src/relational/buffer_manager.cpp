@@ -1,0 +1,157 @@
+#include "relational/buffer_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "common/env.h"
+#include "relational/columnar.h"
+#include "relational/table.h"
+
+namespace upa::rel {
+
+BufferManager& BufferManager::Instance() {
+  static BufferManager* mgr = new BufferManager();  // leaked: outlives Tables
+  return *mgr;
+}
+
+BufferManager::BufferManager() {
+  config_.budget_bytes = static_cast<size_t>(
+      std::max<int64_t>(0, EnvInt("UPA_MEM_BUDGET_BYTES", 0)));
+  config_.spill_dir = EnvString("UPA_SPILL_DIR", "");
+}
+
+void BufferManager::Configure(const Config& config) {
+  std::lock_guard lock(mu_);
+  config_ = config;
+  peak_ = resident_;
+  admissions_ = evictions_ = spills_written_ = spill_loads_ = over_budget_ = 0;
+}
+
+BufferManager::Config BufferManager::config() const {
+  std::lock_guard lock(mu_);
+  return config_;
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.budget_bytes = config_.budget_bytes;
+  s.resident_bytes = resident_;
+  s.peak_resident_bytes = peak_;
+  s.admissions = admissions_;
+  s.evictions = evictions_;
+  s.spills_written = spills_written_;
+  s.spill_loads = spill_loads_;
+  s.over_budget_admissions = over_budget_;
+  return s;
+}
+
+void BufferManager::ResetStats() {
+  std::lock_guard lock(mu_);
+  peak_ = resident_;
+  admissions_ = evictions_ = spills_written_ = spill_loads_ = over_budget_ = 0;
+}
+
+bool BufferManager::EnforceBudgetLocked(size_t incoming_bytes,
+                                        const Table* incoming_table) {
+  // Try victims oldest-first; a pinned victim is skipped for this pass (its
+  // pin can only be released by a query finishing, not by waiting here).
+  while (resident_ + incoming_bytes > config_.budget_bytes) {
+    const Table* victim = nullptr;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (const auto& [table, entry] : entries_) {
+      if (table == incoming_table) continue;
+      if (entry.lru < oldest) {
+        oldest = entry.lru;
+        victim = table;
+      }
+    }
+    bool progressed = false;
+    while (victim != nullptr) {
+      const uint64_t uid = victim->uid();
+      std::string path;
+      if (!config_.spill_dir.empty()) {
+        path = config_.spill_dir + "/upa-spill-" + std::to_string(uid) +
+               ".colspill";
+      }
+      bool spilled = false;
+      const size_t freed = victim->EvictColumnar(path, &spilled);
+      if (freed > 0) {
+        auto it = entries_.find(victim);
+        resident_ -= std::min(resident_, it->second.bytes);
+        entries_.erase(it);
+        ++evictions_;
+        if (spilled) {
+          spills_[uid] = path;
+          ++spills_written_;
+        } else {
+          spills_.erase(uid);  // any older spill is still valid data, but a
+                               // failed rewrite may have truncated it
+        }
+        progressed = true;
+        break;
+      }
+      // Pinned (or already empty): advance to the next-oldest candidate.
+      const Table* next_victim = nullptr;
+      uint64_t next_oldest = std::numeric_limits<uint64_t>::max();
+      for (const auto& [table, entry] : entries_) {
+        if (table == incoming_table) continue;
+        if (entry.lru > oldest && entry.lru < next_oldest) {
+          next_oldest = entry.lru;
+          next_victim = table;
+        }
+      }
+      oldest = next_oldest;
+      victim = next_victim;
+    }
+    if (!progressed) return false;  // every candidate pinned
+  }
+  return true;
+}
+
+void BufferManager::Admit(const Table* table, size_t bytes) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(table);
+  if (it != entries_.end()) {
+    resident_ -= std::min(resident_, it->second.bytes);
+    entries_.erase(it);
+  }
+  if (config_.budget_bytes > 0) {
+    if (!EnforceBudgetLocked(bytes, table)) ++over_budget_;
+  }
+  entries_[table] = {bytes, ++next_lru_};
+  resident_ += bytes;
+  peak_ = std::max(peak_, resident_);
+  ++admissions_;
+}
+
+void BufferManager::Forget(const Table* table, uint64_t uid, bool drop_spill) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(table);
+  if (it != entries_.end()) {
+    resident_ -= std::min(resident_, it->second.bytes);
+    entries_.erase(it);
+  }
+  if (drop_spill) {
+    auto sp = spills_.find(uid);
+    if (sp != spills_.end()) {
+      std::remove(sp->second.c_str());
+      spills_.erase(sp);
+    }
+  }
+}
+
+std::string BufferManager::SpillPathFor(uint64_t uid) const {
+  std::lock_guard lock(mu_);
+  auto it = spills_.find(uid);
+  return it == spills_.end() ? std::string() : it->second;
+}
+
+void BufferManager::NoteSpillLoad() {
+  std::lock_guard lock(mu_);
+  ++spill_loads_;
+}
+
+}  // namespace upa::rel

@@ -1,0 +1,119 @@
+// BufferManager: a process-wide memory budget for materialized columnar
+// tables, in the spirit of a database buffer pool (cf. LeanStore/Umbra and
+// HDK's executor-owned data mgr): the row stores are the durable "heap
+// files", the ColumnarTable forms are the expensive cached representation,
+// and this class decides which of them stay resident.
+//
+//   * Accounting — every Table::Columnar() materialization registers its
+//     deterministic resident_bytes() here (fragment payloads + dictionaries;
+//     a pure function of the data, so budget tests can assert exactly).
+//   * Eviction — when an admission would push the resident total past the
+//     budget, least-recently-used *unpinned* tables are evicted first. A
+//     table is pinned while any query still holds its columnar form (shared
+//     ownership observable as use_count > 1 under the table's cache_mu_);
+//     pinned tables are never evicted, so an over-committed workload simply
+//     runs over budget rather than corrupting in-flight scans.
+//   * Spill — with a spill directory configured, an evicted table first
+//     serializes its columnar payload (ColumnarTable::SpillTo) and the next
+//     Columnar() call reloads it bit-identically instead of re-encoding the
+//     row store (LoadSpill); without one, eviction falls back to dropping
+//     the form and rebuilding on demand. Both paths reproduce the exact
+//     same bytes, so results are independent of eviction timing.
+//
+// Lock order: BufferManager::mu_ → Table::cache_mu_ (eviction reaches into
+// the victim's cache under both). Table never calls into the manager while
+// holding cache_mu_.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace upa::rel {
+
+class Table;
+
+class BufferManager {
+ public:
+  struct Config {
+    /// Resident-byte budget; 0 disables eviction (accounting still runs).
+    size_t budget_bytes = 0;
+    /// Directory for spill files; empty disables spilling (evicted tables
+    /// rebuild their columnar form from rows on next use).
+    std::string spill_dir;
+  };
+
+  struct Stats {
+    size_t budget_bytes = 0;
+    size_t resident_bytes = 0;
+    /// High-water mark of resident_bytes since the last Configure/Reset.
+    size_t peak_resident_bytes = 0;
+    uint64_t admissions = 0;
+    uint64_t evictions = 0;
+    uint64_t spills_written = 0;
+    uint64_t spill_loads = 0;
+    /// Admissions that left the pool over budget because every candidate
+    /// victim was pinned by an in-flight query.
+    uint64_t over_budget_admissions = 0;
+  };
+
+  /// Process-wide instance. First use reads UPA_MEM_BUDGET_BYTES and
+  /// UPA_SPILL_DIR from the environment.
+  static BufferManager& Instance();
+
+  /// Replaces the configuration and resets the statistics. Does not evict
+  /// already-resident tables retroactively (the next admission enforces the
+  /// new budget) and keeps existing spill records valid.
+  void Configure(const Config& config);
+  Config config() const;
+  Stats stats() const;
+  void ResetStats();
+
+  /// Registers (or refreshes) `table`'s materialized columnar form as the
+  /// most recently used entry and enforces the budget by evicting LRU
+  /// unpinned tables until `bytes` fits (or no victim remains). Called by
+  /// Table::Columnar() after materialization, never under cache_mu_.
+  void Admit(const Table* table, size_t bytes);
+
+  /// Drops `table`'s accounting entry. `drop_spill` also deletes its spill
+  /// file (table destruction); ReleaseCaches keeps the spill so the next
+  /// materialization can still reload instead of re-encoding.
+  void Forget(const Table* table, uint64_t uid, bool drop_spill);
+
+  /// Path of `uid`'s spill file if one was successfully written and is
+  /// still valid, else "".
+  std::string SpillPathFor(uint64_t uid) const;
+
+  /// Records that a Columnar() call reloaded from spill instead of
+  /// rebuilding from rows.
+  void NoteSpillLoad();
+
+ private:
+  BufferManager();
+
+  /// Evicts LRU unpinned entries (never `incoming_table`) until
+  /// resident_ + incoming_bytes fits the budget or candidates run out.
+  /// Returns true when the budget is met. Requires mu_ held.
+  bool EnforceBudgetLocked(size_t incoming_bytes, const Table* incoming_table);
+
+  struct Entry {
+    size_t bytes = 0;
+    uint64_t lru = 0;  // global admission/touch sequence; smaller = older
+  };
+
+  mutable std::mutex mu_;
+  Config config_;
+  uint64_t next_lru_ = 0;
+  std::unordered_map<const Table*, Entry> entries_;
+  std::unordered_map<uint64_t, std::string> spills_;  // table uid → file
+  size_t resident_ = 0;
+  size_t peak_ = 0;
+  uint64_t admissions_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t spills_written_ = 0;
+  uint64_t spill_loads_ = 0;
+  uint64_t over_budget_ = 0;
+};
+
+}  // namespace upa::rel

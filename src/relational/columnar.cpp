@@ -1,6 +1,9 @@
 #include "relational/columnar.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <optional>
@@ -8,20 +11,51 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "common/env.h"
 #include "common/exact_sum.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "relational/kernels.h"
 
 namespace upa::rel {
+
+// ---------------------------------------------------------------------------
+// Fragment size knob
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kDefaultFragmentRows = 64 * 1024;
+std::atomic<size_t> g_fragment_rows{0};  // 0 = not yet initialized
+}  // namespace
+
+size_t DefaultFragmentRows() {
+  size_t v = g_fragment_rows.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = static_cast<size_t>(std::max<int64_t>(
+        1, EnvInt("UPA_FRAGMENT_ROWS",
+                  static_cast<int64_t>(kDefaultFragmentRows))));
+    g_fragment_rows.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void SetDefaultFragmentRows(size_t rows) {
+  if (rows == 0) {
+    g_fragment_rows.store(0, std::memory_order_relaxed);
+    (void)DefaultFragmentRows();
+    return;
+  }
+  g_fragment_rows.store(rows, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // ColumnarTable
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<const ColumnarTable> ColumnarTable::Build(
-    Schema schema, const std::vector<Row>& rows) {
+    Schema schema, const std::vector<Row>& rows, size_t fragment_rows) {
   // No Status channel here (delay/abort actions only; see failpoint.h).
   UPA_FAILPOINT_HIT("columnar/build");
   auto ct = std::shared_ptr<ColumnarTable>(new ColumnarTable());
@@ -92,10 +126,437 @@ std::shared_ptr<const ColumnarTable> ColumnarTable::Build(
     }
   }
 
-  auto ident = std::make_shared<SelVector>(ct->num_rows_);
-  std::iota(ident->begin(), ident->end(), 0u);
-  ct->identity_ = std::move(ident);
+  ct->FinishBuild(fragment_rows);
   return ct;
+}
+
+void ColumnarTable::FinishBuild(size_t fragment_rows) {
+  fragment_rows_ = fragment_rows == 0 ? DefaultFragmentRows() : fragment_rows;
+
+  auto ident = std::make_shared<SelVector>(num_rows_);
+  std::iota(ident->begin(), ident->end(), 0u);
+  identity_ = std::move(ident);
+
+  const size_t ncols = columns_.size();
+  // Dictionaries are shared table-level state (one per string column);
+  // account them once, outside the per-fragment payload bytes.
+  size_t dict_bytes = 0;
+  for (const Column& col : columns_) {
+    if (col.dict != nullptr) {
+      for (const std::string& s : *col.dict) {
+        dict_bytes += s.size() + sizeof(std::string);
+      }
+    }
+  }
+
+  fragments_.clear();
+  fragments_.reserve((num_rows_ + fragment_rows_ - 1) / fragment_rows_);
+  for (size_t begin = 0; begin < num_rows_; begin += fragment_rows_) {
+    const size_t end = std::min(num_rows_, begin + fragment_rows_);
+    FragmentInfo frag;
+    frag.begin_row = static_cast<uint32_t>(begin);
+    frag.end_row = static_cast<uint32_t>(end);
+    frag.cols.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const Column& col = columns_[c];
+      FragmentColStats& st = frag.cols[c];
+      switch (col.type) {
+        case ValueType::kInt: {
+          // Bounds over the kernel's comparison domain: NumCmpFilter casts
+          // int cells to double, and double(int64) is monotonic, so the
+          // cast of the min/max bounds every cast cell.
+          st.numeric_valid = true;
+          st.min = static_cast<double>(col.ints[begin]);
+          st.max = st.min;
+          for (size_t i = begin; i < end; ++i) {
+            const double v = static_cast<double>(col.ints[i]);
+            st.min = std::min(st.min, v);
+            st.max = std::max(st.max, v);
+          }
+          frag.bytes += (end - begin) * sizeof(int64_t);
+          break;
+        }
+        case ValueType::kDouble: {
+          st.numeric_valid = true;
+          st.min = std::numeric_limits<double>::infinity();
+          st.max = -std::numeric_limits<double>::infinity();
+          for (size_t i = begin; i < end; ++i) {
+            const double v = col.doubles[i];
+            if (std::isnan(v)) {
+              // NaN defeats interval reasoning (every comparison on it is
+              // false); publish no bounds rather than unsound ones.
+              st.numeric_valid = false;
+              break;
+            }
+            st.min = std::min(st.min, v);
+            st.max = std::max(st.max, v);
+          }
+          frag.bytes += (end - begin) * sizeof(double);
+          break;
+        }
+        case ValueType::kString: {
+          st.codes_valid = true;
+          st.min_code = col.codes[begin];
+          st.max_code = st.min_code;
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t code = col.codes[i];
+            st.min_code = std::min(st.min_code, code);
+            st.max_code = std::max(st.max_code, code);
+          }
+          frag.bytes += (end - begin) * sizeof(uint32_t);
+          break;
+        }
+      }
+    }
+    frag.bytes += (end - begin) * sizeof(uint32_t);  // identity entries
+    fragments_.push_back(std::move(frag));
+  }
+
+  resident_bytes_ = dict_bytes;
+  for (const FragmentInfo& frag : fragments_) resident_bytes_ += frag.bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Spill / reload
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kSpillMagic = 0x5550'4131'434f'4c46ULL;  // "UPA1COLF"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteRaw(std::FILE* f, const void* data, size_t bytes) {
+  return bytes == 0 || std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadRaw(std::FILE* f, void* data, size_t bytes) {
+  return bytes == 0 || std::fread(data, 1, bytes, f) == bytes;
+}
+
+bool WriteU64(std::FILE* f, uint64_t v) { return WriteRaw(f, &v, sizeof(v)); }
+
+bool ReadU64(std::FILE* f, uint64_t* v) { return ReadRaw(f, v, sizeof(*v)); }
+
+}  // namespace
+
+Status ColumnarTable::SpillTo(const std::string& path) const {
+  UPA_FAILPOINT("bufmgr/spill_write");
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("spill: cannot open " + path + " for writing");
+  }
+  bool ok = WriteU64(f.get(), kSpillMagic) && WriteU64(f.get(), num_rows_) &&
+            WriteU64(f.get(), columns_.size());
+  for (const Column& col : columns_) {
+    if (!ok) break;
+    const uint64_t type = static_cast<uint64_t>(col.type);
+    ok = WriteU64(f.get(), type);
+    if (!ok) break;
+    switch (col.type) {
+      case ValueType::kInt:
+        ok = WriteRaw(f.get(), col.ints.data(),
+                      col.ints.size() * sizeof(int64_t));
+        break;
+      case ValueType::kDouble:
+        // Raw IEEE bytes: the reload is bit-exact by construction.
+        ok = WriteRaw(f.get(), col.doubles.data(),
+                      col.doubles.size() * sizeof(double));
+        break;
+      case ValueType::kString: {
+        ok = WriteRaw(f.get(), col.codes.data(),
+                      col.codes.size() * sizeof(uint32_t));
+        const auto& dict = *col.dict;
+        ok = ok && WriteU64(f.get(), dict.size());
+        for (const std::string& s : dict) {
+          if (!ok) break;
+          ok = WriteU64(f.get(), s.size()) &&
+               WriteRaw(f.get(), s.data(), s.size());
+        }
+        break;
+      }
+    }
+  }
+  if (!ok || std::fflush(f.get()) != 0) {
+    return Status::Internal("spill: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const ColumnarTable>> ColumnarTable::LoadSpill(
+    const std::string& path, Schema schema, size_t fragment_rows) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("spill: cannot open " + path);
+  }
+  uint64_t magic = 0, num_rows = 0, ncols = 0;
+  if (!ReadU64(f.get(), &magic) || magic != kSpillMagic ||
+      !ReadU64(f.get(), &num_rows) || !ReadU64(f.get(), &ncols)) {
+    return Status::Internal("spill: bad header in " + path);
+  }
+  if (ncols != schema.NumColumns()) {
+    return Status::Internal("spill: column count mismatch in " + path);
+  }
+  auto ct = std::shared_ptr<ColumnarTable>(new ColumnarTable());
+  ct->schema_ = std::move(schema);
+  ct->num_rows_ = num_rows;
+  ct->columns_.resize(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    Column& col = ct->columns_[c];
+    uint64_t type = 0;
+    if (!ReadU64(f.get(), &type) || type > 2) {
+      return Status::Internal("spill: bad column type in " + path);
+    }
+    col.type = static_cast<ValueType>(type);
+    switch (col.type) {
+      case ValueType::kInt: {
+        col.ints.resize(num_rows);
+        if (!ReadRaw(f.get(), col.ints.data(), num_rows * sizeof(int64_t))) {
+          return Status::Internal("spill: short read in " + path);
+        }
+        break;
+      }
+      case ValueType::kDouble: {
+        col.doubles.resize(num_rows);
+        if (!ReadRaw(f.get(), col.doubles.data(), num_rows * sizeof(double))) {
+          return Status::Internal("spill: short read in " + path);
+        }
+        break;
+      }
+      case ValueType::kString: {
+        col.codes.resize(num_rows);
+        if (!ReadRaw(f.get(), col.codes.data(), num_rows * sizeof(uint32_t))) {
+          return Status::Internal("spill: short read in " + path);
+        }
+        uint64_t dict_size = 0;
+        if (!ReadU64(f.get(), &dict_size)) {
+          return Status::Internal("spill: short read in " + path);
+        }
+        auto dict = std::make_shared<std::vector<std::string>>(dict_size);
+        for (uint64_t i = 0; i < dict_size; ++i) {
+          uint64_t len = 0;
+          if (!ReadU64(f.get(), &len)) {
+            return Status::Internal("spill: short read in " + path);
+          }
+          (*dict)[i].resize(len);
+          if (!ReadRaw(f.get(), (*dict)[i].data(), len)) {
+            return Status::Internal("spill: short read in " + path);
+          }
+        }
+        col.dict = std::move(dict);
+        break;
+      }
+    }
+  }
+  ct->FinishBuild(fragment_rows);
+  return std::shared_ptr<const ColumnarTable>(std::move(ct));
+}
+
+// ---------------------------------------------------------------------------
+// Fragment skipping (zone maps)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// What a predicate subtree can evaluate to over a fragment: `can_true`
+/// false means provably no row satisfies it, `can_false` false means
+/// provably every row does, and either claim additionally guarantees the
+/// evaluation that produces it is abort-free. `safe` means evaluating the
+/// subtree on any subset of the fragment's rows cannot abort — the
+/// precondition for concluding anything from a *sibling*'s bounds (an
+/// AND whose rhs is unsatisfiable still evaluates its lhs on every row).
+/// Defaults are the sound "don't know".
+struct MatchBounds {
+  bool can_true = true;
+  bool can_false = true;
+  bool safe = false;
+};
+
+struct NumInterval {
+  bool valid = false;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// True when projecting the operand to doubles can never abort: bare
+/// numeric columns and numeric literals. Arithmetic can divide by zero and
+/// string operands trip ProjectKernel's type check, so both stay false.
+bool OperandSafe(const CompiledExpr& e) {
+  return (e.kind == Expr::Kind::kLiteral || e.kind == Expr::Kind::kColumn) &&
+         !e.is_string;
+}
+
+/// Interval of a comparison operand in the kernel's double domain. Only
+/// bare columns and numeric literals yield intervals; arithmetic operands
+/// (whose evaluation could even abort, e.g. division) stay unknown.
+NumInterval OperandInterval(const CompiledExpr& e, const FragmentInfo& frag) {
+  NumInterval iv;
+  if (e.kind == Expr::Kind::kLiteral && !e.is_string) {
+    if (!std::isnan(e.num_lit)) {  // NaN comparisons defeat interval logic
+      iv = {true, e.num_lit, e.num_lit};
+    }
+  } else if (e.kind == Expr::Kind::kColumn && !e.is_string) {
+    const FragmentColStats& st = frag.cols[e.col_pos];
+    if (st.numeric_valid) iv = {true, st.min, st.max};
+  }
+  return iv;
+}
+
+/// Sign test used by the string comparison kernels.
+bool SignSatisfies(BinOp op, int c) {
+  switch (op) {
+    case BinOp::kLt: return c < 0;
+    case BinOp::kLe: return c <= 0;
+    case BinOp::kGt: return c > 0;
+    case BinOp::kGe: return c >= 0;
+    case BinOp::kEq: return c == 0;
+    default: return c != 0;  // kNe
+  }
+}
+
+/// Interval tables mirror the kernels exactly: numeric comparisons run in
+/// the double domain (kLe is !(x>y), kEq is !(x<y)&&!(x>y)), string
+/// col-vs-lit comparisons run on dictionary codes against the compiled
+/// [lit_lb, lit_ub) thresholds.
+MatchBounds CmpBounds(const CompiledExpr& e, const FragmentInfo& frag) {
+  if (e.mixed_cmp) {
+    // String-vs-numeric: Eq is uniformly false and Ne uniformly true (no
+    // abort); the ordered forms abort on evaluation, so they must never be
+    // the basis of a skip nor count as safe for a sibling's.
+    if (e.op == BinOp::kEq) return {false, true, true};
+    if (e.op == BinOp::kNe) return {true, false, true};
+    return {};
+  }
+  if (e.str_cmp) {
+    // Every string-vs-string comparison form is abort-free.
+    if (e.str_form == CompiledExpr::StrForm::kLitLit) {
+      const bool sat = SignSatisfies(e.op, e.lit_cmp);
+      return {sat, !sat, true};
+    }
+    if (e.str_form != CompiledExpr::StrForm::kColLit) return {true, true, true};
+    const FragmentColStats& st = frag.cols[e.lhs->col_pos];
+    if (!st.codes_valid) return {true, true, true};
+    const uint32_t mc = st.min_code, xc = st.max_code;
+    const uint32_t lb = e.lit_lb, ub = e.lit_ub;
+    const bool found = lb < ub;
+    switch (e.op) {
+      case BinOp::kLt: return {mc < lb, xc >= lb, true};
+      case BinOp::kLe: return {mc < ub, xc >= ub, true};
+      case BinOp::kGt: return {xc >= ub, mc < ub, true};
+      case BinOp::kGe: return {xc >= lb, mc < lb, true};
+      case BinOp::kEq:
+        return {found && mc <= lb && lb <= xc,
+                !(found && mc == xc && mc == lb), true};
+      default:  // kNe
+        return {!found || !(mc == xc && mc == lb),
+                found && mc <= lb && lb <= xc, true};
+    }
+  }
+  const bool safe = OperandSafe(*e.lhs) && OperandSafe(*e.rhs);
+  const NumInterval l = OperandInterval(*e.lhs, frag);
+  const NumInterval r = OperandInterval(*e.rhs, frag);
+  if (!l.valid || !r.valid) return {true, true, safe};
+  const bool point = l.lo == l.hi && r.lo == r.hi && l.lo == r.lo;
+  switch (e.op) {
+    case BinOp::kLt: return {l.lo < r.hi, l.hi >= r.lo, safe};
+    case BinOp::kLe: return {l.lo <= r.hi, l.hi > r.lo, safe};
+    case BinOp::kGt: return {l.hi > r.lo, l.lo <= r.hi, safe};
+    case BinOp::kGe: return {l.hi >= r.lo, l.lo < r.hi, safe};
+    case BinOp::kEq: return {l.lo <= r.hi && r.lo <= l.hi, !point, safe};
+    default:  // kNe
+      return {!point, l.lo <= r.hi && r.lo <= l.hi, safe};
+  }
+}
+
+MatchBounds PredicateBounds(const CompiledExpr& e, const FragmentInfo& frag) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral: {
+      if (e.is_string) return {};  // aborts when evaluated — never skip
+      const bool truthy = e.num_lit != 0.0;
+      return {truthy, !truthy, true};
+    }
+    case Expr::Kind::kColumn: {
+      if (e.is_string) return {};  // aborts when evaluated — never skip
+      const FragmentColStats& st = frag.cols[e.col_pos];
+      if (!st.numeric_valid) return {true, true, true};
+      // Truthy iff != 0 (int cells compare as int, but double(int64) is
+      // monotonic so the all-zero / no-zero facts carry over exactly).
+      return {!(st.min == 0.0 && st.max == 0.0),
+              st.min <= 0.0 && 0.0 <= st.max, true};
+    }
+    case Expr::Kind::kNot: {
+      const MatchBounds c = PredicateBounds(*e.lhs, frag);
+      return {c.can_false, c.can_true, c.safe};
+    }
+    case Expr::Kind::kInSet: {
+      // The kernel projects lhs even when the set can't match, so lhs-side
+      // aborts still fire; only bare-column / numeric-literal lhs is safe.
+      const CompiledExpr& l = *e.lhs;
+      const bool safe = OperandSafe(l) || l.kind == Expr::Kind::kColumn;
+      if (l.is_string && l.kind == Expr::Kind::kColumn) {
+        const FragmentColStats& st = frag.cols[l.col_pos];
+        if (!st.codes_valid) return {true, true, safe};
+        for (uint32_t c : e.code_set) {
+          if (st.min_code <= c && c <= st.max_code) return {true, true, safe};
+        }
+        return {false, true, safe};  // no set element's code can occur here
+      }
+      if (l.kind == Expr::Kind::kColumn && !l.is_string) {
+        const FragmentColStats& st = frag.cols[l.col_pos];
+        if (!st.numeric_valid) return {true, true, safe};
+        for (double s : e.num_set) {
+          // Membership is Compare(v, s) == 0 in the double domain.
+          if (!(s < st.min) && !(s > st.max)) return {true, true, safe};
+        }
+        return {false, true, safe};
+      }
+      return {true, true, safe};  // literal/arithmetic lhs: no leverage
+    }
+    case Expr::Kind::kBinary:
+      break;
+  }
+  switch (e.op) {
+    case BinOp::kAnd: {
+      // The kernels evaluate lhs first and rhs only on surviving rows, so
+      // "lhs unsatisfiable" alone justifies the skip even when rhs would
+      // abort (it would have seen zero rows). The converse needs care:
+      // "rhs unsatisfiable" only justifies a skip when evaluating lhs on
+      // the fragment provably cannot abort.
+      const MatchBounds l = PredicateBounds(*e.lhs, frag);
+      const MatchBounds r = PredicateBounds(*e.rhs, frag);
+      return {l.can_true && (r.can_true || !l.safe),
+              l.can_false || r.can_false, l.safe && r.safe};
+    }
+    case BinOp::kOr: {
+      // Dual of And: "lhs satisfied by every row" alone proves the Or (rhs
+      // sees zero rows), while "rhs satisfied by every row" additionally
+      // needs lhs evaluation to be abort-free.
+      const MatchBounds l = PredicateBounds(*e.lhs, frag);
+      const MatchBounds r = PredicateBounds(*e.rhs, frag);
+      return {l.can_true || r.can_true,
+              l.can_false && (r.can_false || !l.safe),
+              l.safe && r.safe};
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+      return {};  // arithmetic truthiness: no interval reasoning, may abort
+    default:
+      return CmpBounds(e, frag);
+  }
+}
+
+}  // namespace
+
+bool FragmentCanMatch(const CompiledExpr& pred, const ColumnarTable& table,
+                      size_t frag) {
+  return PredicateBounds(pred, table.fragments()[frag]).can_true;
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +618,70 @@ BatchInput BindColumns(const ColRel& rel,
 }
 
 size_t NumBatches(size_t n) { return (n + kBatch - 1) / kBatch; }
+
+/// One contiguous batch of relation rows. `fragment` identifies the source
+/// fragment containing the batch when the relation is a bare scan (batches
+/// never straddle fragment boundaries there, so per-fragment skipping can
+/// drop whole batches), -1 when the relation has lost row alignment.
+struct BatchRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  int32_t fragment = -1;
+};
+
+/// True when relation row i IS physical row i of a single source and the
+/// schema maps 1:1 onto its columns — the precondition for consulting that
+/// source's zone maps (compiled col_pos == physical column position and
+/// fragment row ranges == relation row ranges).
+bool IsBareScan(const ColRel& rel) {
+  if (rel.sources.size() != 1) return false;
+  if (rel.sources[0].row_ids != rel.sources[0].table->identity()) return false;
+  for (size_t i = 0; i < rel.col_map.size(); ++i) {
+    if (rel.col_map[i].first != 0 || rel.col_map[i].second != i) return false;
+  }
+  return true;
+}
+
+/// Splits a relation into kernel batches. Bare scans get fragment-aligned
+/// batches; everything else gets the uniform kBatch grid. Either way the
+/// batches tile [0, num_rows) in row order, so per-batch selections
+/// concatenate to the same row sequence regardless of the layout chosen —
+/// fragment size can never change results, only skipping effectiveness.
+std::vector<BatchRange> BatchLayout(const ColRel& rel) {
+  std::vector<BatchRange> out;
+  if (IsBareScan(rel)) {
+    const auto& frags = rel.sources[0].table->fragments();
+    out.reserve(NumBatches(rel.num_rows) + frags.size());
+    for (size_t f = 0; f < frags.size(); ++f) {
+      for (size_t b = frags[f].begin_row; b < frags[f].end_row; b += kBatch) {
+        out.push_back({static_cast<uint32_t>(b),
+                       static_cast<uint32_t>(
+                           std::min<size_t>(frags[f].end_row, b + kBatch)),
+                       static_cast<int32_t>(f)});
+      }
+    }
+    return out;
+  }
+  const size_t n = rel.num_rows;
+  out.reserve(NumBatches(n));
+  for (size_t b = 0; b < n; b += kBatch) {
+    out.push_back({static_cast<uint32_t>(b),
+                   static_cast<uint32_t>(std::min(n, b + kBatch)), -1});
+  }
+  return out;
+}
+
+/// Runs fn over morsels of [0, n) on the pool's shared-cursor scheduler and
+/// feeds the per-morsel durations into the metrics (duration histogram
+/// "morsel/<phase>", worst-seen "imbalance/<phase>" gauge, morsel count as
+/// the phase's task fan-out).
+void MorselRun(engine::ExecContext* ctx, const std::string& phase, size_t n,
+               size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::MorselTimings timings;
+  const size_t morsels = ctx->pool().ParallelForMorsels(n, grain, fn, &timings);
+  ctx->metrics().RecordMorselRun(phase, timings.seconds);
+  ctx->metrics().AddPhaseTasks(phase, morsels);
+}
 
 class ColumnarEvaluator {
  public:
@@ -296,11 +821,37 @@ class ColumnarEvaluator {
     const size_t n = child.num_rows;
     SelVector all(n);
     std::iota(all.begin(), all.end(), 0u);
-    const size_t nb = NumBatches(n);
+    const std::vector<BatchRange> layout = BatchLayout(child);
+    const size_t nb = layout.size();
+
+    // Zone-map skipping (bare scans only): decide once per fragment whether
+    // any of its rows can satisfy the predicate. A skipped fragment's
+    // batches contribute empty selections — exactly what scanning them
+    // would have produced (FragmentCanMatch is conservative about aborts).
+    std::vector<uint8_t> frag_match;
+    if (!layout.empty() && layout[0].fragment >= 0) {
+      const ColumnarTable& t = *child.sources[0].table;
+      frag_match.resize(t.fragments().size());
+      size_t skipped = 0;
+      for (size_t f = 0; f < frag_match.size(); ++f) {
+        frag_match[f] = FragmentCanMatch(pred, t, f) ? 1 : 0;
+        if (!frag_match[f]) ++skipped;
+      }
+      if (skipped > 0) {
+        ctx_->metrics().AddCounter("columnar/fragments_skipped", skipped);
+      }
+      ctx_->metrics().AddCounter("columnar/fragments_scanned",
+                                 frag_match.size() - skipped);
+    }
+
     std::vector<SelVector> hits(nb);
-    ctx_->pool().ParallelFor(nb, [&](size_t b) {
-      size_t begin = b * kBatch, end = std::min(n, begin + kBatch);
-      FilterKernel(pred, in, all.data() + begin, end - begin, hits[b]);
+    MorselRun(ctx_, "columnar/filter", nb, 0, [&](size_t b0, size_t b1) {
+      for (size_t b = b0; b < b1; ++b) {
+        const BatchRange& br = layout[b];
+        if (br.fragment >= 0 && !frag_match[br.fragment]) continue;
+        FilterKernel(pred, in, all.data() + br.begin, br.end - br.begin,
+                     hits[b]);
+      }
     });
     ctx_->metrics().AddKernelBatches(nb);
     ctx_->metrics().AddKernelRows(n);
@@ -316,12 +867,14 @@ class ColumnarEvaluator {
     const size_t total = offset[nb];
     std::vector<std::shared_ptr<SelVector>> fresh(rel.sources.size());
     for (auto& f : fresh) f = std::make_shared<SelVector>(total);
-    ctx_->pool().ParallelFor(nb, [&](size_t b) {
-      const SelVector& h = hits[b];
-      for (size_t s = 0; s < rel.sources.size(); ++s) {
-        const uint32_t* old_ids = rel.sources[s].row_ids->data();
-        uint32_t* out = fresh[s]->data() + offset[b];
-        for (size_t i = 0; i < h.size(); ++i) out[i] = old_ids[h[i]];
+    MorselRun(ctx_, "columnar/reindex", nb, 0, [&](size_t b0, size_t b1) {
+      for (size_t b = b0; b < b1; ++b) {
+        const SelVector& h = hits[b];
+        for (size_t s = 0; s < rel.sources.size(); ++s) {
+          const uint32_t* old_ids = rel.sources[s].row_ids->data();
+          uint32_t* out = fresh[s]->data() + offset[b];
+          for (size_t i = 0; i < h.size(); ++i) out[i] = old_ids[h[i]];
+        }
       }
     });
     for (size_t s = 0; s < rel.sources.size(); ++s) {
@@ -343,10 +896,10 @@ class ColumnarEvaluator {
     }
     std::vector<int64_t> keys(n);
     const int64_t* vals = col.ints.data();
-    ctx_->pool().ParallelFor(NumBatches(n), [&](size_t b) {
-      size_t begin = b * kBatch, end = std::min(n, begin + kBatch);
-      for (size_t i = begin; i < end; ++i) keys[i] = vals[ids[i]];
-    });
+    MorselRun(ctx_, "columnar/join_key", n, kBatch,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) keys[i] = vals[ids[i]];
+              });
     return keys;
   }
 
@@ -410,21 +963,23 @@ class ColumnarEvaluator {
           s = (s + 1) & mask;
         }
       }
-      ctx_->pool().ParallelFor(nb, [&](size_t b) {
-        auto& [bpos, ppos] = pairs[b];
-        size_t begin = b * kBatch, end = std::min(nprobe, begin + kBatch);
-        for (size_t j = begin; j < end; ++j) {
-          const int64_t k = pkeys[j];
-          size_t s = Mix64(static_cast<uint64_t>(k)) & mask;
-          while (slot_head[s] != kNone) {
-            if (slot_key[s] == k) {
-              for (uint32_t i = slot_head[s]; i != kNone; i = next[i]) {
-                bpos.push_back(i);
-                ppos.push_back(static_cast<uint32_t>(j));
+      MorselRun(ctx_, "columnar/join_probe", nb, 0, [&](size_t b0, size_t b1) {
+        for (size_t b = b0; b < b1; ++b) {
+          auto& [bpos, ppos] = pairs[b];
+          size_t begin = b * kBatch, end = std::min(nprobe, begin + kBatch);
+          for (size_t j = begin; j < end; ++j) {
+            const int64_t k = pkeys[j];
+            size_t s = Mix64(static_cast<uint64_t>(k)) & mask;
+            while (slot_head[s] != kNone) {
+              if (slot_key[s] == k) {
+                for (uint32_t i = slot_head[s]; i != kNone; i = next[i]) {
+                  bpos.push_back(i);
+                  ppos.push_back(static_cast<uint32_t>(j));
+                }
+                break;
               }
-              break;
+              s = (s + 1) & mask;
             }
-            s = (s + 1) & mask;
           }
         }
       });
@@ -459,18 +1014,20 @@ class ColumnarEvaluator {
       out.sources[s].table = src.table;
       fresh[s] = std::make_shared<SelVector>(total);
     }
-    ctx_->pool().ParallelFor(nb, [&](size_t b) {
-      // Left-side rows come from the build positions iff we built from the
-      // left; right-side rows from the other element of the pair.
-      const SelVector& lpos = build_left ? pairs[b].first : pairs[b].second;
-      const SelVector& rpos = build_left ? pairs[b].second : pairs[b].first;
-      for (size_t s = 0; s < out.sources.size(); ++s) {
-        const ColSource& src =
-            s < nleft ? left.sources[s] : right.sources[s - nleft];
-        const SelVector& pos = s < nleft ? lpos : rpos;
-        const uint32_t* old_ids = src.row_ids->data();
-        uint32_t* dst = fresh[s]->data() + offset[b];
-        for (size_t i = 0; i < pos.size(); ++i) dst[i] = old_ids[pos[i]];
+    MorselRun(ctx_, "columnar/join_gather", nb, 0, [&](size_t b0, size_t b1) {
+      for (size_t b = b0; b < b1; ++b) {
+        // Left-side rows come from the build positions iff we built from
+        // the left; right-side rows from the other element of the pair.
+        const SelVector& lpos = build_left ? pairs[b].first : pairs[b].second;
+        const SelVector& rpos = build_left ? pairs[b].second : pairs[b].first;
+        for (size_t s = 0; s < out.sources.size(); ++s) {
+          const ColSource& src =
+              s < nleft ? left.sources[s] : right.sources[s - nleft];
+          const SelVector& pos = s < nleft ? lpos : rpos;
+          const uint32_t* old_ids = src.row_ids->data();
+          uint32_t* dst = fresh[s]->data() + offset[b];
+          for (size_t i = 0; i < pos.size(); ++i) dst[i] = old_ids[pos[i]];
+        }
       }
     });
     for (size_t s = 0; s < out.sources.size(); ++s) {
@@ -548,34 +1105,36 @@ Result<ExecResult> ExecuteColumnar(engine::ExecContext* ctx,
   const size_t parts = options.partitions;
 
   std::vector<BatchAgg> batches(nb);
-  ctx->pool().ParallelFor(nb, [&](size_t b) {
-    const size_t begin = b * kBatch, end = std::min(n, begin + kBatch);
-    const size_t m = end - begin;
-    BatchAgg& agg = batches[b];
+  MorselRun(ctx, "columnar/aggregate", nb, 0, [&](size_t b0, size_t b1) {
     std::vector<double> w;
-    if (need_expr) {
-      w.resize(m);
-      ProjectKernel(*weight, in, all.data() + begin, m, w.data());
-    } else {
-      w.assign(m, 1.0);  // Count
-    }
-    if (!additive) {
-      for (size_t i = 0; i < m; ++i) {
-        agg.sum.Add(w[i]);
-        agg.mn = w[i] < agg.mn ? w[i] : agg.mn;  // == std::min(mn, w)
-        agg.mx = w[i] > agg.mx ? w[i] : agg.mx;  // == std::max(mx, w)
+    for (size_t b = b0; b < b1; ++b) {
+      const size_t begin = b * kBatch, end = std::min(n, begin + kBatch);
+      const size_t m = end - begin;
+      BatchAgg& agg = batches[b];
+      if (need_expr) {
+        w.resize(m);
+        ProjectKernel(*weight, in, all.data() + begin, m, w.data());
+      } else {
+        w.assign(m, 1.0);  // Count
       }
-      return;
-    }
-    for (size_t i = 0; i < m; ++i) agg.sum.Add(w[i]);
-    if (prov != nullptr) {
-      if (options.track_contributions) {
-        for (size_t i = 0; i < m; ++i) agg.contrib[prov[begin + i]].Add(w[i]);
-      }
-      if (parts > 0) {
-        agg.parts.resize(parts);
+      if (!additive) {
         for (size_t i = 0; i < m; ++i) {
-          agg.parts[prov[begin + i] % parts].Add(w[i]);
+          agg.sum.Add(w[i]);
+          agg.mn = w[i] < agg.mn ? w[i] : agg.mn;  // == std::min(mn, w)
+          agg.mx = w[i] > agg.mx ? w[i] : agg.mx;  // == std::max(mx, w)
+        }
+        continue;
+      }
+      for (size_t i = 0; i < m; ++i) agg.sum.Add(w[i]);
+      if (prov != nullptr) {
+        if (options.track_contributions) {
+          for (size_t i = 0; i < m; ++i) agg.contrib[prov[begin + i]].Add(w[i]);
+        }
+        if (parts > 0) {
+          agg.parts.resize(parts);
+          for (size_t i = 0; i < m; ++i) {
+            agg.parts[prov[begin + i] % parts].Add(w[i]);
+          }
         }
       }
     }

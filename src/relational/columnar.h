@@ -38,9 +38,47 @@
 
 namespace upa::rel {
 
+struct CompiledExpr;  // kernels.h (which includes this header)
+
 /// Selection / row-index vector: positions are uint32 (tables are checked
 /// to fit; 4B rows ought to be enough for one in-memory partition).
 using SelVector = std::vector<uint32_t>;
+
+/// Rows per columnar fragment. Initialized once from UPA_FRAGMENT_ROWS
+/// (default 65536); SetDefaultFragmentRows overrides it (tests and benches
+/// sweep fragment sizes — results are bit-identical across all of them,
+/// only skipping effectiveness and scheduling granularity change).
+size_t DefaultFragmentRows();
+void SetDefaultFragmentRows(size_t rows);  // 0 → re-read the environment
+
+/// Per-fragment, per-column zone map entry. `numeric` bounds are over the
+/// kernel's value domain (int cells compared as double, exactly like
+/// NumCmpFilter's casts), `code` bounds over dictionary codes (the
+/// dictionary is order-preserving, so code order == string order). A
+/// column whose cells defeat interval reasoning (NaN) publishes no bounds.
+struct FragmentColStats {
+  bool numeric_valid = false;
+  double min = 0.0;
+  double max = 0.0;
+  bool codes_valid = false;
+  uint32_t min_code = 0;
+  uint32_t max_code = 0;
+};
+
+/// One fragment of a ColumnarTable: a contiguous row range plus the zone
+/// maps filters consult to skip it and the payload bytes the buffer
+/// manager accounts for it. Fragments are views — the column payloads stay
+/// physically contiguous, so late-materialized row ids keep O(1) access.
+struct FragmentInfo {
+  uint32_t begin_row = 0;
+  uint32_t end_row = 0;
+  /// Payload bytes of this row range (typed cells + identity entries;
+  /// the shared dictionary is accounted once at the table level).
+  size_t bytes = 0;
+  std::vector<FragmentColStats> cols;
+
+  uint32_t num_rows() const { return end_row - begin_row; }
+};
 
 /// One typed column. Exactly one payload vector is populated, chosen by
 /// the *actual* cell types (not the declared schema type): all-int64 cells
@@ -57,15 +95,26 @@ struct Column {
 
 class ColumnarTable {
  public:
-  /// Builds the columnar form of `rows` against `schema`. Aborts on
-  /// columns mixing string and numeric cells (the row store tolerates
+  /// Builds the columnar form of `rows` against `schema`, partitioned into
+  /// fragments of `fragment_rows` rows (0 → DefaultFragmentRows()). Aborts
+  /// on columns mixing string and numeric cells (the row store tolerates
   /// them lazily; columnar storage is typed per column).
   static std::shared_ptr<const ColumnarTable> Build(
-      Schema schema, const std::vector<Row>& rows);
+      Schema schema, const std::vector<Row>& rows, size_t fragment_rows = 0);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Fragment directory: ceil(num_rows / fragment_rows) contiguous row
+  /// ranges with zone maps (empty for an empty table).
+  const std::vector<FragmentInfo>& fragments() const { return fragments_; }
+  size_t fragment_rows() const { return fragment_rows_; }
+
+  /// Bytes this materialized form holds resident: Σ fragment payloads plus
+  /// the dictionaries. Deterministic (a function of the data, not of
+  /// allocator state), so budget tests can assert on it exactly.
+  size_t resident_bytes() const { return resident_bytes_; }
 
   /// Shared identity row-index vector [0, num_rows) — the row_ids of a
   /// full scan, shared across every scan of this table.
@@ -73,14 +122,42 @@ class ColumnarTable {
     return identity_;
   }
 
+  /// Serializes the typed payloads to `path` (fragment-recoverable binary
+  /// layout). A reload via LoadSpill reproduces this table bit-for-bit —
+  /// doubles round-trip as raw IEEE bytes, codes and dictionaries exactly.
+  Status SpillTo(const std::string& path) const;
+
+  /// Reloads a spilled table. The fragment directory is recomputed from
+  /// the payloads with `fragment_rows` (same pure function Build uses), so
+  /// a spill written under one fragment size reloads under any other.
+  static Result<std::shared_ptr<const ColumnarTable>> LoadSpill(
+      const std::string& path, Schema schema, size_t fragment_rows = 0);
+
  private:
   ColumnarTable() = default;
 
+  /// Rebuilds fragments_/identity_/resident_bytes_ from the typed columns
+  /// (shared by Build and LoadSpill so both paths agree exactly).
+  void FinishBuild(size_t fragment_rows);
+
   Schema schema_;
   size_t num_rows_ = 0;
+  size_t fragment_rows_ = 0;
+  size_t resident_bytes_ = 0;
   std::vector<Column> columns_;
+  std::vector<FragmentInfo> fragments_;
   std::shared_ptr<const SelVector> identity_;
 };
+
+/// Zone-map test: true when some row of `table`'s fragment `frag` *might*
+/// satisfy `pred` as a filter predicate; false only when provably no row
+/// can (so skipping the fragment is output-equivalent to scanning it —
+/// including abort behaviour: predicates whose evaluation can abort, e.g.
+/// mixed string/numeric ordered comparisons, are never the basis of a
+/// skip). `pred` must be compiled against the table's own schema with
+/// schema position == physical column position (a bare scan).
+bool FragmentCanMatch(const CompiledExpr& pred, const ColumnarTable& table,
+                      size_t frag);
 
 /// Executes an Aggregate-rooted plan on the columnar engine. Root/option
 /// validation is PlanExecutor::Execute's job; this expects a well-formed

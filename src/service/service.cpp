@@ -598,6 +598,12 @@ std::string UpaService::StatsReport() const {
           << " max=" << hist.max_seconds << "\n";
     }
   }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << "  " << name << ": " << value << "\n";
+    }
+  }
   return out.str();
 }
 

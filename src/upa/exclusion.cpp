@@ -59,7 +59,14 @@ std::vector<Vec> ParallelScanExclusion(const std::vector<Vec>& mapped,
   };
   auto run_blocks = [&](const std::function<void(size_t)>& fn) {
     if (pool != nullptr && pool->thread_count() > 1) {
-      pool->ParallelFor(blocks, fn);
+      // One block per morsel: blocks are few and individually heavy, so
+      // pulling them off the shared cursor lets a worker stuck behind a
+      // slow block leave the rest to its peers (static chunking would
+      // stall the whole pass on it). Block *boundaries* stay a function
+      // of n alone, so outputs are unchanged.
+      pool->ParallelForMorsels(blocks, 1, [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) fn(c);
+      });
     } else {
       for (size_t c = 0; c < blocks; ++c) fn(c);
     }

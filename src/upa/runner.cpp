@@ -85,13 +85,19 @@ Result<UpaRunResult> UpaRunner::Run(const QueryInstance& query,
       if (count > 0) fn(0, count);
       return;
     }
-    size_t launched = pool->ParallelForChunks(count, fn);
+    // Morsel-driven: workers pull fixed-grain index ranges off a shared
+    // cursor, so one heavy neighbour/partition cannot stall the phase the
+    // way a static chunk split could. Boundaries depend only on count, so
+    // per-slot outputs are bit-identical to the sequential loop.
+    ThreadPool::MorselTimings timings;
+    size_t launched = pool->ParallelForMorsels(count, 0, fn, &timings);
     query.ctx->metrics().AddTasks(launched);
     query.ctx->metrics().AddPhaseTasks(phase, launched);
+    query.ctx->metrics().RecordMorselRun(phase, timings.seconds);
   };
 
-  // Cancellation points sit between phases (and, via ParallelForChunks, at
-  // every chunk boundary inside them). The last check runs before the
+  // Cancellation points sit between phases (and, via ParallelForMorsels,
+  // at every morsel boundary inside them). The last check runs before the
   // enforcer session: past that point the query registers and releases, so
   // a later cancellation must NOT abandon the run — "refund iff nothing
   // was released" depends on cancelled runs never reaching Register.

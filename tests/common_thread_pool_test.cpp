@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "common/cancel.h"
 
 namespace upa {
 namespace {
@@ -156,6 +161,99 @@ TEST(ThreadPoolTest, ParallelForChunksReportsChunkCount) {
   size_t launched = pool.ParallelForChunks(100, [](size_t, size_t) {});
   EXPECT_GE(launched, 2u);
   EXPECT_LE(launched, 4u);
+}
+
+TEST(ThreadPoolTest, MorselsCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 7u, 100u, 4096u}) {
+    for (size_t grain : {0u, 1u, 3u, 64u, 10000u}) {
+      std::vector<std::atomic<int>> seen(n);
+      for (auto& s : seen) s.store(0);
+      size_t morsels =
+          pool.ParallelForMorsels(n, grain, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+          });
+      if (n == 0) {
+        EXPECT_EQ(morsels, 0u);
+      } else if (grain > 0) {
+        EXPECT_EQ(morsels, (n + grain - 1) / grain);
+      } else {
+        EXPECT_GE(morsels, 1u);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(seen[i].load(), 1) << "n=" << n << " grain=" << grain
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MorselBoundariesDependOnlyOnCountAndGrain) {
+  // The same (n, grain) must produce the same set of [begin, end) ranges on
+  // any pool size — the property the columnar engine's bit-identity rests
+  // on (each range writes its own output slot).
+  auto ranges_with = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> out;
+    pool.ParallelForMorsels(1003, 17, [&](size_t begin, size_t end) {
+      std::lock_guard lock(mu);
+      out.push_back({begin, end});
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(ranges_with(1), ranges_with(4));
+}
+
+TEST(ThreadPoolTest, NestedMorselsOnSingleThreadPoolCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelForMorsels(4, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      pool.ParallelForMorsels(8, 1, [&](size_t ib, size_t ie) {
+        counter.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(counter.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, MorselsPropagateExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelForMorsels(64, 4,
+                                       [](size_t begin, size_t) {
+                                         if (begin == 32) {
+                                           throw std::runtime_error("boom");
+                                         }
+                                       }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, MorselsPollCancellationAtBoundaries) {
+  ThreadPool pool(2);
+  CancelToken token;
+  CancelScope scope(&token);
+  std::atomic<int> ran{0};
+  pool.ParallelForMorsels(1000, 1, [&](size_t, size_t) {
+    // Trip after the first few morsels: all not-yet-pulled morsels must be
+    // shed rather than executed.
+    if (ran.fetch_add(1) == 2) token.Cancel();
+  });
+  EXPECT_LT(ran.load(), 1000);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ThreadPoolTest, MorselTimingsOnePerExecutedMorsel) {
+  ThreadPool pool(3);
+  ThreadPool::MorselTimings timings;
+  size_t morsels = pool.ParallelForMorsels(
+      100, 9, [](size_t, size_t) {}, &timings);
+  EXPECT_EQ(morsels, 12u);
+  EXPECT_EQ(timings.seconds.size(), 12u);
+  EXPECT_GE(timings.Imbalance(), 1.0);
+  EXPECT_GE(timings.SumSeconds(), 0.0);
+  EXPECT_GE(timings.MaxSeconds(), 0.0);
 }
 
 TEST(ThreadPoolTest, NestedSubmitFromTaskDoesNotDeadlock) {

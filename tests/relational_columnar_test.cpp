@@ -23,9 +23,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "relational/columnar.h"
 #include "relational/executor.h"
 #include "relational/optimizer.h"
 #include "relational/plan.h"
@@ -212,6 +214,69 @@ TEST(ColumnarDifferentialTest, TpchQueriesAllOptionShapes) {
       opts.track_contributions = true;
       opts.partitions = 2;
       runner.Run(q.name + "/domain", q.plan, opts);
+    }
+  }
+}
+
+// Same TPC-H queries with the storage layer forced to 7-row fragments: the
+// fragment directory, zone-map skipping and fragment-aligned batching must
+// all be invisible in the outputs. A fresh dataset is generated because
+// Table memoizes its columnar form — the shared Dataset() tables may
+// already be materialized at the default fragment size.
+TEST(ColumnarDifferentialTest, TinyFragmentsBitIdentical) {
+  struct FragGuard {
+    size_t saved = DefaultFragmentRows();
+    ~FragGuard() { SetDefaultFragmentRows(saved); }
+  } guard;
+  SetDefaultFragmentRows(7);
+
+  tpch::TpchDataset ds(tpch::TpchConfig{.num_orders = 120,
+                                        .max_lineitems_per_order = 4,
+                                        .reference_skew = 1.1,
+                                        .seed = 11});
+  Catalog catalog = ds.catalog();
+  engine::ExecContext ctx1(
+      engine::ExecConfig{.threads = 1, .default_partitions = 1});
+  engine::ExecContext ctx4(
+      engine::ExecConfig{.threads = 4, .default_partitions = 4});
+  PlanExecutor exec1(&ctx1, &catalog);
+  PlanExecutor exec4(&ctx4, &catalog);
+  Rng rng = Rng::ForStream(11, "columnar_diff/tiny_fragments");
+
+  for (const tpch::TpchQuery& q : tpch::AllTpchQueries()) {
+    const size_t n = ds.table(q.private_table).NumRows();
+    std::vector<size_t> excluded =
+        rng.SampleWithoutReplacement(n, std::min<size_t>(n, 25));
+
+    std::vector<std::pair<std::string, ExecOptions>> shapes;
+    shapes.push_back({"plain", ExecOptions{}});
+    {
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.track_contributions = true;
+      opts.partitions = 3;
+      shapes.push_back({"contrib", opts});
+    }
+    {
+      ExecOptions opts;
+      opts.private_table = q.private_table;
+      opts.exclude_rows = &excluded;
+      shapes.push_back({"sprime", opts});
+    }
+
+    for (auto& [shape, opts] : shapes) {
+      opts.engine = ExecEngine::kRowOracle;
+      Result<ExecResult> oracle = exec1.Execute(q.plan, opts);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+      for (PlanExecutor* exec : {&exec1, &exec4}) {
+        opts.engine = ExecEngine::kColumnar;
+        Result<ExecResult> got = exec->Execute(q.plan, opts);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectBitIdentical(oracle.value(), got.value(),
+                           q.name + "/" + shape +
+                               (exec == &exec1 ? " [frag=7 threads=1]"
+                                               : " [frag=7 threads=4]"));
+      }
     }
   }
 }
