@@ -1,0 +1,219 @@
+// Cluster scaling: QPS through the router at 1, 2 and 4 shard PROCESSES
+// (real fork/exec of examples/upa_shard, not in-process servers).
+//
+// The workload is latency-bound by construction — every query sleeps
+// UPA_LAT_US in its phase runner and each shard serialises execution
+// (--max-in-flight 1) — so a shard's throughput is pinned at ~1/latency
+// regardless of host CPU count, and adding shard processes is the only way
+// to add throughput. That is the regime the router is for (shard-local
+// work dominated by I/O / enforcement latency, paper §VI-D); it also makes
+// the experiment honest on 1-core CI machines, where CPU-bound shards
+// would just timeshare one core and show no scaling.
+//
+// Each client thread owns one connection and one (tenant, dataset) pinned
+// to a known shard via the router's own ring, so load is balanced by
+// construction rather than by luck of the hash.
+//
+// Emits BENCH_cluster.json (override with UPA_BENCH_JSON). Knobs:
+// UPA_RUNS (queries per client, default 10), UPA_LAT_US (per-query sleep,
+// default 4000), UPA_SEED.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "cluster/ring.h"
+#include "cluster/router.h"
+#include "cluster/shard_process.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "net/client.h"
+
+#ifndef UPA_SHARD_BIN
+#error "UPA_SHARD_BIN must point at the upa_shard binary"
+#endif
+
+using namespace upa;
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr
+             ? fallback
+             : static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Dataset names pinned one per client thread such that thread t's dataset
+/// lives on shard t % num_shards (probed through the same ring the router
+/// uses — the ring is deterministic across processes).
+std::vector<std::string> BalancedDatasets(const cluster::ConsistentHashRing& ring,
+                                          size_t num_shards, size_t clients) {
+  std::vector<std::string> out(clients);
+  size_t candidate = 0;
+  for (size_t t = 0; t < clients; ++t) {
+    const size_t want = t % num_shards;
+    for (;; ++candidate) {
+      std::string name = "ds" + std::to_string(candidate);
+      if (ring.ShardFor(name) == want) {
+        out[t] = std::move(name);
+        ++candidate;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+struct RunResult {
+  size_t shards = 0;
+  size_t queries = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+};
+
+RunResult RunAtScale(size_t num_shards, size_t clients, size_t runs,
+                     size_t lat_us, uint64_t seed,
+                     const std::string& tmp_root) {
+  // Fixed ports picked up front: the supervisor respawns at the same
+  // address, and the router keeps redialing it.
+  std::vector<cluster::ShardAddress> addrs(num_shards);
+  std::vector<uint16_t> ports(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto port = cluster::PickFreePort();
+    UPA_CHECK_MSG(port.ok(), port.status().ToString());
+    ports[i] = port.value();
+    addrs[i].port = ports[i];
+  }
+
+  cluster::ShardSupervisor supervisor;
+  for (size_t i = 0; i < num_shards; ++i) {
+    cluster::ShardProcessSpec spec;
+    spec.binary = UPA_SHARD_BIN;
+    spec.args = {"--port",          std::to_string(ports[i]),
+                 "--journal-dir",   tmp_root + "/shard" + std::to_string(i),
+                 "--shard-name",    "shard-" + std::to_string(i),
+                 "--threads",       "1",
+                 "--max-in-flight", "1",
+                 "--sample-n",      "8"};
+    auto slot = supervisor.Launch(std::move(spec));
+    UPA_CHECK_MSG(slot.ok(), slot.status().ToString());
+  }
+
+  cluster::RouterConfig router_cfg;
+  router_cfg.backoff_initial_ms = 10.0;  // shards are still booting
+  cluster::Router router(addrs, router_cfg);
+  Status started = router.Start();
+  UPA_CHECK_MSG(started.ok(), started.ToString());
+
+  // Wait for every shard to pass its health probe.
+  for (int spin = 0; spin < 15000; ++spin) {
+    bool all = true;
+    for (size_t i = 0; i < num_shards; ++i) all = all && router.ShardHealthy(i);
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (size_t i = 0; i < num_shards; ++i) {
+    UPA_CHECK_MSG(router.ShardHealthy(i),
+                  "shard " + std::to_string(i) + " never became healthy");
+  }
+
+  const std::vector<std::string> datasets =
+      BalancedDatasets(router.ring(), num_shards, clients);
+  const std::string sql = "lat:8:" + std::to_string(lat_us);
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < clients; ++t) {
+    workers.emplace_back([&, t] {
+      auto connected = net::Client::Connect("127.0.0.1", router.port());
+      UPA_CHECK_MSG(connected.ok(), connected.status().ToString());
+      std::unique_ptr<net::Client> client = std::move(connected).value();
+      for (size_t q = 0; q < runs; ++q) {
+        net::WireQuery query;
+        query.tenant = "t" + std::to_string(t);
+        query.dataset_id = datasets[t];
+        query.epsilon = 0.1;
+        query.seed = seed + t * 10000 + q;
+        query.sql = sql;
+        auto result = client->Query(query);
+        UPA_CHECK_MSG(result.ok(), result.status().ToString());
+        UPA_CHECK_MSG(result.value().ok(), result.value().status().ToString());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  router.Stop();
+  supervisor.StopAll();
+
+  RunResult r;
+  r.shards = num_shards;
+  r.queries = clients * runs;
+  r.wall_seconds = wall_seconds;
+  r.qps = r.queries / wall_seconds;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::BenchEnv::FromEnv();
+  const size_t runs = env.runs;
+  const size_t lat_us = EnvSize("UPA_LAT_US", 4000);
+  const size_t clients = 8;
+  bench::PrintBanner("Cluster throughput — shard processes behind the router",
+                     env);
+  std::printf("clients: %zu, queries/client: %zu, per-query latency: %zu us\n\n",
+              clients, runs, lat_us);
+
+  char tmp_template[] = "/tmp/upa-bench-cluster-XXXXXX";
+  const char* tmp_root = ::mkdtemp(tmp_template);
+  UPA_CHECK_MSG(tmp_root != nullptr, "mkdtemp failed");
+
+  TablePrinter table({"shards", "queries", "wall (ms)", "q/s", "speedup"});
+  std::vector<RunResult> results;
+  for (size_t shards : {1u, 2u, 4u}) {
+    const std::string scale_dir =
+        std::string(tmp_root) + "/x" + std::to_string(shards);
+    results.push_back(RunAtScale(shards, clients, runs, lat_us, env.seed,
+                                 scale_dir));
+    const RunResult& r = results.back();
+    table.AddRow({std::to_string(r.shards), std::to_string(r.queries),
+                  TablePrinter::FormatDouble(r.wall_seconds * 1e3, 2),
+                  TablePrinter::FormatDouble(r.qps, 1),
+                  TablePrinter::FormatDouble(r.qps / results.front().qps, 2)});
+  }
+  table.Print("cluster throughput vs shard processes");
+
+  std::string rows;
+  for (const RunResult& r : results) {
+    if (!rows.empty()) rows += ",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"shards\": %zu, \"queries\": %zu, "
+                  "\"wall_ms\": %.2f, \"qps\": %.2f, \"speedup\": %.3f}",
+                  r.shards, r.queries, r.wall_seconds * 1e3, r.qps,
+                  r.qps / results.front().qps);
+    rows += buf;
+  }
+  const char* path_env = std::getenv("UPA_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_cluster.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  UPA_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"cluster_throughput\",\n"
+               "  \"clients\": %zu,\n  \"runs_per_client\": %zu,\n"
+               "  \"lat_us\": %zu,\n  \"seed\": %llu,\n  \"rows\": [\n%s\n"
+               "  ]\n}\n",
+               clients, runs, lat_us,
+               static_cast<unsigned long long>(env.seed), rows.c_str());
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Cluster smoke: 2 upa_shard processes behind an upa_router, driven with
+# upa_client. Mid-run, one shard is SIGKILLed: queries it owned must fail
+# fast with UNAVAILABLE while the surviving shard keeps answering. The
+# shard is then restarted over the SAME journal dir; once the router's
+# health probe readmits it, the full pre-kill workload is replayed and the
+# released values must match the pre-kill run bit-for-bit (the repeat-query
+# defense serves the journaled release, so any lost registry state would
+# change the output).
+#
+# Usage: scripts/run_cluster.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SHARD_BIN="$BUILD_DIR/examples/upa_shard"
+ROUTER_BIN="$BUILD_DIR/examples/upa_router"
+CLIENT_BIN="$BUILD_DIR/examples/upa_client"
+for bin in "$SHARD_BIN" "$ROUTER_BIN" "$CLIENT_BIN"; do
+  [ -x "$bin" ] || { echo "missing $bin (build first)"; exit 2; }
+done
+
+WORK="$(mktemp -d /tmp/upa-cluster-smoke-XXXXXX)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_for_file() { # path [timeout_s]
+  local path="$1" deadline=$((SECONDS + ${2:-15}))
+  until [ -s "$path" ]; do
+    [ "$SECONDS" -lt "$deadline" ] || { echo "timeout waiting for $path"; exit 1; }
+    sleep 0.05
+  done
+}
+
+start_shard() { # index
+  local i="$1"
+  rm -f "$WORK/port$i"
+  mkdir -p "$WORK/journal$i"
+  "$SHARD_BIN" --port "${SHARD_PORT[$i]:-0}" --port-file "$WORK/port$i" \
+    --journal-dir "$WORK/journal$i" --shard-name "shard$i" \
+    --threads 2 --sample-n 64 >"$WORK/shard$i.log" 2>&1 &
+  PIDS+=($!); disown $!
+  SHARD_PID[$i]=$!
+  wait_for_file "$WORK/port$i"
+  SHARD_PORT[$i]=$(cat "$WORK/port$i")
+}
+
+declare -a SHARD_PID SHARD_PORT
+start_shard 0
+start_shard 1
+echo "shards up: 127.0.0.1:${SHARD_PORT[0]} 127.0.0.1:${SHARD_PORT[1]}"
+
+"$ROUTER_BIN" 0 "127.0.0.1:${SHARD_PORT[0]}" "127.0.0.1:${SHARD_PORT[1]}" \
+  >"$WORK/router.log" 2>&1 &
+PIDS+=($!); disown $!
+ROUTER_PID=$!
+wait_for_file "$WORK/router.log"
+ROUTER_PORT=$(awk '/^READY/{print $2; exit}' "$WORK/router.log")
+[ -n "$ROUTER_PORT" ] || { echo "router did not print READY"; cat "$WORK/router.log"; exit 1; }
+echo "router up: 127.0.0.1:$ROUTER_PORT"
+
+wait_healthy() { # expected-count [timeout_s]
+  local want="$1" deadline=$((SECONDS + ${2:-20}))
+  while :; do
+    local got
+    got=$("$CLIENT_BIN" "$ROUTER_PORT" --stats 2>/dev/null | grep -c 'healthy$' || true)
+    [ "$got" -ge "$want" ] && return 0
+    [ "$SECONDS" -lt "$deadline" ] || { echo "timeout: $got/$want shards healthy"; exit 1; }
+    sleep 0.1
+  done
+}
+wait_healthy 2
+
+DATASETS=$(seq -f 'ds-%g' 1 12)
+run_workload() { # outfile
+  : >"$1"
+  local ds
+  for ds in $DATASETS; do
+    echo "$ds $("$CLIENT_BIN" "$ROUTER_PORT" "count:2000" "$ds" | head -1)" >>"$1"
+  done
+}
+
+echo "== phase 1: baseline workload over both shards =="
+# First pass registers each query's partitions; the second is answered from
+# the registry (repeat-query defense) and is the steady state every later
+# replay must reproduce. A fresh execution and a registry-served repeat
+# legitimately differ, so the baseline must itself be a repeat.
+run_workload "$WORK/fresh.txt"
+run_workload "$WORK/before.txt"
+
+echo "== phase 2: SIGKILL shard1 mid-run =="
+kill -9 "${SHARD_PID[1]}"
+ok=0 unavailable=0
+for ds in $DATASETS; do
+  if out=$("$CLIENT_BIN" "$ROUTER_PORT" "count:2000" "$ds" 2>&1); then
+    ok=$((ok + 1))
+  elif echo "$out" | grep -q UNAVAILABLE; then
+    unavailable=$((unavailable + 1))
+  else
+    echo "unexpected failure for $ds: $out"; exit 1
+  fi
+done
+echo "during outage: $ok served, $unavailable rejected UNAVAILABLE"
+[ "$ok" -ge 1 ] || { echo "surviving shard served nothing"; exit 1; }
+[ "$unavailable" -ge 1 ] || { echo "no query hit the dead shard"; exit 1; }
+
+echo "== phase 3: restart shard1 over its journal, wait for readmission =="
+start_shard 1
+wait_healthy 2
+
+echo "== phase 4: replay workload; releases must match phase 1 exactly =="
+# A shard that lost its registry in the SIGKILL would answer these as FRESH
+# queries (different value) instead of registry-served repeats.
+run_workload "$WORK/after.txt"
+if ! diff -u "$WORK/before.txt" "$WORK/after.txt"; then
+  echo "FAIL: released values changed across SIGKILL + journal recovery"
+  exit 1
+fi
+
+"$CLIENT_BIN" "$ROUTER_PORT" --stats | sed -n '1,12p'
+echo "PASS: failover + bit-identical journal recovery"

@@ -1,0 +1,43 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace upa::cluster {
+
+ConsistentHashRing::ConsistentHashRing(size_t num_shards,
+                                       size_t vnodes_per_shard)
+    : num_shards_(num_shards) {
+  UPA_CHECK_MSG(num_shards > 0, "ring needs at least one shard");
+  UPA_CHECK_MSG(vnodes_per_shard > 0, "ring needs at least one vnode");
+  points_.reserve(num_shards * vnodes_per_shard);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      const std::string key = "upa-shard-" + std::to_string(shard) +
+                              "/vnode-" + std::to_string(vnode);
+      // FNV-1a alone clusters keys that differ only in a trailing digit
+      // (consecutive hashes differ by the FNV prime), which would collapse
+      // the vnodes into a few runs; Mix64 avalanches them apart.
+      points_.push_back({Mix64(Fnv1a(key)), static_cast<uint32_t>(shard)});
+    }
+  }
+  // Ties (two vnodes hashing identically) break by shard index so every
+  // builder of the same ring agrees on the owner.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+size_t ConsistentHashRing::ShardFor(std::string_view dataset_id) const {
+  const uint64_t h = Mix64(Fnv1a(dataset_id));
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == points_.end()) it = points_.begin();  // wrap around the circle
+  return it->shard;
+}
+
+}  // namespace upa::cluster

@@ -1,0 +1,39 @@
+// Consistent-hash ring over dataset ids.
+//
+// The cluster's placement rule: dataset → shard is a pure function of the
+// dataset id and the shard count, computed identically by every router
+// instance (no coordination, no metadata service). Each shard contributes
+// `vnodes_per_shard` points on a 64-bit hash circle; a dataset lands on
+// the first point clockwise of its own hash. Virtual nodes smooth the
+// load split, and growing the cluster by one shard moves only the
+// datasets that fall into the new shard's arcs (~1/(n+1) of them) —
+// everything else keeps its journal and budget where it is.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace upa::cluster {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(size_t num_shards, size_t vnodes_per_shard = 64);
+
+  /// Shard index in [0, num_shards) owning `dataset_id`. Deterministic
+  /// across processes and runs.
+  size_t ShardFor(std::string_view dataset_id) const;
+
+  size_t num_shards() const { return num_shards_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t shard;
+  };
+
+  size_t num_shards_;
+  std::vector<Point> points_;  // sorted by (hash, shard)
+};
+
+}  // namespace upa::cluster

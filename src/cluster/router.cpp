@@ -1,0 +1,711 @@
+#include "cluster/router.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "net/dial.h"
+
+namespace upa::cluster {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                            ::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Router::Router(std::vector<ShardAddress> shards, RouterConfig config)
+    : shard_addrs_(std::move(shards)),
+      config_(std::move(config)),
+      ring_(shard_addrs_.empty() ? 1 : shard_addrs_.size(),
+            config_.ring_vnodes),
+      loop_(config_.poller) {
+  healthy_ = std::make_unique<std::atomic<bool>[]>(shard_addrs_.size());
+  for (size_t i = 0; i < shard_addrs_.size(); ++i) healthy_[i] = false;
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (started_) return Status::InvalidArgument("router already started");
+  if (shard_addrs_.empty()) {
+    return Status::InvalidArgument("router requires at least one shard");
+  }
+  if (config_.max_connections == 0 || config_.max_inflight_per_shard == 0) {
+    return Status::InvalidArgument("connection/in-flight caps must be > 0");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    Status st =
+        Status::Internal(std::string("bind/listen: ") + ::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    Status st =
+        Status::Internal(std::string("getsockname: ") + ::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  if (Status st = SetNonBlocking(listen_fd_); !st.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  links_.resize(shard_addrs_.size());
+  for (size_t i = 0; i < shard_addrs_.size(); ++i) {
+    links_[i].index = i;
+    links_[i].addr = shard_addrs_[i];
+    links_[i].backoff_ms = config_.backoff_initial_ms;
+    links_[i].next_dial_ns = 0;  // dial on the first tick
+  }
+
+  started_ = true;
+  loop_thread_ = std::thread([this] {
+    Status registered = loop_.RegisterFd(
+        listen_fd_, /*want_read=*/true, /*want_write=*/false,
+        [this](bool readable, bool, bool) {
+          if (readable) HandleAccept();
+        });
+    UPA_CHECK_MSG(registered.ok(), registered.ToString());
+    loop_.SetTickHandler(config_.tick_interval_ms, [this] { OnTick(); });
+    // Dial every shard right away instead of waiting for the first tick.
+    for (ShardLink& link : links_) StartDial(link);
+    loop_.Run();
+    // Loop exited: tear everything down on the owning thread.
+    for (auto& [id, conn] : connections_) {
+      loop_.UnregisterFd(conn->fd);
+      ::close(conn->fd);
+    }
+    connections_.clear();
+    for (ShardLink& link : links_) {
+      if (link.fd >= 0) {
+        loop_.UnregisterFd(link.fd);
+        ::close(link.fd);
+        link.fd = -1;
+      }
+    }
+    loop_.UnregisterFd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  });
+  return Status::Ok();
+}
+
+void Router::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  loop_.RunInLoop([this] {
+    HandleAccept();
+    loop_.UnregisterFd(listen_fd_);
+  });
+  // Drain: give routed queries a chance to come back and flush out.
+  int64_t deadline_ns =
+      NowNanos() + static_cast<int64_t>(config_.drain_timeout_ms * 1e6);
+  while (NowNanos() < deadline_ns) {
+    auto probe = std::make_shared<std::promise<bool>>();
+    std::future<bool> quiescent = probe->get_future();
+    loop_.RunInLoop([this, probe] {
+      bool quiet = total_inflight_.load(std::memory_order_acquire) == 0;
+      for (const auto& [id, conn] : connections_) {
+        if (conn->inflight > 0 ||
+            conn->write_offset < conn->write_buffer.size()) {
+          quiet = false;
+          break;
+        }
+      }
+      probe->set_value(quiet);
+    });
+    if (quiescent.wait_until(std::chrono::steady_clock::now() +
+                             std::chrono::nanoseconds(deadline_ns -
+                                                      NowNanos())) !=
+        std::future_status::ready) {
+      break;
+    }
+    if (quiescent.get()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  loop_.Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+bool Router::ShardHealthy(size_t shard) const {
+  return shard < shard_addrs_.size() &&
+         healthy_[shard].load(std::memory_order_acquire);
+}
+
+Router::Stats Router::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.replies = replies_.load(std::memory_order_relaxed);
+  s.rejected_unavailable =
+      rejected_unavailable_.load(std::memory_order_relaxed);
+  s.rejected_backpressure =
+      rejected_backpressure_.load(std::memory_order_relaxed);
+  s.shard_reconnects = shard_reconnects_.load(std::memory_order_relaxed);
+  s.failed_over_inflight =
+      failed_over_inflight_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Router::StatsText() const {
+  Stats s = stats();
+  std::ostringstream os;
+  os << "== upa router ==\n"
+     << "  port                  " << port_ << "\n"
+     << "  shards                " << shard_addrs_.size() << "\n"
+     << "  open_connections      " << s.open_connections << "\n"
+     << "  accepted              " << s.accepted << "\n"
+     << "  routed                " << s.routed << "\n"
+     << "  replies               " << s.replies << "\n"
+     << "  rejected_unavailable  " << s.rejected_unavailable << "\n"
+     << "  rejected_backpressure " << s.rejected_backpressure << "\n"
+     << "  shard_reconnects      " << s.shard_reconnects << "\n"
+     << "  failed_over_inflight  " << s.failed_over_inflight << "\n"
+     << "  protocol_errors       " << s.protocol_errors << "\n";
+  for (size_t i = 0; i < shard_addrs_.size(); ++i) {
+    os << "  shard[" << i << "] " << shard_addrs_[i].host << ":"
+       << shard_addrs_[i].port << " "
+       << (ShardHealthy(i) ? "healthy" : "down") << "\n";
+  }
+  return os.str();
+}
+
+void Router::HandleAccept() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (connections_.size() >= config_.max_connections ||
+        !SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<ClientConn>(config_.max_frame_bytes);
+    conn->id = id;
+    conn->fd = fd;
+    Status registered = loop_.RegisterFd(
+        fd, /*want_read=*/true, /*want_write=*/false,
+        [this, id](bool readable, bool writable, bool error) {
+          if (error) {
+            CloseClient(id);
+            return;
+          }
+          if (writable) HandleClientWritable(id);
+          if (readable) HandleClientReadable(id);
+        });
+    if (!registered.ok()) {
+      ::close(fd);
+      continue;
+    }
+    connections_[id] = std::move(conn);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_.store(connections_.size(), std::memory_order_relaxed);
+  }
+}
+
+void Router::HandleClientReadable(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ClientConn& conn = *it->second;
+  if (conn.reads_paused || conn.close_after_flush) return;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.assembler.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      ProcessClientFrames(conn);
+      auto again = connections_.find(conn_id);
+      if (again == connections_.end()) return;
+      if (again->second->reads_paused || again->second->close_after_flush) {
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseClient(conn_id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseClient(conn_id);
+    return;
+  }
+}
+
+void Router::HandleClientWritable(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  FlushClient(*it->second);
+}
+
+void Router::ProcessClientFrames(ClientConn& conn) {
+  const uint64_t conn_id = conn.id;
+  for (;;) {
+    net::Frame frame;
+    Status error = Status::Ok();
+    net::FrameAssembler::Outcome outcome = conn.assembler.Next(&frame, &error);
+    if (outcome == net::FrameAssembler::Outcome::kNeedMore) return;
+    if (outcome == net::FrameAssembler::Outcome::kError) {
+      AbortClient(conn, error);
+      return;
+    }
+    switch (frame.type) {
+      case net::FrameType::kQueryRequest: {
+        net::WireQuery query;
+        Status decoded = net::DecodeQueryPayload(frame.payload, &query);
+        if (!decoded.ok()) {
+          AbortClient(conn, decoded);
+          return;
+        }
+        RouteQuery(conn, std::move(query));
+        break;
+      }
+      case net::FrameType::kStatsRequest: {
+        // The router answers stats itself (its own counters + shard link
+        // states) rather than fanning out to every shard: the dump stays
+        // cheap and available even while shards are down.
+        QueueClientWrite(conn, net::EncodeStatsResponseFrame(StatsText()));
+        break;
+      }
+      default: {
+        AbortClient(conn, Status::InvalidArgument(
+                              "unexpected frame type from client"));
+        return;
+      }
+    }
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+}
+
+void Router::RouteQuery(ClientConn& conn, net::WireQuery query) {
+  const size_t shard = ring_.ShardFor(query.dataset_id);
+  ShardLink& link = links_[shard];
+
+  auto reject = [&](const Status& status, std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    net::WireResult result;
+    result.client_tag = query.client_tag;
+    result.code = status.code();
+    result.message = status.message();
+    QueueClientWrite(conn, net::EncodeResultFrame(result));
+  };
+
+  if (link.state != ShardLink::State::kHealthy) {
+    reject(Status::Unavailable("shard " + std::to_string(shard) +
+                               " unavailable (reconnecting); retry"),
+           rejected_unavailable_);
+    return;
+  }
+  if (link.inflight.size() >= config_.max_inflight_per_shard ||
+      link.write_buffer.size() - link.write_offset >
+          config_.write_buffer_high_bytes) {
+    reject(Status::ResourceExhausted("shard " + std::to_string(shard) +
+                                     " is at in-flight capacity; retry"),
+           rejected_backpressure_);
+    return;
+  }
+
+  const uint64_t router_tag = next_router_tag_++;
+  link.inflight[router_tag] = Route{conn.id, query.client_tag};
+  ++conn.inflight;
+  total_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  query.client_tag = router_tag;
+  QueueShardWrite(link, net::EncodeQueryFrame(query));
+}
+
+void Router::RespondToClient(ClientConn& conn,
+                             const net::WireResult& result) {
+  replies_.fetch_add(1, std::memory_order_relaxed);
+  QueueClientWrite(conn, net::EncodeResultFrame(result));
+}
+
+void Router::QueueClientWrite(ClientConn& conn, std::string bytes) {
+  if (conn.write_buffer.empty()) {
+    conn.write_buffer = std::move(bytes);
+    conn.write_offset = 0;
+  } else {
+    conn.write_buffer += bytes;
+  }
+  FlushClient(conn);
+}
+
+void Router::FlushClient(ClientConn& conn) {
+  const uint64_t conn_id = conn.id;
+  while (conn.write_offset < conn.write_buffer.size()) {
+    ssize_t n = ::send(conn.fd, conn.write_buffer.data() + conn.write_offset,
+                       conn.write_buffer.size() - conn.write_offset,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.write_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseClient(conn_id);
+    return;
+  }
+  if (conn.write_offset >= conn.write_buffer.size()) {
+    conn.write_buffer.clear();
+    conn.write_offset = 0;
+    if (conn.close_after_flush) {
+      CloseClient(conn_id);
+      return;
+    }
+  }
+  UpdateClientInterest(conn);
+}
+
+void Router::UpdateClientInterest(ClientConn& conn) {
+  const size_t buffered = conn.write_buffer.size() - conn.write_offset;
+  const bool want_write = buffered > 0;
+  if (buffered > config_.write_buffer_high_bytes) {
+    conn.reads_paused = true;
+  } else if (buffered == 0 && conn.reads_paused) {
+    conn.reads_paused = false;
+  }
+  const bool want_read = !conn.reads_paused && !conn.close_after_flush;
+  (void)loop_.UpdateFd(conn.fd, want_read, want_write);
+}
+
+void Router::AbortClient(ClientConn& conn, const Status& error) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  conn.close_after_flush = true;
+  QueueClientWrite(conn, net::EncodeErrorFrame(error));
+}
+
+void Router::CloseClient(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  loop_.UnregisterFd(it->second->fd);
+  ::close(it->second->fd);
+  // Routed queries stay in flight on their shards; when the responses
+  // come back the routes resolve to a gone connection and are dropped
+  // (the shard has already released/charged — the client walked away).
+  connections_.erase(it);
+  open_connections_.store(connections_.size(), std::memory_order_relaxed);
+}
+
+void Router::StartDial(ShardLink& link) {
+  Result<int> fd_or = net::StartConnect(link.addr.host, link.addr.port);
+  const int64_t now = NowNanos();
+  if (!fd_or.ok()) {
+    link.state = ShardLink::State::kBackoff;
+    link.next_dial_ns = now + static_cast<int64_t>(link.backoff_ms * 1e6);
+    link.backoff_ms = std::min(link.backoff_ms * 2.0, config_.backoff_max_ms);
+    return;
+  }
+  link.fd = fd_or.value();
+  link.assembler =
+      std::make_unique<net::FrameAssembler>(config_.max_frame_bytes);
+  link.write_buffer.clear();
+  link.write_offset = 0;
+  link.probe_outstanding = false;
+  link.state = ShardLink::State::kConnecting;
+  link.dial_deadline_ns =
+      now + static_cast<int64_t>(config_.dial_timeout_ms * 1e6);
+  const size_t shard = link.index;
+  Status registered = loop_.RegisterFd(
+      link.fd, /*want_read=*/true, /*want_write=*/true,
+      [this, shard](bool readable, bool writable, bool error) {
+        HandleShardEvent(shard, readable, writable, error);
+      });
+  if (!registered.ok()) {
+    ::close(link.fd);
+    link.fd = -1;
+    link.state = ShardLink::State::kBackoff;
+    link.next_dial_ns = now + static_cast<int64_t>(link.backoff_ms * 1e6);
+    link.backoff_ms = std::min(link.backoff_ms * 2.0, config_.backoff_max_ms);
+  }
+}
+
+void Router::HandleShardEvent(size_t shard, bool readable, bool writable,
+                              bool error) {
+  ShardLink& link = links_[shard];
+  if (link.fd < 0) return;
+  if (error) {
+    FailShard(link, Status::Internal("shard socket error"));
+    return;
+  }
+  if (link.state == ShardLink::State::kConnecting && writable) {
+    Status finished = net::FinishConnect(link.fd);
+    if (!finished.ok()) {
+      FailShard(link, finished);
+      return;
+    }
+    // Connected; probe before taking traffic. The probe doubles as the
+    // recovery barrier: the shard only answers once its journal replay
+    // finished (the server starts listening after recovery).
+    link.state = ShardLink::State::kProbing;
+    SendProbe(link);
+    return;
+  }
+  if (writable) FlushShard(link);
+  if (link.fd >= 0 && readable) {
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(link.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        link.assembler->Feed(std::string_view(buf, static_cast<size_t>(n)));
+        ProcessShardFrames(link);
+        if (link.fd < 0) return;  // frame processing failed the link
+        continue;
+      }
+      if (n == 0) {
+        FailShard(link, Status::Unavailable("shard closed connection"));
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      FailShard(link,
+                Status::Internal(std::string("recv: ") + ::strerror(errno)));
+      return;
+    }
+  }
+}
+
+void Router::ProcessShardFrames(ShardLink& link) {
+  for (;;) {
+    net::Frame frame;
+    Status error = Status::Ok();
+    net::FrameAssembler::Outcome outcome =
+        link.assembler->Next(&frame, &error);
+    if (outcome == net::FrameAssembler::Outcome::kNeedMore) return;
+    if (outcome == net::FrameAssembler::Outcome::kError) {
+      FailShard(link, error);
+      return;
+    }
+    switch (frame.type) {
+      case net::FrameType::kQueryResponse: {
+        net::WireResult result;
+        Status decoded = net::DecodeResultPayload(frame.payload, &result);
+        if (!decoded.ok()) {
+          FailShard(link, decoded);
+          return;
+        }
+        auto route_it = link.inflight.find(result.client_tag);
+        if (route_it == link.inflight.end()) {
+          // Same rule as the client's stale-tag latch: a response nothing
+          // is waiting for means the stream is desynchronized.
+          FailShard(link, Status::Internal(
+                              "shard response for unknown router tag"));
+          return;
+        }
+        Route route = route_it->second;
+        link.inflight.erase(route_it);
+        total_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        auto conn_it = connections_.find(route.conn_id);
+        if (conn_it != connections_.end()) {
+          ClientConn& conn = *conn_it->second;
+          if (conn.inflight > 0) --conn.inflight;
+          result.client_tag = route.client_tag;
+          RespondToClient(conn, result);
+        }
+        break;
+      }
+      case net::FrameType::kStatsResponse: {
+        link.probe_outstanding = false;
+        if (link.state == ShardLink::State::kProbing) {
+          link.state = ShardLink::State::kHealthy;
+          link.backoff_ms = config_.backoff_initial_ms;
+          healthy_[link.index].store(true, std::memory_order_release);
+        }
+        break;
+      }
+      case net::FrameType::kError: {
+        Status server_error = Status::Ok();
+        if (!net::DecodeErrorPayload(frame.payload, &server_error).ok()) {
+          server_error = Status::Internal("undecodable shard error frame");
+        }
+        // The shard closes after an error frame; treat as link death.
+        FailShard(link, server_error);
+        return;
+      }
+      default:
+        FailShard(link,
+                  Status::Internal("unexpected frame type from shard"));
+        return;
+    }
+    if (link.fd < 0) return;
+  }
+}
+
+void Router::QueueShardWrite(ShardLink& link, std::string bytes) {
+  if (link.write_buffer.empty()) {
+    link.write_buffer = std::move(bytes);
+    link.write_offset = 0;
+  } else {
+    link.write_buffer += bytes;
+  }
+  FlushShard(link);
+}
+
+void Router::FlushShard(ShardLink& link) {
+  while (link.write_offset < link.write_buffer.size()) {
+    ssize_t n =
+        ::send(link.fd, link.write_buffer.data() + link.write_offset,
+               link.write_buffer.size() - link.write_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      link.write_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    FailShard(link,
+              Status::Internal(std::string("send: ") + ::strerror(errno)));
+    return;
+  }
+  if (link.write_offset >= link.write_buffer.size()) {
+    link.write_buffer.clear();
+    link.write_offset = 0;
+  }
+  UpdateShardInterest(link);
+}
+
+void Router::UpdateShardInterest(ShardLink& link) {
+  if (link.fd < 0) return;
+  const bool want_write =
+      link.write_offset < link.write_buffer.size() ||
+      link.state == ShardLink::State::kConnecting;
+  (void)loop_.UpdateFd(link.fd, /*want_read=*/true, want_write);
+}
+
+void Router::SendProbe(ShardLink& link) {
+  link.probe_outstanding = true;
+  link.last_probe_ns = NowNanos();
+  link.probe_deadline_ns =
+      link.last_probe_ns +
+      static_cast<int64_t>(config_.health_probe_timeout_ms * 1e6);
+  QueueShardWrite(link, net::EncodeStatsRequestFrame());
+}
+
+void Router::FailShard(ShardLink& link, const Status& reason) {
+  if (link.fd >= 0) {
+    loop_.UnregisterFd(link.fd);
+    ::close(link.fd);
+    link.fd = -1;
+  }
+  healthy_[link.index].store(false, std::memory_order_release);
+  shard_reconnects_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fail every routed-but-unanswered query back to its client: the shard
+  // may or may not have journaled the release, but nothing was delivered,
+  // so the client must treat it as unresolved and retry. (On the shard,
+  // an unacknowledged dangling charge is refunded by journal recovery.)
+  for (auto& [router_tag, route] : link.inflight) {
+    failed_over_inflight_.fetch_add(1, std::memory_order_relaxed);
+    total_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    auto conn_it = connections_.find(route.conn_id);
+    if (conn_it == connections_.end()) continue;
+    ClientConn& conn = *conn_it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    net::WireResult result;
+    result.client_tag = route.client_tag;
+    result.code = StatusCode::kUnavailable;
+    result.message =
+        "shard " + std::to_string(link.index) + " lost: " + reason.message();
+    RespondToClient(conn, result);
+  }
+  link.inflight.clear();
+  link.write_buffer.clear();
+  link.write_offset = 0;
+  link.probe_outstanding = false;
+  link.state = ShardLink::State::kBackoff;
+  link.next_dial_ns =
+      NowNanos() + static_cast<int64_t>(link.backoff_ms * 1e6);
+  link.backoff_ms = std::min(link.backoff_ms * 2.0, config_.backoff_max_ms);
+}
+
+void Router::OnTick() {
+  const int64_t now = NowNanos();
+  for (ShardLink& link : links_) {
+    switch (link.state) {
+      case ShardLink::State::kBackoff:
+        if (now >= link.next_dial_ns) StartDial(link);
+        break;
+      case ShardLink::State::kConnecting:
+        if (now > link.dial_deadline_ns) {
+          FailShard(link, Status::DeadlineExceeded("shard connect timed out"));
+        }
+        break;
+      case ShardLink::State::kProbing:
+        if (now > link.probe_deadline_ns) {
+          FailShard(link,
+                    Status::DeadlineExceeded("shard health probe timed out"));
+        }
+        break;
+      case ShardLink::State::kHealthy:
+        if (link.probe_outstanding && now > link.probe_deadline_ns) {
+          FailShard(link,
+                    Status::DeadlineExceeded("shard health probe timed out"));
+        } else if (!link.probe_outstanding &&
+                   config_.health_probe_interval_ms > 0.0 &&
+                   now - link.last_probe_ns >
+                       static_cast<int64_t>(
+                           config_.health_probe_interval_ms * 1e6)) {
+          SendProbe(link);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace upa::cluster

@@ -1,0 +1,200 @@
+// Cluster router: one process speaking the UPA wire protocol to clients,
+// fanning queries out over N shard servers by consistent-hashing the
+// dataset id (ring.h). Clients see a single server; privacy enforcement
+// stays entirely shard-local — each shard owns the budget, enforcer
+// registry, epoch and journal for its dataset subset, so the router holds
+// no privacy state and can be restarted freely.
+//
+// Mechanics (mirrors net::Server's threading contract):
+//   - one EventLoop thread owns every fd: the listen socket, all client
+//     connections and all shard links. No locks on the data path; the only
+//     cross-thread values are the stats atomics.
+//   - client query frames are decoded just enough to read the dataset id,
+//     re-tagged with a router-unique tag (two clients may use the same
+//     client_tag), and re-encoded onto the owning shard's link; responses
+//     are re-tagged back. Doubles travel as raw IEEE bits through the
+//     decode/encode round trip, so routing is bit-invisible.
+//   - per-shard backpressure: a shard at its in-flight cap (or with a
+//     backed-up write buffer) rejects further queries with
+//     kResourceExhausted, the same code the server uses for pipeline
+//     overflow — clients already handle it.
+//   - failover: a dead shard link fails its in-flight queries with
+//     kUnavailable, then redials with bounded exponential backoff. A
+//     reconnected shard takes traffic only after answering a health probe
+//     (a stats request) — by then the shard process has replayed its
+//     journal, so the recovered registry/ledger/epoch state is already
+//     bit-identical to the pre-crash acknowledged state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "net/event_loop.h"
+#include "net/wire.h"
+
+namespace upa::cluster {
+
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read back via port()).
+  uint16_t port = 0;
+  size_t max_connections = 1024;
+  size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  /// Per-shard cap on routed-but-unanswered queries; overflow is rejected
+  /// with kResourceExhausted (backpressure, not queueing).
+  size_t max_inflight_per_shard = 128;
+  /// A client (or shard) write buffer above this pauses reads from the
+  /// other side of that connection until it drains.
+  size_t write_buffer_high_bytes = 4u << 20;
+  /// Shard dial: per-attempt connect timeout and the redial backoff range.
+  double dial_timeout_ms = 2000.0;
+  double backoff_initial_ms = 20.0;
+  double backoff_max_ms = 2000.0;
+  /// Health probes: a reconnected shard must answer one before taking
+  /// traffic; healthy-but-idle shards are probed every interval. 0
+  /// disables idle probing (the connect-time probe always runs).
+  double health_probe_interval_ms = 500.0;
+  double health_probe_timeout_ms = 2000.0;
+  double tick_interval_ms = 5.0;
+  double drain_timeout_ms = 5000.0;
+  size_t ring_vnodes = 64;
+  net::PollerKind poller = net::PollerKind::kEpoll;
+};
+
+class Router {
+ public:
+  Router(std::vector<ShardAddress> shards, RouterConfig config = {});
+  ~Router();  // Stop()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const ConsistentHashRing& ring() const { return ring_; }
+
+  /// True once the shard's link passed its health probe (and the link is
+  /// still up). Thread-safe.
+  bool ShardHealthy(size_t shard) const;
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t open_connections = 0;
+    uint64_t routed = 0;
+    uint64_t replies = 0;
+    uint64_t rejected_unavailable = 0;
+    uint64_t rejected_backpressure = 0;
+    uint64_t shard_reconnects = 0;
+    uint64_t failed_over_inflight = 0;
+    uint64_t protocol_errors = 0;
+  };
+  Stats stats() const;
+  std::string StatsText() const;
+
+ private:
+  struct ClientConn {
+    explicit ClientConn(size_t max_frame)
+        : assembler(max_frame) {}
+    uint64_t id = 0;
+    int fd = -1;
+    net::FrameAssembler assembler;
+    std::string write_buffer;
+    size_t write_offset = 0;
+    bool reads_paused = false;
+    bool close_after_flush = false;
+    /// Queries routed to a shard and not yet answered back to this client.
+    size_t inflight = 0;
+  };
+
+  struct Route {
+    uint64_t conn_id = 0;
+    uint64_t client_tag = 0;
+  };
+
+  struct ShardLink {
+    enum class State { kBackoff, kConnecting, kProbing, kHealthy };
+    size_t index = 0;
+    ShardAddress addr;
+    State state = State::kBackoff;
+    int fd = -1;
+    std::unique_ptr<net::FrameAssembler> assembler;
+    std::string write_buffer;
+    size_t write_offset = 0;
+    double backoff_ms = 0.0;
+    int64_t next_dial_ns = 0;   // kBackoff: earliest redial
+    int64_t dial_deadline_ns = 0;
+    int64_t probe_deadline_ns = 0;
+    int64_t last_probe_ns = 0;
+    bool probe_outstanding = false;
+    std::map<uint64_t, Route> inflight;  // router tag → origin
+  };
+
+  // Loop-thread only.
+  void HandleAccept();
+  void HandleClientReadable(uint64_t conn_id);
+  void HandleClientWritable(uint64_t conn_id);
+  void ProcessClientFrames(ClientConn& conn);
+  void RouteQuery(ClientConn& conn, net::WireQuery query);
+  void RespondToClient(ClientConn& conn, const net::WireResult& result);
+  void QueueClientWrite(ClientConn& conn, std::string bytes);
+  void FlushClient(ClientConn& conn);
+  void UpdateClientInterest(ClientConn& conn);
+  void AbortClient(ClientConn& conn, const Status& error);
+  void CloseClient(uint64_t conn_id);
+
+  void StartDial(ShardLink& link);
+  void HandleShardEvent(size_t shard, bool readable, bool writable,
+                        bool error);
+  void ProcessShardFrames(ShardLink& link);
+  void QueueShardWrite(ShardLink& link, std::string bytes);
+  void FlushShard(ShardLink& link);
+  void UpdateShardInterest(ShardLink& link);
+  void SendProbe(ShardLink& link);
+  /// Tears the link down: fails in-flight routes with kUnavailable back to
+  /// their clients and schedules a backoff redial.
+  void FailShard(ShardLink& link, const Status& reason);
+  void OnTick();
+
+  std::vector<ShardAddress> shard_addrs_;
+  RouterConfig config_;
+  ConsistentHashRing ring_;
+  net::EventLoop loop_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  uint64_t next_conn_id_ = 1;
+  uint64_t next_router_tag_ = 1;
+  std::map<uint64_t, std::unique_ptr<ClientConn>> connections_;
+  std::vector<ShardLink> links_;
+
+  std::unique_ptr<std::atomic<bool>[]> healthy_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> open_connections_{0};
+  std::atomic<uint64_t> routed_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> rejected_unavailable_{0};
+  std::atomic<uint64_t> rejected_backpressure_{0};
+  std::atomic<uint64_t> shard_reconnects_{0};
+  std::atomic<uint64_t> failed_over_inflight_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  /// Routed-but-unanswered queries across all shards (drain probe).
+  std::atomic<uint64_t> total_inflight_{0};
+};
+
+}  // namespace upa::cluster

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,9 @@ enum class StatusCode {
   /// The operation's deadline passed before it completed. Like kCancelled,
   /// nothing was released and the charge is refunded.
   kDeadlineExceeded,
+  /// The backend (a cluster shard) is temporarily unreachable. Nothing was
+  /// released; the caller should retry after a backoff.
+  kUnavailable,
 };
 
 /// Human-readable name for a StatusCode (stable, for logs and tests).
@@ -68,6 +71,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

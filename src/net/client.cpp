@@ -13,6 +13,8 @@
 #include <chrono>
 #include <utility>
 
+#include "net/dial.h"
+
 namespace upa::net {
 namespace {
 
@@ -45,47 +47,20 @@ Status WaitReady(int fd, short events, int64_t deadline_ns) {
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 uint16_t port,
                                                 int64_t timeout_ms) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + ::strerror(errno));
-  }
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("unparseable host '" + host + "'");
-  }
-
+  Result<int> fd_or = StartConnect(host, port);
+  UPA_RETURN_IF_ERROR(fd_or.status());
+  int fd = fd_or.value();
   int64_t deadline_ns = NowNanos() + timeout_ms * 1000000;
-  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
-    Status st =
-        Status::Internal(std::string("connect: ") + ::strerror(errno));
+  Status ready = WaitReady(fd, POLLOUT, deadline_ns);
+  Status finished = ready.ok() ? FinishConnect(fd) : ready;
+  if (!finished.ok()) {
     ::close(fd);
-    return st;
+    return finished;
   }
-  if (rc != 0) {
-    Status ready = WaitReady(fd, POLLOUT, deadline_ns);
-    if (!ready.ok()) {
-      ::close(fd);
-      return ready;
-    }
-    int err = 0;
-    socklen_t err_len = sizeof(err);
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
-        err != 0) {
-      Status st = Status::Internal(std::string("connect: ") +
-                                   ::strerror(err != 0 ? err : errno));
-      ::close(fd);
-      return st;
-    }
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+std::unique_ptr<Client> Client::FromConnectedFd(int fd) {
   return std::unique_ptr<Client>(new Client(fd));
 }
 
@@ -155,11 +130,29 @@ Result<Frame> Client::ReadFrame(int64_t timeout_ms) {
   return NextFrame(NowNanos() + timeout_ms * 1000000);
 }
 
+Status Client::AdmitResponseTag(uint64_t tag) {
+  if (inflight_.count(tag) != 0) return Status::Ok();
+  // A response nothing is waiting for means the stream is desynchronized
+  // from the request sequence — e.g. a late reply to a request whose
+  // waiter already timed out on a previous connection incarnation, or a
+  // server echoing a bad tag. Poison rather than deliver: the same
+  // terminal latch as a transport failure.
+  broken_ = Status::Internal("response for unknown client_tag " +
+                             std::to_string(tag) +
+                             " (stale reply?); connection poisoned");
+  return broken_;
+}
+
 Result<uint64_t> Client::Send(WireQuery query) {
   UPA_RETURN_IF_ERROR(broken_);
   if (query.client_tag == 0) query.client_tag = next_tag_++;
   uint64_t tag = query.client_tag;
+  if (inflight_.count(tag) != 0 || parked_.count(tag) != 0) {
+    return Status::InvalidArgument("client_tag " + std::to_string(tag) +
+                                   " is already in flight");
+  }
   UPA_RETURN_IF_ERROR(SendBytes(EncodeQueryFrame(query)));
+  inflight_.insert(tag);
   return tag;
 }
 
@@ -168,6 +161,11 @@ Result<WireResult> Client::Await(uint64_t tag, int64_t timeout_ms) {
     WireResult result = std::move(it->second);
     parked_.erase(it);
     return result;
+  }
+  if (inflight_.count(tag) == 0) {
+    UPA_RETURN_IF_ERROR(broken_);
+    return Status::InvalidArgument("client_tag " + std::to_string(tag) +
+                                   " was never sent (or already delivered)");
   }
   int64_t deadline_ns = NowNanos() + timeout_ms * 1000000;
   for (;;) {
@@ -178,6 +176,8 @@ Result<WireResult> Client::Await(uint64_t tag, int64_t timeout_ms) {
         WireResult result;
         UPA_RETURN_IF_ERROR(
             DecodeResultPayload(frame.value().payload, &result));
+        UPA_RETURN_IF_ERROR(AdmitResponseTag(result.client_tag));
+        inflight_.erase(result.client_tag);
         if (result.client_tag == tag) return result;
         // Out-of-order completion for another in-flight tag: park it.
         parked_[result.client_tag] = std::move(result);
@@ -223,6 +223,8 @@ Result<std::string> Client::Stats(int64_t timeout_ms) {
         WireResult result;
         UPA_RETURN_IF_ERROR(
             DecodeResultPayload(frame.value().payload, &result));
+        UPA_RETURN_IF_ERROR(AdmitResponseTag(result.client_tag));
+        inflight_.erase(result.client_tag);
         parked_[result.client_tag] = std::move(result);
         break;
       }
@@ -238,6 +240,41 @@ Result<std::string> Client::Stats(int64_t timeout_ms) {
         return broken_;
     }
   }
+}
+
+Result<ClientPool> ClientPool::Dial(const std::string& host, uint16_t port,
+                                    size_t size, int64_t timeout_ms) {
+  // Phase 1: launch every handshake before waiting on any of them.
+  std::vector<int> fds;
+  fds.reserve(size);
+  auto close_all = [&fds] {
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  };
+  for (size_t i = 0; i < size; ++i) {
+    Result<int> fd_or = StartConnect(host, port);
+    if (!fd_or.ok()) {
+      close_all();
+      return fd_or.status();
+    }
+    fds.push_back(fd_or.value());
+  }
+  // Phase 2: confirm each under one shared deadline.
+  int64_t deadline_ns = NowNanos() + timeout_ms * 1000000;
+  ClientPool pool;
+  pool.clients_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    Status ready = WaitReady(fds[i], POLLOUT, deadline_ns);
+    Status finished = ready.ok() ? FinishConnect(fds[i]) : ready;
+    if (!finished.ok()) {
+      close_all();
+      return finished;
+    }
+    pool.clients_.push_back(Client::FromConnectedFd(fds[i]));
+    fds[i] = -1;  // ownership transferred
+  }
+  return pool;
 }
 
 }  // namespace upa::net

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "net/wire.h"
 
@@ -24,10 +26,14 @@ namespace upa::net {
 class Client {
  public:
   /// Connect to host:port; fails with kDeadlineExceeded when the connect
-  /// does not complete within timeout_ms.
+  /// does not complete within timeout_ms. Every failure path closes the
+  /// socket — a timed-out dial leaks no fd.
   static Result<std::unique_ptr<Client>> Connect(const std::string& host,
                                                  uint16_t port,
                                                  int64_t timeout_ms = 5000);
+  /// Wraps an already-connected non-blocking socket (ClientPool, tests).
+  /// Takes ownership of `fd`.
+  static std::unique_ptr<Client> FromConnectedFd(int fd);
   ~Client();
 
   Client(const Client&) = delete;
@@ -40,8 +46,11 @@ class Client {
   Result<WireResult> Query(WireQuery query, int64_t timeout_ms = 30000);
 
   /// Fire a query without waiting; pair with Await(tag). Returns the tag.
+  /// A tag already in flight is rejected (kInvalidArgument) — a duplicate
+  /// would make the response-to-request matching ambiguous.
   Result<uint64_t> Send(WireQuery query);
-  /// Block for the response to a previously Send()t tag.
+  /// Block for the response to a previously Send()t tag. Awaiting a tag
+  /// that was never sent (or already delivered) fails immediately.
   Result<WireResult> Await(uint64_t tag, int64_t timeout_ms = 30000);
 
   /// The server's "/stats" text dump (service report + net counters).
@@ -57,14 +66,41 @@ class Client {
   /// Read until the assembler yields a frame (or timeout/transport error).
   Result<Frame> NextFrame(int64_t deadline_ns);
 
+  /// Ok when `tag` has a waiter; otherwise poisons the connection (a
+  /// response no request is waiting for means the stream is stale).
+  Status AdmitResponseTag(uint64_t tag);
+
   int fd_;
   uint64_t next_tag_ = 1;
   FrameAssembler assembler_;
-  /// Responses that arrived while waiting for a different tag.
+  /// Tags sent but not yet delivered to a waiter. A response whose tag is
+  /// not in this set poisons the connection: it can only be a stale reply
+  /// for a request some caller already gave up on (or a server bug), and
+  /// delivering it to the next Await would hand the wrong result over.
+  std::set<uint64_t> inflight_;
+  /// Responses that arrived while waiting for a different in-flight tag.
   std::map<uint64_t, WireResult> parked_;
-  /// A transport failure is terminal for the connection; latched here so
-  /// every later call fails the same way instead of reading garbage.
+  /// A transport failure (including a timeout mid-wait: the reply may land
+  /// later, desynchronized from its request) is terminal for the
+  /// connection; latched here so every later call fails the same way
+  /// instead of reading garbage.
   Status broken_ = Status::Ok();
+};
+
+/// A set of independent connections to one server, dialed concurrently:
+/// all TCP handshakes are started non-blocking before any is waited on, so
+/// pool setup costs one round trip, not `size` of them. Hand each worker
+/// thread its own exclusive Client — the pool itself adds no locking.
+class ClientPool {
+ public:
+  static Result<ClientPool> Dial(const std::string& host, uint16_t port,
+                                 size_t size, int64_t timeout_ms = 5000);
+
+  size_t size() const { return clients_.size(); }
+  Client& at(size_t i) { return *clients_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
 };
 
 }  // namespace upa::net

@@ -1,0 +1,59 @@
+#include "net/dial.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace upa::net {
+
+Result<int> StartConnect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    Status st = Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                                 ::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host '" + host + "'");
+  }
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status st = Status::Internal(std::string("connect: ") + ::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status FinishConnect(int fd) {
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+    return Status::Internal(std::string("getsockopt(SO_ERROR): ") +
+                            ::strerror(errno));
+  }
+  if (err != 0) {
+    return Status::Internal(std::string("connect: ") + ::strerror(err));
+  }
+  return Status::Ok();
+}
+
+}  // namespace upa::net

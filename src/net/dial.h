@@ -1,0 +1,29 @@
+// Non-blocking TCP dial helpers, shared by the blocking Client (which
+// starts a connect and polls it to completion) and the cluster router's
+// shard links (which keep many connects in flight on one event loop and
+// learn the outcome from writability).
+//
+// The split matches the kernel's state machine: StartConnect() returns a
+// non-blocking socket whose three-way handshake may still be in progress;
+// once the fd polls writable, FinishConnect() reads SO_ERROR to learn
+// whether the handshake succeeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace upa::net {
+
+/// Creates a non-blocking TCP socket and initiates a connect to host:port
+/// (host must be a numeric IPv4 address). Returns the fd with the connect
+/// either already established or in progress; on failure no fd is leaked.
+Result<int> StartConnect(const std::string& host, uint16_t port);
+
+/// After `fd` (from StartConnect) polls writable: reports whether the
+/// handshake succeeded. Does not close the fd on failure — the caller owns
+/// it either way.
+Status FinishConnect(int fd);
+
+}  // namespace upa::net

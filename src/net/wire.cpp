@@ -8,7 +8,7 @@ namespace {
 /// Highest valid StatusCode value on the wire (codes are appended to the
 /// enum, so this is the trailing member).
 constexpr uint8_t kMaxStatusCode =
-    static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+    static_cast<uint8_t>(StatusCode::kUnavailable);
 
 Status DecodeStatusCode(uint8_t raw, StatusCode* out) {
   if (raw > kMaxStatusCode) {

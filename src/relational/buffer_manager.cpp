@@ -1,8 +1,14 @@
 #include "relational/buffer_manager.h"
 
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
+#include <random>
 #include <vector>
 
 #include "common/env.h"
@@ -10,6 +16,40 @@
 #include "relational/table.h"
 
 namespace upa::rel {
+namespace {
+
+constexpr char kSpillPrefix[] = "upa-spill-";
+constexpr char kSpillSuffix[] = ".colspill";
+
+/// Parses the owner pid out of "upa-spill-<pid>-<nonce>-<uid>.colspill".
+/// Returns false for legacy names without an embedded pid (pre-namespace
+/// "upa-spill-<uid>.colspill", which has no '-' after the uid).
+bool ParseSpillOwnerPid(const std::string& filename, long* pid) {
+  std::string_view name = filename;
+  if (name.size() <= sizeof(kSpillPrefix) - 1 + sizeof(kSpillSuffix) - 1) {
+    return false;
+  }
+  if (name.substr(0, sizeof(kSpillPrefix) - 1) != kSpillPrefix) return false;
+  name.remove_prefix(sizeof(kSpillPrefix) - 1);
+  size_t dash = name.find('-');
+  if (dash == 0 || dash == std::string_view::npos) return false;
+  long value = 0;
+  for (char c : name.substr(0, dash)) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *pid = value;
+  return true;
+}
+
+bool PidAlive(long pid) {
+  if (pid <= 0) return false;
+  // Signal 0 probes existence: EPERM means alive but foreign, which still
+  // counts as alive for sweeping purposes.
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
 
 BufferManager& BufferManager::Instance() {
   static BufferManager* mgr = new BufferManager();  // leaked: outlives Tables
@@ -20,13 +60,65 @@ BufferManager::BufferManager() {
   config_.budget_bytes = static_cast<size_t>(
       std::max<int64_t>(0, EnvInt("UPA_MEM_BUDGET_BYTES", 0)));
   config_.spill_dir = EnvString("UPA_SPILL_DIR", "");
+  spill_pid_ = static_cast<uint64_t>(::getpid());
+  std::random_device rd;
+  spill_nonce_ = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  if (!config_.spill_dir.empty()) SweepStaleSpills(config_.spill_dir);
 }
 
 void BufferManager::Configure(const Config& config) {
+  std::string sweep_dir;
+  {
+    std::lock_guard lock(mu_);
+    if (!config.spill_dir.empty() && config.spill_dir != config_.spill_dir) {
+      sweep_dir = config.spill_dir;
+    }
+    config_ = config;
+    peak_ = resident_;
+    admissions_ = evictions_ = spills_written_ = spill_loads_ = over_budget_ =
+        0;
+  }
+  if (!sweep_dir.empty()) SweepStaleSpills(sweep_dir);
+}
+
+std::string BufferManager::SpillFileName(uint64_t uid) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s%llu-%016llx-%llu%s", kSpillPrefix,
+                static_cast<unsigned long long>(spill_pid_),
+                static_cast<unsigned long long>(spill_nonce_),
+                static_cast<unsigned long long>(uid), kSpillSuffix);
+  return buf;
+}
+
+void BufferManager::SetSpillNamespaceForTest(uint64_t pid, uint64_t nonce) {
   std::lock_guard lock(mu_);
-  config_ = config;
-  peak_ = resident_;
-  admissions_ = evictions_ = spills_written_ = spill_loads_ = over_budget_ = 0;
+  spill_pid_ = pid;
+  spill_nonce_ = nonce;
+}
+
+size_t BufferManager::SweepStaleSpills(const std::string& dir) {
+  namespace fs = std::filesystem;
+  size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSpillPrefix, 0) != 0) continue;
+    if (name.size() < sizeof(kSpillSuffix) ||
+        name.compare(name.size() - (sizeof(kSpillSuffix) - 1),
+                     sizeof(kSpillSuffix) - 1, kSpillSuffix) != 0) {
+      continue;
+    }
+    long pid = 0;
+    // A parseable owner pid that is still alive keeps the file (it may be
+    // another shard's live spill). A dead owner — or a legacy filename
+    // with no owner at all — is debris from a previous run: spills are
+    // pure cache (the row store is the durable copy), so deletion is safe.
+    if (ParseSpillOwnerPid(name, &pid) && PidAlive(pid)) continue;
+    if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
 }
 
 BufferManager::Config BufferManager::config() const {
@@ -73,8 +165,7 @@ bool BufferManager::EnforceBudgetLocked(size_t incoming_bytes,
       const uint64_t uid = victim->uid();
       std::string path;
       if (!config_.spill_dir.empty()) {
-        path = config_.spill_dir + "/upa-spill-" + std::to_string(uid) +
-               ".colspill";
+        path = config_.spill_dir + "/" + SpillFileName(uid);
       }
       bool spilled = false;
       const size_t freed = victim->EvictColumnar(path, &spilled);

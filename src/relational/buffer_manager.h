@@ -59,12 +59,14 @@ class BufferManager {
   };
 
   /// Process-wide instance. First use reads UPA_MEM_BUDGET_BYTES and
-  /// UPA_SPILL_DIR from the environment.
+  /// UPA_SPILL_DIR from the environment (and sweeps stale spill files of
+  /// dead processes out of the spill dir, if one is configured).
   static BufferManager& Instance();
 
   /// Replaces the configuration and resets the statistics. Does not evict
   /// already-resident tables retroactively (the next admission enforces the
-  /// new budget) and keeps existing spill records valid.
+  /// new budget) and keeps existing spill records valid. Entering a new
+  /// spill dir sweeps it for stale files first.
   void Configure(const Config& config);
   Config config() const;
   Stats stats() const;
@@ -89,6 +91,24 @@ class BufferManager {
   /// rebuilding from rows.
   void NoteSpillLoad();
 
+  /// Filename (not path) a spill for table `uid` would use under the
+  /// current process namespace: "upa-spill-<pid>-<nonce>-<uid>.colspill".
+  /// Table uids restart at 1 in every process, so two shards sharing a
+  /// spill dir must qualify the uid with their pid — and, because pids are
+  /// recycled, with a per-process startup nonce.
+  std::string SpillFileName(uint64_t uid) const;
+
+  /// Deletes `dir`'s spill files whose embedded owner pid is no longer
+  /// alive (plus legacy files with no embedded pid). Files of live
+  /// processes — including this one — are kept. Returns how many files
+  /// were removed.
+  static size_t SweepStaleSpills(const std::string& dir);
+
+  /// Test hook: overrides the pid + nonce embedded in spill filenames so a
+  /// single process can impersonate two "processes" sharing a spill dir.
+  /// Already-recorded spill paths stay valid.
+  void SetSpillNamespaceForTest(uint64_t pid, uint64_t nonce);
+
  private:
   BufferManager();
 
@@ -104,6 +124,10 @@ class BufferManager {
 
   mutable std::mutex mu_;
   Config config_;
+  /// Spill-file namespace (see SpillFileName). Fixed at startup; the test
+  /// hook may override.
+  uint64_t spill_pid_ = 0;
+  uint64_t spill_nonce_ = 0;
   uint64_t next_lru_ = 0;
   std::unordered_map<const Table*, Entry> entries_;
   std::unordered_map<uint64_t, std::string> spills_;  // table uid → file

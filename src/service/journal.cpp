@@ -1,5 +1,10 @@
 #include "service/journal.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -163,7 +168,24 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return data;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& data) {
+/// Syncs a directory's entry table so renames/creations inside it survive
+/// power loss (fsync of a file does not cover its directory entry).
+Status SyncDir(const std::string& dir) {
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return Status::Internal("open dir '" + dir + "': " + ::strerror(errno));
+  }
+  int rc = ::fsync(dfd);
+  int saved = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    return Status::Internal("fsync dir '" + dir + "': " + ::strerror(saved));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data,
+                       bool fsync) {
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -171,17 +193,25 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
   }
   bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
   ok = (std::fflush(f) == 0) && ok;
+  // The tmp payload must be on disk BEFORE the rename publishes it: a
+  // crash between rename and writeback could otherwise leave the final
+  // name pointing at garbage — strictly worse than keeping the old file.
+  if (fsync && ok) ok = ::fsync(::fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
     std::remove(tmp.c_str());
     return Status::Internal("short write to '" + tmp + "'");
   }
+  UPA_FAILPOINT("journal/snapshot_sync");
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     std::remove(tmp.c_str());
     return Status::Internal("rename '" + tmp + "' -> '" + path +
                             "': " + ec.message());
+  }
+  if (fsync) {
+    UPA_RETURN_IF_ERROR(SyncDir(fs::path(path).parent_path().string()));
   }
   return Status::Ok();
 }
@@ -241,7 +271,8 @@ std::string Journal::FileStem(const std::string& dataset_id) {
 }
 
 Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
-                                               const std::string& dataset_id) {
+                                               const std::string& dataset_id,
+                                               bool fsync) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -254,12 +285,16 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
   if (f == nullptr) {
     return Status::Internal("cannot open journal '" + path + "'");
   }
-  std::unique_ptr<Journal> journal(new Journal(std::move(path), f));
+  std::unique_ptr<Journal> journal(new Journal(std::move(path), f, fsync));
   if (fresh) {
     JournalRecord open;
     open.type = JournalRecord::Type::kOpen;
     open.dataset_id = dataset_id;
     UPA_RETURN_IF_ERROR(journal->Append(open));
+    // fdatasync makes the kOpen frame durable, but a brand-new file also
+    // needs its directory entry on disk, or the whole journal vanishes
+    // with a power cut.
+    if (fsync) UPA_RETURN_IF_ERROR(SyncDir(dir));
   }
   return journal;
 }
@@ -288,6 +323,20 @@ Status Journal::Append(const JournalRecord& record) {
     file_ = nullptr;
     return Status::Internal("journal append failed on '" + path_ +
                             "' (journal closed; restart to recover)");
+  }
+  if (fsync_) {
+    // Between the flush and the sync the frame exists only in the page
+    // cache: a crash here may or may not keep it — both are intact-or-torn
+    // states recovery already conserves. After the sync, the frame is
+    // durable against power loss, which is what lets the service
+    // acknowledge releases.
+    UPA_FAILPOINT("journal/before_sync");
+    if (::fdatasync(::fileno(file_)) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return Status::Internal("journal fdatasync failed on '" + path_ +
+                              "' (journal closed; restart to recover)");
+    }
   }
   UPA_FAILPOINT("journal/after_append");
   return Status::Ok();
@@ -324,7 +373,7 @@ Result<std::vector<JournalRecord>> Journal::ReadAll(const std::string& path,
 }
 
 Status WriteSnapshot(const std::string& dir, const DatasetDurableState& state,
-                     uint64_t covered_bytes) {
+                     uint64_t covered_bytes, bool fsync) {
   UPA_FAILPOINT("journal/snapshot");
   std::string body;
   AppendU32(body, static_cast<uint32_t>(state.dataset_id.size()));
@@ -343,7 +392,7 @@ Status WriteSnapshot(const std::string& dir, const DatasetDurableState& state,
   file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
   AppendU64(file, Fnv1a(body));
   file.append(body);
-  return WriteFileAtomic(SnapshotPath(dir, state.dataset_id), file);
+  return WriteFileAtomic(SnapshotPath(dir, state.dataset_id), file, fsync);
 }
 
 Result<DatasetDurableState> ReadSnapshot(const std::string& path,
@@ -401,7 +450,7 @@ Result<DatasetDurableState> ReadSnapshot(const std::string& path,
 
 Result<DatasetDurableState> RecoverDataset(const std::string& dir,
                                            const std::string& dataset_id,
-                                           bool compact) {
+                                           bool compact, bool fsync) {
   std::string journal_path = JournalPath(dir, dataset_id);
   std::error_code ec;
   bool journal_exists = fs::exists(journal_path, ec);
@@ -465,13 +514,14 @@ Result<DatasetDurableState> RecoverDataset(const std::string& dir,
   }
 
   if (compact) {
-    UPA_RETURN_IF_ERROR(WriteSnapshot(dir, state, intact_bytes));
+    UPA_RETURN_IF_ERROR(WriteSnapshot(dir, state, intact_bytes, fsync));
   }
   return state;
 }
 
 Result<std::vector<DatasetDurableState>> RecoverAll(const std::string& dir,
-                                                    bool compact) {
+                                                    bool compact,
+                                                    bool fsync) {
   std::vector<DatasetDurableState> states;
   std::error_code ec;
   if (!fs::exists(dir, ec)) return states;
@@ -490,7 +540,7 @@ Result<std::vector<DatasetDurableState>> RecoverAll(const std::string& dir,
                               "' has no open header");
     }
     auto state_or =
-        RecoverDataset(dir, records.front().dataset_id, compact);
+        RecoverDataset(dir, records.front().dataset_id, compact, fsync);
     UPA_RETURN_IF_ERROR(state_or.status());
     states.push_back(std::move(state_or).value());
   }

@@ -78,17 +78,23 @@ struct DatasetDurableState {
 class Journal {
  public:
   /// Opens (creating if needed) `<dir>/<FileStem(dataset_id)>.journal` for
-  /// appending; a fresh file gets a kOpen header record.
+  /// appending; a fresh file gets a kOpen header record (and, with `fsync`,
+  /// the directory entry is synced so the new file survives power loss).
+  /// `fsync = false` trades crash-durability for speed (bench off-path).
   static Result<std::unique_ptr<Journal>> Open(const std::string& dir,
-                                               const std::string& dataset_id);
+                                               const std::string& dataset_id,
+                                               bool fsync = true);
   ~Journal();
 
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  /// Serialize, checksum, append and flush one record. Failpoint sites
-  /// "journal/before_append" / "journal/after_append" bracket the write
-  /// (abort there = crash with / without the record durable).
+  /// Serialize, checksum, append, flush and (unless fsync was disabled at
+  /// Open) fdatasync one record — Ok means the record survives power loss,
+  /// not just process death. Failpoint sites "journal/before_append" /
+  /// "journal/before_sync" / "journal/after_append" bracket the write and
+  /// the sync (abort there = crash with the record absent / written but
+  /// possibly unsynced / durable).
   Status Append(const JournalRecord& record);
 
   const std::string& path() const { return path_; }
@@ -107,18 +113,22 @@ class Journal {
       uint64_t* intact_bytes = nullptr);
 
  private:
-  Journal(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  Journal(std::string path, std::FILE* file, bool fsync)
+      : path_(std::move(path)), file_(file), fsync_(fsync) {}
 
   std::string path_;
   std::mutex mu_;
   std::FILE* file_ = nullptr;
+  bool fsync_ = true;
 };
 
-/// Writes `<dir>/<stem>.snapshot` atomically (tmp + rename).
-/// `covered_bytes` is the journal size the state absorbs.
+/// Writes `<dir>/<stem>.snapshot` atomically (tmp + rename). With `fsync`
+/// the tmp file is synced before the rename and the directory after it, so
+/// a power cut leaves either the old snapshot or the complete new one —
+/// never a renamed-but-empty file. `covered_bytes` is the journal size the
+/// state absorbs.
 Status WriteSnapshot(const std::string& dir, const DatasetDurableState& state,
-                     uint64_t covered_bytes);
+                     uint64_t covered_bytes, bool fsync = true);
 
 /// Loads a snapshot; NOT_FOUND when absent, INTERNAL on corruption.
 /// `covered_bytes` receives the journal offset the snapshot covers.
@@ -127,13 +137,15 @@ Result<DatasetDurableState> ReadSnapshot(const std::string& path,
 
 /// Full recovery for one dataset: snapshot (if any) + journal replay past
 /// `covered_bytes`, dangling charges refunded. `compact` then writes a
-/// fresh snapshot absorbing the whole journal.
+/// fresh snapshot absorbing the whole journal (synced unless `fsync` is
+/// off).
 Result<DatasetDurableState> RecoverDataset(const std::string& dir,
                                            const std::string& dataset_id,
-                                           bool compact);
+                                           bool compact, bool fsync = true);
 
 /// Scans `dir` for journals and recovers every dataset found.
 Result<std::vector<DatasetDurableState>> RecoverAll(const std::string& dir,
-                                                    bool compact);
+                                                    bool compact,
+                                                    bool fsync = true);
 
 }  // namespace upa::service

@@ -83,7 +83,8 @@ UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
     // Recover every dataset the journal dir knows about, compacting each
     // into a fresh snapshot (replay work done once per crash, not once
     // per restart), then resume the in-memory state from it.
-    auto recovered_or = RecoverAll(config_.journal_dir, /*compact=*/true);
+    auto recovered_or = RecoverAll(config_.journal_dir, /*compact=*/true,
+                                   config_.journal_fsync);
     if (!recovered_or.ok()) {
       recovery_status_ = recovered_or.status();
       ctx_->metrics().AddCounter("service/journal_errors");
@@ -94,7 +95,8 @@ UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
         ds->enforcer->RestoreRegistry(std::move(state.registry));
         accountant_.RestoreLedger(state.dataset_id, state.charged_total,
                                   state.refunded_total);
-        auto journal_or = Journal::Open(config_.journal_dir, state.dataset_id);
+        auto journal_or = Journal::Open(config_.journal_dir, state.dataset_id,
+                                        config_.journal_fsync);
         if (journal_or.ok()) {
           ds->journal = std::move(journal_or).value();
         } else {
@@ -316,7 +318,8 @@ std::shared_ptr<UpaService::DatasetState> UpaService::DatasetFor(
   if (!slot) {
     slot = std::make_shared<DatasetState>();
     if (!config_.journal_dir.empty()) {
-      auto journal_or = Journal::Open(config_.journal_dir, dataset_id);
+      auto journal_or = Journal::Open(config_.journal_dir, dataset_id,
+                                      config_.journal_fsync);
       if (journal_or.ok()) {
         slot->journal = std::move(journal_or).value();
       } else {
@@ -555,6 +558,9 @@ UpaService::DatasetDurableDebug UpaService::DebugState(
 std::string UpaService::StatsReport() const {
   std::ostringstream out;
   out << "== upa service ==\n";
+  if (!config_.shard_name.empty()) {
+    out << "shard: " << config_.shard_name << "\n";
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     out << "in_flight: " << in_flight_ << " / " << config_.max_in_flight

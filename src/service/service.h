@@ -87,6 +87,15 @@ struct ServiceConfig {
   /// When non-empty, every budget/registry mutation is journaled here and
   /// replayed on construction (crash-safe durability; see journal.h).
   std::string journal_dir;
+  /// Sync every journal append (fdatasync) and snapshot rename (fsync of
+  /// tmp file + directory) to disk before acknowledging. Default on —
+  /// otherwise "durable pre-acknowledgement" only covers process death,
+  /// not power loss. The off-path exists for benchmarking the sync cost.
+  bool journal_fsync = true;
+  /// Identity of this service instance inside a cluster (printed by
+  /// StatsReport so an operator can tell shard dumps apart). Empty for
+  /// standalone servers.
+  std::string shard_name;
   /// Poll period of the watchdog that prunes queued requests whose
   /// deadline expired before dispatch. 0 disables the watchdog (in-flight
   /// deadline checks are unaffected — those are cooperative).

@@ -1,0 +1,278 @@
+// Cross-PROCESS chaos for the cluster: real fork/exec'd upa_shard binaries
+// (UPA_SHARD_BIN, planted by CMake), SIGKILLed at the worst moments, then
+// restarted over the same journal dir.
+//
+// The two properties under test are the cluster's whole durability story:
+//   1. Kill-mid-release conservation: a shard SIGKILLed while a query is
+//      executing must recover to EXACTLY the acknowledged state — the
+//      in-flight query's charge is refunded by journal recovery, released
+//      bits for subsequent queries match a never-killed control shard, and
+//      the budget arithmetic proves no charge leaked (a leak would flip a
+//      later admission decision, which the test drives to the edge).
+//   2. Acknowledged-append durability: with journal fsync on, a SIGKILL
+//      immediately after Append returns Ok (the journal/after_append abort
+//      failpoint, which now fires AFTER fdatasync) must never lose the
+//      appended record — observable as a journaled-but-unacknowledged
+//      release still holding its budget charge after restart.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/shard_process.h"
+#include "net/client.h"
+
+#ifndef UPA_SHARD_BIN
+#error "UPA_SHARD_BIN must point at the upa_shard binary"
+#endif
+
+namespace upa::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 15000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+class ClusterChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmp[] = "/tmp/upa-cluster-chaos-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmp), nullptr);
+    dir_ = tmp;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  ShardProcessSpec ShardSpec(uint16_t port, const std::string& journal_dir,
+                             double budget,
+                             std::vector<std::string> env = {}) {
+    ShardProcessSpec spec;
+    spec.binary = UPA_SHARD_BIN;
+    spec.args = {"--port",      std::to_string(port),
+                 "--journal-dir", journal_dir,
+                 "--threads",   "1",
+                 "--sample-n",  "16",
+                 "--budget",    std::to_string(budget)};
+    spec.env = std::move(env);
+    return spec;
+  }
+
+  static net::WireQuery MakeQuery(const std::string& dataset,
+                                  const std::string& sql, uint64_t seed) {
+    net::WireQuery query;
+    query.tenant = "chaos";
+    query.dataset_id = dataset;
+    query.epsilon = 0.1;
+    query.seed = seed;
+    query.sql = sql;
+    return query;
+  }
+
+  /// Connects directly to a shard, retrying while it boots/replays.
+  static std::unique_ptr<net::Client> DialShard(uint16_t port) {
+    for (int i = 0; i < 15000; ++i) {
+      auto connected = net::Client::Connect("127.0.0.1", port, 1000);
+      if (connected.ok()) return std::move(connected).value();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return nullptr;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ClusterChaosTest, KillMidReleaseRecoversBitIdenticalToControl) {
+  // Budget arithmetic as the conservation oracle (epsilon 0.1/query,
+  // budget 0.65): phase 1 spends 0.4 on both shards. The victim's killed
+  // in-flight query charges 0.1 more (0.5 durable) — recovery MUST refund
+  // it, or phase 3's two queries (0.2) would blow the budget at 0.7 and
+  // the final admission would flip to OUT_OF_RANGE.
+  const double kBudget = 0.65;
+  auto victim_port = PickFreePort();
+  auto control_port = PickFreePort();
+  ASSERT_TRUE(victim_port.ok() && control_port.ok());
+
+  ShardSupervisor::Options opts;
+  opts.auto_restart = false;  // the test controls restart timing
+  ShardSupervisor supervisor(opts);
+  auto victim = supervisor.Launch(
+      ShardSpec(victim_port.value(), dir_ + "/victim", kBudget));
+  auto control = supervisor.Launch(
+      ShardSpec(control_port.value(), dir_ + "/control", kBudget));
+  ASSERT_TRUE(victim.ok()) << victim.status().ToString();
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+
+  RouterConfig router_cfg;
+  router_cfg.backoff_initial_ms = 5.0;
+  router_cfg.backoff_max_ms = 100.0;
+  std::vector<ShardAddress> addrs = {{"127.0.0.1", victim_port.value()}};
+  Router router(addrs, router_cfg);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitFor([&] { return router.ShardHealthy(0); }));
+
+  auto via_router = net::Client::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(via_router.ok());
+  std::unique_ptr<net::Client> victim_client = std::move(via_router).value();
+  std::unique_ptr<net::Client> control_client =
+      DialShard(control_port.value());
+  ASSERT_NE(control_client, nullptr);
+
+  // Phase 1: identical prefix on both shards; released bits must agree.
+  for (uint64_t q = 0; q < 4; ++q) {
+    auto v = victim_client->Query(MakeQuery("x", "count:500", 100 + q));
+    auto c = control_client->Query(MakeQuery("x", "count:500", 100 + q));
+    ASSERT_TRUE(v.ok() && c.ok());
+    ASSERT_TRUE(v.value().ok()) << v.value().status().ToString();
+    ASSERT_TRUE(c.value().ok()) << c.value().status().ToString();
+    EXPECT_DOUBLE_EQ(v.value().response.released, c.value().response.released)
+        << "prefix query " << q;
+  }
+
+  // Phase 2: a slow query on the victim, SIGKILL while it is executing.
+  auto tag = victim_client->Send(MakeQuery("x", "lat:8:2000000", 777));
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(WaitFor([&] { return router.stats().routed >= 5; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // mid-sleep
+  ASSERT_TRUE(supervisor.Kill(victim.value(), SIGKILL).ok());
+  auto failed = victim_client->Await(tag.value());
+  ASSERT_TRUE(failed.ok()) << failed.status().ToString();
+  EXPECT_EQ(failed.value().code, StatusCode::kUnavailable);
+  EXPECT_GE(router.stats().failed_over_inflight, 1u);
+
+  // Phase 3: restart over the same journal; the router's health probe
+  // only passes once replay finished.
+  ASSERT_TRUE(WaitFor([&] { return !supervisor.Alive(victim.value()); }));
+  ASSERT_TRUE(supervisor.Respawn(victim.value()).ok());
+  ASSERT_TRUE(WaitFor([&] { return router.ShardHealthy(0); }));
+
+  // Same suffix on both (the control never saw the killed query at all —
+  // its charge must have vanished from the victim too).
+  for (uint64_t q = 0; q < 2; ++q) {
+    auto v = victim_client->Query(MakeQuery("x", "count:600", 200 + q));
+    auto c = control_client->Query(MakeQuery("x", "count:600", 200 + q));
+    ASSERT_TRUE(v.ok() && c.ok());
+    ASSERT_TRUE(v.value().ok())
+        << "suffix query " << q
+        << " rejected on the recovered shard — the killed query's charge "
+           "leaked: "
+        << v.value().status().ToString();
+    ASSERT_TRUE(c.value().ok()) << c.value().status().ToString();
+    EXPECT_DOUBLE_EQ(v.value().response.released, c.value().response.released)
+        << "suffix query " << q;
+  }
+
+  // Both shards now sit at 0.6 of 0.65: one more 0.1 query must be
+  // rejected on BOTH for the same reason (OUT_OF_RANGE, not a mismatch).
+  auto v_edge = victim_client->Query(MakeQuery("x", "count:600", 999));
+  auto c_edge = control_client->Query(MakeQuery("x", "count:600", 999));
+  ASSERT_TRUE(v_edge.ok() && c_edge.ok());
+  EXPECT_EQ(v_edge.value().code, StatusCode::kOutOfRange)
+      << v_edge.value().message;
+  EXPECT_EQ(c_edge.value().code, StatusCode::kOutOfRange)
+      << c_edge.value().message;
+
+  router.Stop();
+  supervisor.StopAll();
+}
+
+TEST_F(ClusterChaosTest, SigkillRightAfterDurableAppendLosesNothing) {
+  // The shard aborts at journal/after_append hit 3 — kOpen(1), kCharge(2),
+  // kRelease(3) — i.e. immediately after the RELEASE record's fdatasync
+  // returned, before any response is sent. The restarted shard must treat
+  // that release as fully committed: its charge sticks (0.2 spent), so a
+  // third 0.1 query over a 0.25 budget is rejected. Losing the record
+  // would leave 0.1 spent and admit it.
+  const double kBudget = 0.25;
+  auto port = PickFreePort();
+  ASSERT_TRUE(port.ok());
+
+  ShardSupervisor::Options opts;
+  opts.auto_restart = false;
+  ShardSupervisor supervisor(opts);
+  auto crashy = supervisor.Launch(ShardSpec(
+      port.value(), dir_ + "/j", kBudget,
+      {"UPA_FAILPOINTS=journal/after_append=abort:every(3)"}));
+  ASSERT_TRUE(crashy.ok()) << crashy.status().ToString();
+
+  std::unique_ptr<net::Client> client = DialShard(port.value());
+  ASSERT_NE(client, nullptr);
+
+  // Query 1 commits appends 1 (kOpen) and 2 (kCharge)... and would hit 3
+  // (its own kRelease)! Order the workload so the abort lands exactly on
+  // the first query's release append: that query is never acknowledged,
+  // yet its release must survive.
+  auto q1 = client->Query(MakeQuery("x", "count:500", 1));
+  // The process died after syncing the release: the client sees a
+  // transport-level failure, never a response.
+  ASSERT_FALSE(q1.ok() && q1.value().ok());
+  ASSERT_TRUE(WaitFor([&] { return !supervisor.Alive(crashy.value()); }));
+
+  // Restart WITHOUT the failpoint, same journal dir, same port.
+  auto stable = supervisor.Launch(ShardSpec(port.value(), dir_ + "/j",
+                                            kBudget));
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  client = DialShard(port.value());
+  ASSERT_NE(client, nullptr);
+
+  // The unacknowledged-but-durable release holds 0.1. One more query fits
+  // (0.2 of 0.25)...
+  auto q2 = client->Query(MakeQuery("x", "count:500", 2));
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  ASSERT_TRUE(q2.value().ok()) << q2.value().status().ToString();
+  // ...and the third must be rejected. If the synced append had been lost,
+  // the ledger would hold only q2's 0.1 and this would be admitted.
+  auto q3 = client->Query(MakeQuery("x", "count:500", 3));
+  ASSERT_TRUE(q3.ok()) << q3.status().ToString();
+  EXPECT_EQ(q3.value().code, StatusCode::kOutOfRange) << q3.value().message;
+
+  supervisor.StopAll();
+}
+
+TEST_F(ClusterChaosTest, SupervisorAutoRestartsKilledShard) {
+  auto port = PickFreePort();
+  ASSERT_TRUE(port.ok());
+  ShardSupervisor::Options opts;
+  opts.backoff_initial_ms = 10.0;
+  ShardSupervisor supervisor(opts);  // auto_restart on
+  auto slot = supervisor.Launch(ShardSpec(port.value(), dir_ + "/j", 1e9));
+  ASSERT_TRUE(slot.ok());
+
+  std::unique_ptr<net::Client> client = DialShard(port.value());
+  ASSERT_NE(client, nullptr);
+  auto before = client->Query(MakeQuery("x", "count:300", 1));
+  ASSERT_TRUE(before.ok() && before.value().ok());
+
+  const pid_t first_pid = supervisor.PidOf(slot.value());
+  ASSERT_TRUE(supervisor.Kill(slot.value(), SIGKILL).ok());
+  ASSERT_TRUE(WaitFor([&] {
+    const pid_t pid = supervisor.PidOf(slot.value());
+    return pid > 0 && pid != first_pid;
+  }));
+  EXPECT_GE(supervisor.Restarts(slot.value()), 1u);
+
+  client = DialShard(port.value());
+  ASSERT_NE(client, nullptr);
+  auto after = client->Query(MakeQuery("x", "count:300", 2));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after.value().ok()) << after.value().status().ToString();
+  supervisor.StopAll();
+}
+
+}  // namespace
+}  // namespace upa::cluster

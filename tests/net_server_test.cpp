@@ -10,7 +10,12 @@
 // reaped), idle reaping, the connection cap, and the poll(2) fallback.
 #include "net/server.h"
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstring>
@@ -455,6 +460,182 @@ TEST(NetServer, GracefulStopDrainsInFlightResponses) {
   auto result = client->Await(tag.value());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result.value().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Client edge: tag bookkeeping, the stale-reply poisoning rule, and fd
+// hygiene. These guard the contract the cluster router leans on — a Client
+// whose request/response stream desynchronizes must fail loudly and stay
+// failed, never hand a response to the wrong caller.
+// ---------------------------------------------------------------------------
+
+/// A connected AF_UNIX socket pair: the client end (non-blocking, wrapped in
+/// a Client) and the raw peer end the test scripts byte-for-byte. Lets a
+/// test play "malicious server" without a listener.
+struct ScriptedPeer {
+  ScriptedPeer() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    peer_fd = fds[0];
+    int flags = ::fcntl(fds[1], F_GETFL, 0);
+    ::fcntl(fds[1], F_SETFL, flags | O_NONBLOCK);
+    client = Client::FromConnectedFd(fds[1]);
+  }
+  ~ScriptedPeer() {
+    if (peer_fd >= 0) ::close(peer_fd);
+  }
+
+  void WriteAll(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(peer_fd, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  int peer_fd = -1;
+  std::unique_ptr<Client> client;
+};
+
+TEST(NetClientEdge, DuplicateInFlightTagIsRejected) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  WireQuery first = MakeWireQuery("t", "ds", "count:500", 1);
+  first.client_tag = 7;
+  ASSERT_TRUE(client->Send(first).ok());
+  // Re-sending tag 7 while it is outstanding would make the response
+  // matching ambiguous; the client must refuse before any bytes go out.
+  WireQuery dup = MakeWireQuery("t", "ds", "count:500", 2);
+  dup.client_tag = 7;
+  auto rejected = client->Send(dup);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  // The rejection is local bookkeeping, not poison: the original request
+  // still completes and the connection stays healthy.
+  auto result = client->Await(7);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ok());
+  EXPECT_TRUE(client->Query(MakeWireQuery("t", "ds", "count:100", 3)).ok());
+}
+
+TEST(NetClientEdge, AwaitOfNeverSentTagFailsFastWithoutPoisoning) {
+  ServerHarness harness;
+  auto client = harness.Connect();
+  auto result = client->Await(/*tag=*/999, /*timeout_ms=*/5000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Must fail immediately (no socket wait) and leave the connection usable.
+  EXPECT_TRUE(client->Query(MakeWireQuery("t", "ds", "count:100", 1)).ok());
+}
+
+TEST(NetClientEdge, ResponseForUnknownTagPoisonsTheConnection) {
+  ScriptedPeer peer;
+  auto sent = peer.client->Send(MakeWireQuery("t", "ds", "count:10", 1));
+  ASSERT_TRUE(sent.ok());
+  // The "server" answers a tag nothing is waiting for — a stale reply from
+  // a request some earlier caller abandoned, or a server-side tag bug.
+  WireResult stale;
+  stale.client_tag = sent.value() + 1000;
+  peer.WriteAll(EncodeResultFrame(stale));
+  auto result = peer.client->Await(sent.value(), /*timeout_ms=*/2000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown client_tag"),
+            std::string::npos)
+      << result.status().ToString();
+  // Poison is terminal: every later call fails the same way instead of
+  // resynchronizing onto a stream whose pairing is lost.
+  auto after = peer.client->Send(MakeWireQuery("t", "ds", "count:10", 2));
+  ASSERT_FALSE(after.ok());
+  EXPECT_NE(after.status().message().find("poisoned"), std::string::npos);
+}
+
+TEST(NetClientEdge, TimedOutAwaitPoisonsSoALateReplyIsNeverDelivered) {
+  ScriptedPeer peer;
+  auto sent = peer.client->Send(MakeWireQuery("t", "ds", "count:10", 1));
+  ASSERT_TRUE(sent.ok());
+  // No reply within the deadline: the waiter gives up...
+  auto timed_out = peer.client->Await(sent.value(), /*timeout_ms=*/50);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  // ...and the correctly-tagged reply lands late. Delivering it now would
+  // hand a response to a caller that already reported failure (and, for a
+  // Query() user reusing the connection, potentially to the WRONG request).
+  // The timeout must have latched the connection broken.
+  WireResult late;
+  late.client_tag = sent.value();
+  peer.WriteAll(EncodeResultFrame(late));
+  auto retry = peer.client->Await(sent.value(), /*timeout_ms=*/2000);
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+size_t CountOpenFds() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(NetClientEdge, FailedConnectsLeakNoFds) {
+  // A port that was just bound and released: connects to it are refused.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  const size_t before = CountOpenFds();
+  for (int i = 0; i < 20; ++i) {
+    auto refused = Client::Connect("127.0.0.1", dead_port, /*timeout_ms=*/500);
+    EXPECT_FALSE(refused.ok());
+  }
+  EXPECT_EQ(CountOpenFds(), before);
+}
+
+TEST(NetClientEdge, ClientPoolHandsOutIndependentConnections) {
+  ServerHarness harness;
+  auto pool = ClientPool::Dial("127.0.0.1", harness.server.port(), 4);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  ASSERT_EQ(pool.value().size(), 4u);
+  // Each connection works on its own; tags are per-connection, so the same
+  // auto-assigned tag on different pool members must not interfere.
+  for (size_t i = 0; i < pool.value().size(); ++i) {
+    auto result = pool.value().at(i).Query(
+        MakeWireQuery("t", "ds" + std::to_string(i), "count:200", i + 1));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().ok());
+  }
+}
+
+TEST(NetClientEdge, ClientPoolDialFailureClosesEveryPartialConnection) {
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  const size_t before = CountOpenFds();
+  auto pool = ClientPool::Dial("127.0.0.1", dead_port, 8, /*timeout_ms=*/500);
+  EXPECT_FALSE(pool.ok());
+  EXPECT_EQ(CountOpenFds(), before);
 }
 
 }  // namespace

@@ -9,12 +9,15 @@
 // compares every output, partition output and contribution bit-for-bit
 // against the row oracle (suite name matches the CI TSan filter).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
@@ -385,6 +388,118 @@ TEST(BufferManagerTest, SpillWriteFailureFallsBackToRebuild) {
   std::shared_ptr<const ColumnarTable> rebuilt = t1.Columnar();
   EXPECT_EQ(mgr.stats().spill_loads, 0u);
   ExpectBitIdenticalTables(*baseline, *rebuilt);
+}
+
+// ---------------------------------------------------------------------------
+// Spill namespace: two shard processes sharing a spill dir. Table uids
+// restart at 1 in every process, so without pid+nonce qualification shard
+// B's spill for ITS table 1 would silently overwrite shard A's — and A
+// would later reload B's bytes as its own table.
+
+/// Restores the real pid/nonce on exit so later tests (and their sweeps)
+/// see this process as the live owner of its own spill files.
+struct SpillNamespaceGuard {
+  ~SpillNamespaceGuard() {
+    BufferManager::Instance().SetSpillNamespaceForTest(
+        static_cast<uint64_t>(::getpid()), 0x5eed5eed5eed5eedULL);
+  }
+};
+
+TEST(BufferManagerSpillNamespaceTest, SameUidInTwoProcessesMapsToTwoFiles) {
+  SpillNamespaceGuard guard;
+  BufferManager& mgr = BufferManager::Instance();
+
+  mgr.SetSpillNamespaceForTest(/*pid=*/1111, /*nonce=*/0xaaaa);
+  const std::string shard_a = mgr.SpillFileName(/*uid=*/1);
+  mgr.SetSpillNamespaceForTest(/*pid=*/2222, /*nonce=*/0xbbbb);
+  const std::string shard_b = mgr.SpillFileName(/*uid=*/1);
+
+  EXPECT_NE(shard_a, shard_b);
+  EXPECT_NE(shard_a.find("1111"), std::string::npos);
+  EXPECT_NE(shard_b.find("2222"), std::string::npos);
+
+  // Same pid recycled after a crash, fresh nonce: still distinct, so a
+  // restarted shard cannot adopt its dead predecessor's half-written file.
+  mgr.SetSpillNamespaceForTest(/*pid=*/1111, /*nonce=*/0xcccc);
+  EXPECT_NE(mgr.SpillFileName(1), shard_a);
+}
+
+TEST(BufferManagerSpillNamespaceTest, SweepRemovesDeadOwnersKeepsLiveOnes) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "upa_sweep_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto touch = [&](const std::string& name) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  };
+
+  // A genuinely dead pid: fork a child that exits immediately and reap it.
+  pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  ASSERT_EQ(::waitpid(dead, nullptr, 0), dead);
+
+  const std::string live =
+      "upa-spill-" + std::to_string(::getpid()) + "-00ff-1.colspill";
+  // pid 1 is alive but foreign (kill probe → EPERM): must be kept.
+  const std::string foreign = "upa-spill-1-00ff-1.colspill";
+  const std::string stale =
+      "upa-spill-" + std::to_string(dead) + "-00ff-1.colspill";
+  const std::string legacy = "upa-spill-1.colspill";  // pre-namespace format
+  const std::string unrelated = "not-a-spill.txt";
+  touch(live);
+  touch(foreign);
+  touch(stale);
+  touch(legacy);
+  touch(unrelated);
+
+  EXPECT_EQ(BufferManager::SweepStaleSpills(dir), 2u);
+  EXPECT_TRUE(fs::exists(dir + "/" + live));
+  EXPECT_TRUE(fs::exists(dir + "/" + foreign));
+  EXPECT_FALSE(fs::exists(dir + "/" + stale));
+  EXPECT_FALSE(fs::exists(dir + "/" + legacy));
+  EXPECT_TRUE(fs::exists(dir + "/" + unrelated));
+  fs::remove_all(dir);
+}
+
+TEST(BufferManagerSpillNamespaceTest,
+     TwoNamespacesSharingASpillDirNeverCollide) {
+  GlobalConfigGuard config_guard;
+  SpillNamespaceGuard ns_guard;
+  BufferManager& mgr = BufferManager::Instance();
+  const std::string dir = ::testing::TempDir() + "upa_shared_spill";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto baseline = ColumnarTable::Build(TrickySchema(), TrickyRows());
+
+  // "Shard A": spill the tricky table by evicting it under a tight budget.
+  mgr.SetSpillNamespaceForTest(static_cast<uint64_t>(::getpid()), 0xa);
+  Table t1("tricky", TrickySchema(), TrickyRows());
+  Table t2 = MakeWideTable("big", 7);
+  const size_t bytes2 = t2.Columnar()->resident_bytes();
+  t2.ReleaseCaches();
+  mgr.Configure({.budget_bytes = bytes2, .spill_dir = dir});
+  t1.Columnar();
+  t2.Columnar();  // evicts t1 → spill under namespace A
+  ASSERT_GE(mgr.stats().spills_written, 1u);
+
+  // "Shard B" writes its own uid-colliding spill into the same dir; with
+  // per-process namespacing the filenames differ, so A's file is intact.
+  mgr.SetSpillNamespaceForTest(static_cast<uint64_t>(::getpid()), 0xb);
+  std::FILE* f = std::fopen((dir + "/" + mgr.SpillFileName(1)).c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("shard B's unrelated payload", f);
+  std::fclose(f);
+  mgr.SetSpillNamespaceForTest(static_cast<uint64_t>(::getpid()), 0xa);
+
+  // A's reload must see A's bytes, bit for bit.
+  std::shared_ptr<const ColumnarTable> reloaded = t1.Columnar();
+  EXPECT_GE(mgr.stats().spill_loads, 1u);
+  ExpectBitIdenticalTables(*baseline, *reloaded);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(BufferManagerTest, ReleaseCachesDropsResidentBytes) {

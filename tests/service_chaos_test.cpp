@@ -430,5 +430,87 @@ TEST_F(ServiceCrashDeathTest, AbortAfterReleaseAppendRecoversTheRelease) {
   EXPECT_TRUE(service.accountant().VerifyConservation().ok());
 }
 
+TEST_F(ServiceCrashDeathTest, AbortBetweenFlushAndFsyncConservesEitherWay) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::string dir = dir_;
+  EXPECT_DEATH(
+      {
+        ServiceConfig config = FastConfig();
+        config.journal_dir = dir;
+        UpaService service(&Ctx(), config);
+        // before_sync fires once per append with journal_fsync on: kOpen
+        // (hit 1), kCharge (hit 2). Abort at hit 2 — the charge frame has
+        // reached the kernel but fdatasync has not run, the exact window
+        // the durability fix closes.
+        Failpoints::Instance().Activate(
+            "journal/before_sync",
+            Failpoints::Spec{.action = Failpoints::Action::kAbort,
+                             .trigger = Failpoints::Trigger::kEveryN,
+                             .every_n = 2});
+        (void)service.Execute(MakeRequest("a", "ds", CountQuery(2000)));
+      },
+      "injected abort");
+
+  // Whether the unsynced frame survived is a property of the crash (an
+  // abort keeps the page cache; power loss may not). The contract is
+  // weaker than after_append's — nothing was acknowledged, so recovery
+  // only has to conserve: no release registered, no budget spent, every
+  // charge that did land refunded.
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir;
+  UpaService service(&Ctx(), config);
+  ASSERT_TRUE(service.recovery_status().ok())
+      << service.recovery_status().ToString();
+  UpaService::DatasetDurableDebug debug = service.DebugState("ds");
+  EXPECT_EQ(debug.registry.size(), 0u);
+  EXPECT_DOUBLE_EQ(debug.budget.spent, 0.0);
+  EXPECT_DOUBLE_EQ(debug.budget.charged_total, debug.budget.refunded_total);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
+TEST_F(ServiceCrashDeathTest, AbortBeforeSnapshotRenameKeepsOldStateIntact) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::string dir = dir_;
+  // Seed: one acknowledged release, journaled and fsynced.
+  {
+    ServiceConfig config = FastConfig();
+    config.journal_dir = dir;
+    UpaService service(&Ctx(), config);
+    auto response = service.Execute(MakeRequest("a", "ds", CountQuery(2000)));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  EXPECT_DEATH(
+      {
+        // Recovery compacts, which writes the snapshot via tmp-file +
+        // rename. snapshot_sync sits after the tmp fsync, before the
+        // rename — abort there models a crash mid-compaction: the tmp is
+        // complete but unpublished.
+        Failpoints::Instance().Activate(
+            "journal/snapshot_sync",
+            Failpoints::Spec{.action = Failpoints::Action::kAbort,
+                             .trigger = Failpoints::Trigger::kEveryN,
+                             .every_n = 1});
+        ServiceConfig config = FastConfig();
+        config.journal_dir = dir;
+        UpaService service(&Ctx(), config);
+      },
+      "injected abort");
+
+  // The crash left a stray .tmp and the ORIGINAL journal/snapshot pair
+  // untouched (the rename never ran). A second recovery must see exactly
+  // the acknowledged state and ignore the leftover tmp.
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir;
+  UpaService service(&Ctx(), config);
+  ASSERT_TRUE(service.recovery_status().ok())
+      << service.recovery_status().ToString();
+  UpaService::DatasetDurableDebug debug = service.DebugState("ds");
+  EXPECT_EQ(debug.registry.size(), 1u);
+  EXPECT_DOUBLE_EQ(debug.budget.charged_total, 0.05);
+  EXPECT_DOUBLE_EQ(debug.budget.refunded_total, 0.0);
+  EXPECT_DOUBLE_EQ(debug.budget.spent, 0.05);
+  EXPECT_TRUE(service.accountant().VerifyConservation().ok());
+}
+
 }  // namespace
 }  // namespace upa::service
