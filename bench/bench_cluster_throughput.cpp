@@ -14,9 +14,19 @@
 // to a known shard via the router's own ring, so load is balanced by
 // construction rather than by luck of the hash.
 //
-// Emits BENCH_cluster.json (override with UPA_BENCH_JSON). Knobs:
-// UPA_RUNS (queries per client, default 10), UPA_LAT_US (per-query sleep,
-// default 4000), UPA_SEED.
+// A second phase measures the exactly-once machinery: steady-state dedup
+// replay throughput (re-submitting completed idempotency keys, answered
+// from the shard's journaled window without re-execution) and the latency
+// distribution of a keyed workload that survives one SIGKILL failover
+// (park → respawn → journal replay → health probe → resend).
+//
+// Emits BENCH_cluster.json and BENCH_failover.json (override with
+// UPA_BENCH_JSON / UPA_FAILOVER_JSON). Knobs: UPA_RUNS (queries per
+// client, default 10), UPA_LAT_US (per-query sleep, default 4000),
+// UPA_SEED.
+#include <signal.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -159,6 +169,151 @@ RunResult RunAtScale(size_t num_shards, size_t clients, size_t runs,
   return r;
 }
 
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = std::min(samples.size() - 1,
+                              static_cast<size_t>(p * samples.size()));
+  return samples[idx];
+}
+
+struct FailoverResult {
+  size_t fresh = 0;
+  size_t replays = 0;
+  double replay_qps = 0;
+  double fresh_qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  uint64_t retried = 0;
+  uint64_t respawns = 0;
+};
+
+FailoverResult RunFailover(size_t lat_us, uint64_t seed,
+                           const std::string& tmp_root) {
+  constexpr size_t kShards = 2;
+  constexpr size_t kWarmKeys = 16;      // fresh keyed queries per dataset
+  constexpr size_t kReplayRounds = 5;   // re-submissions of every warm key
+  constexpr size_t kFailoverRuns = 24;  // timed queries around one SIGKILL
+
+  std::vector<cluster::ShardAddress> addrs(kShards);
+  std::vector<uint16_t> ports(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    auto port = cluster::PickFreePort();
+    UPA_CHECK_MSG(port.ok(), port.status().ToString());
+    ports[i] = port.value();
+    addrs[i].port = ports[i];
+  }
+
+  cluster::ShardSupervisor::Options sup_opts;
+  sup_opts.backoff_initial_ms = 10.0;
+  sup_opts.backoff_max_ms = 200.0;
+  sup_opts.backoff_jitter_seed = seed + 1;
+  cluster::ShardSupervisor supervisor(sup_opts);
+  for (size_t i = 0; i < kShards; ++i) {
+    cluster::ShardProcessSpec spec;
+    spec.binary = UPA_SHARD_BIN;
+    spec.args = {"--port",        std::to_string(ports[i]),
+                 "--journal-dir", tmp_root + "/shard" + std::to_string(i),
+                 "--shard-name",  "failover-" + std::to_string(i),
+                 "--threads",     "1",
+                 "--sample-n",    "8",
+                 "--budget",      "100"};
+    auto slot = supervisor.Launch(std::move(spec));
+    UPA_CHECK_MSG(slot.ok(), slot.status().ToString());
+  }
+
+  cluster::RouterConfig router_cfg;
+  router_cfg.backoff_initial_ms = 5.0;
+  router_cfg.backoff_max_ms = 100.0;
+  router_cfg.backoff_jitter_seed = seed;
+  router_cfg.retry_limit = 4;
+  router_cfg.retry_timeout_ms = 15000.0;
+  cluster::Router router(addrs, router_cfg);
+  router.SetRespawnCounter(
+      [&supervisor](size_t shard) { return supervisor.Restarts(shard); });
+  Status started = router.Start();
+  UPA_CHECK_MSG(started.ok(), started.ToString());
+  for (int spin = 0; spin < 15000; ++spin) {
+    bool all = true;
+    for (size_t i = 0; i < kShards; ++i) all = all && router.ShardHealthy(i);
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::vector<std::string> datasets =
+      BalancedDatasets(router.ring(), kShards, kShards);
+  const std::string sql = "lat:8:" + std::to_string(lat_us);
+
+  auto connected = net::Client::Connect("127.0.0.1", router.port());
+  UPA_CHECK_MSG(connected.ok(), connected.status().ToString());
+  std::unique_ptr<net::Client> client = std::move(connected).value();
+
+  auto keyed = [&](size_t dataset, uint64_t key_seq) {
+    net::WireQuery query;
+    query.tenant = "bench";
+    query.dataset_id = datasets[dataset];
+    query.epsilon = 0.1;
+    query.seed = seed + key_seq;
+    query.sql = sql;
+    query.client_nonce = 0xbe7ca11ULL + seed;
+    query.client_seq = key_seq;
+    return query;
+  };
+  auto run_one = [&](const net::WireQuery& query) {
+    auto result = client->Query(query);
+    UPA_CHECK_MSG(result.ok(), result.status().ToString());
+    UPA_CHECK_MSG(result.value().ok(), result.value().status().ToString());
+  };
+
+  FailoverResult r;
+
+  // Phase A — fresh keyed runs, then dedup replays of the same keys. The
+  // replay path skips sampling/noise/charging entirely, so its throughput
+  // is the journal window's lookup + response-decode cost.
+  Stopwatch fresh_wall;
+  for (size_t k = 0; k < kWarmKeys; ++k) {
+    run_one(keyed(k % kShards, 1 + k));
+  }
+  r.fresh = kWarmKeys;
+  r.fresh_qps = kWarmKeys / fresh_wall.ElapsedSeconds();
+  Stopwatch replay_wall;
+  for (size_t round = 0; round < kReplayRounds; ++round) {
+    for (size_t k = 0; k < kWarmKeys; ++k) {
+      run_one(keyed(k % kShards, 1 + k));
+    }
+  }
+  r.replays = kWarmKeys * kReplayRounds;
+  r.replay_qps = r.replays / replay_wall.ElapsedSeconds();
+
+  // Phase B — sequential keyed queries, SIGKILL shard 0 mid-run. The next
+  // query routed there rides the full failover path; its latency lands in
+  // the tail of the distribution.
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(kFailoverRuns);
+  for (size_t q = 0; q < kFailoverRuns; ++q) {
+    if (q == kFailoverRuns / 2) {
+      Status killed = supervisor.Kill(0, SIGKILL);
+      UPA_CHECK_MSG(killed.ok(), killed.ToString());
+    }
+    Stopwatch one;
+    run_one(keyed(q % kShards, 1000 + q));
+    latencies_ms.push_back(one.ElapsedSeconds() * 1e3);
+  }
+  r.p50_ms = Percentile(latencies_ms, 0.50);
+  r.p99_ms = Percentile(latencies_ms, 0.99);
+  r.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
+
+  cluster::Router::Stats stats = router.stats();
+  r.retried = stats.retried;
+  for (size_t i = 0; i < kShards; ++i) r.respawns += supervisor.Restarts(i);
+
+  client.reset();
+  router.Stop();
+  supervisor.StopAll();
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -215,5 +370,41 @@ int main() {
                static_cast<unsigned long long>(env.seed), rows.c_str());
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
+
+  // Phase 2 — exactly-once machinery under failover.
+  std::printf("\n");
+  const FailoverResult fo =
+      RunFailover(lat_us, env.seed, std::string(tmp_root) + "/failover");
+  TablePrinter fo_table({"metric", "value"});
+  fo_table.AddRow({"fresh keyed q/s", TablePrinter::FormatDouble(fo.fresh_qps, 1)});
+  fo_table.AddRow({"dedup replay q/s", TablePrinter::FormatDouble(fo.replay_qps, 1)});
+  fo_table.AddRow({"failover p50 (ms)", TablePrinter::FormatDouble(fo.p50_ms, 2)});
+  fo_table.AddRow({"failover p99 (ms)", TablePrinter::FormatDouble(fo.p99_ms, 2)});
+  fo_table.AddRow({"failover max (ms)", TablePrinter::FormatDouble(fo.max_ms, 2)});
+  fo_table.AddRow({"router retries", std::to_string(fo.retried)});
+  fo_table.AddRow({"shard respawns", std::to_string(fo.respawns)});
+  fo_table.Print("exactly-once failover (2 shards, 1 SIGKILL)");
+  UPA_CHECK_MSG(fo.retried >= 1, "SIGKILL never exercised the retry path");
+  UPA_CHECK_MSG(fo.respawns >= 1, "supervisor never respawned the shard");
+
+  const char* fo_env = std::getenv("UPA_FAILOVER_JSON");
+  const std::string fo_path =
+      fo_env != nullptr ? fo_env : "BENCH_failover.json";
+  std::FILE* ff = std::fopen(fo_path.c_str(), "w");
+  UPA_CHECK_MSG(ff != nullptr, "cannot write " + fo_path);
+  std::fprintf(ff,
+               "{\n  \"bench\": \"cluster_failover\",\n"
+               "  \"lat_us\": %zu,\n  \"seed\": %llu,\n"
+               "  \"fresh_keyed\": %zu,\n  \"fresh_qps\": %.2f,\n"
+               "  \"dedup_replays\": %zu,\n  \"replay_qps\": %.2f,\n"
+               "  \"failover_p50_ms\": %.3f,\n  \"failover_p99_ms\": %.3f,\n"
+               "  \"failover_max_ms\": %.3f,\n"
+               "  \"router_retries\": %llu,\n  \"shard_respawns\": %llu\n}\n",
+               lat_us, static_cast<unsigned long long>(env.seed), fo.fresh,
+               fo.fresh_qps, fo.replays, fo.replay_qps, fo.p50_ms, fo.p99_ms,
+               fo.max_ms, static_cast<unsigned long long>(fo.retried),
+               static_cast<unsigned long long>(fo.respawns));
+  std::fclose(ff);
+  std::printf("\nwrote %s\n", fo_path.c_str());
   return 0;
 }

@@ -2,12 +2,20 @@
 //
 // Usage:
 //   upa_client <port> "SELECT COUNT(*) FROM lineitem" [private_table]
+//   upa_client <port> --nonce N --seq M "count:2000" [dataset]
 //   upa_client <port> --stats
 //
 // The private table defaults to "lineitem"; it is the privacy unit the
 // server charges budget against, so the query must scan it.
+//
+// --nonce/--seq pin the idempotency key instead of letting the connection
+// stamp a fresh one: re-running the same command after a crash or timeout
+// replays the server's journaled response for that key (byte-identical,
+// no second budget charge). This is how the cluster drill re-sends a
+// query whose shard died after releasing but before acknowledging.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "net/client.h"
@@ -15,13 +23,31 @@
 using namespace upa;
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  uint64_t nonce = 0;
+  uint64_t seq = 0;
+  int arg = 1;
+  auto usage = [&] {
     std::fprintf(stderr,
-                 "usage: %s <port> <sql|--stats> [private_table]\n",
+                 "usage: %s <port> [--nonce N --seq M] <sql|--stats> "
+                 "[private_table]\n",
                  argv[0]);
     return 2;
+  };
+  if (arg >= argc) return usage();
+  uint16_t port = static_cast<uint16_t>(std::atoi(argv[arg++]));
+  while (arg + 1 < argc && argv[arg][0] == '-' &&
+         std::strcmp(argv[arg], "--stats") != 0) {
+    if (std::strcmp(argv[arg], "--nonce") == 0) {
+      nonce = std::strtoull(argv[arg + 1], nullptr, 0);
+    } else if (std::strcmp(argv[arg], "--seq") == 0) {
+      seq = std::strtoull(argv[arg + 1], nullptr, 0);
+    } else {
+      return usage();
+    }
+    arg += 2;
   }
-  uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  if (arg >= argc) return usage();
+
   auto connected = net::Client::Connect("127.0.0.1", port);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect: %s\n",
@@ -30,7 +56,7 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<net::Client> client = std::move(connected).value();
 
-  if (std::string(argv[2]) == "--stats") {
+  if (std::string(argv[arg]) == "--stats") {
     auto stats = client->Stats();
     if (!stats.ok()) {
       std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
@@ -42,10 +68,12 @@ int main(int argc, char** argv) {
 
   net::WireQuery query;
   query.tenant = "cli";
-  query.dataset_id = argc >= 4 ? argv[3] : "lineitem";
+  query.dataset_id = arg + 1 < argc ? argv[arg + 1] : "lineitem";
   query.epsilon = 0.5;
   query.seed = 2026;
-  query.sql = argv[2];
+  query.sql = argv[arg];
+  query.client_nonce = nonce;
+  query.client_seq = seq;
   auto result = client->Query(query);
   if (!result.ok()) {
     std::fprintf(stderr, "transport error: %s\n",
@@ -56,6 +84,10 @@ int main(int argc, char** argv) {
   if (!wire.ok()) {
     std::fprintf(stderr, "server error: %s\n",
                  wire.status().ToString().c_str());
+    if (wire.retry_after_ms > 0) {
+      std::fprintf(stderr, "retry after %lld ms\n",
+                   static_cast<long long>(wire.retry_after_ms));
+    }
     return 1;
   }
   std::printf("released = %.4f\n", wire.response.released);

@@ -8,15 +8,30 @@
 # defense serves the journaled release, so any lost registry state would
 # change the output).
 #
-# Usage: scripts/run_cluster.sh [build-dir]   (default: build)
+# With --kill-during-release the script instead runs the exactly-once
+# drill: one shard with a failpoint that SIGKILLs it AFTER appending the
+# kRelease journal record but BEFORE acknowledging the client — the
+# classic "did my commit land?" window. The keyed query is re-sent with
+# the same --nonce/--seq after restart and must be answered from the
+# journaled dedup window; journal_dump must show exactly ONE release per
+# key no matter how many times it was (re)submitted.
+#
+# Usage: scripts/run_cluster.sh [--kill-during-release] [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+DRILL=0
+if [ "${1:-}" = "--kill-during-release" ]; then
+  DRILL=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 SHARD_BIN="$BUILD_DIR/examples/upa_shard"
 ROUTER_BIN="$BUILD_DIR/examples/upa_router"
 CLIENT_BIN="$BUILD_DIR/examples/upa_client"
-for bin in "$SHARD_BIN" "$ROUTER_BIN" "$CLIENT_BIN"; do
+DUMP_BIN="$BUILD_DIR/examples/journal_dump"
+for bin in "$SHARD_BIN" "$ROUTER_BIN" "$CLIENT_BIN" "$DUMP_BIN"; do
   [ -x "$bin" ] || { echo "missing $bin (build first)"; exit 2; }
 done
 
@@ -50,6 +65,62 @@ start_shard() { # index
 }
 
 declare -a SHARD_PID SHARD_PORT
+
+if [ "$DRILL" -eq 1 ]; then
+  echo "== exactly-once drill: SIGKILL after release-append, before ack =="
+  export UPA_FAILPOINTS="service/post_release_pre_ack=kill:every(2)"
+  start_shard 0
+  unset UPA_FAILPOINTS
+  NONCE=0xd511
+
+  keyed_query() { # seq -> first output line
+    "$CLIENT_BIN" "${SHARD_PORT[0]}" --nonce "$NONCE" --seq "$1" \
+      "count:2000" ds-drill | head -1
+  }
+
+  # Key 1 releases and acks normally (failpoint hit 1 of every(2)).
+  FIRST=$(keyed_query 1)
+  echo "key seq=1: $FIRST"
+
+  # Key 2 trips the failpoint: the shard appends its kRelease record and
+  # dies WITHOUT acking. The client only sees a dead connection — it
+  # cannot know whether the release landed. This is the in-doubt window
+  # idempotency keys exist for.
+  if LOST=$(keyed_query 2 2>&1); then
+    echo "FAIL: query should have lost its shard before the ack"; exit 1
+  fi
+  echo "key seq=2: shard died mid-ack (expected)"
+  while kill -0 "${SHARD_PID[0]}" 2>/dev/null; do sleep 0.05; done
+
+  echo "== restart over the same journal, re-send both keys verbatim =="
+  start_shard 0
+
+  # Key 2's release IS journaled: its re-submission must be answered from
+  # the recovered dedup window, not executed (and charged) again.
+  SECOND=$(keyed_query 2)
+  echo "key seq=2 (replayed): $SECOND"
+  FIRST_AGAIN=$(keyed_query 1)
+  if [ "$FIRST" != "$FIRST_AGAIN" ]; then
+    echo "FAIL: replay of key seq=1 changed: '$FIRST' vs '$FIRST_AGAIN'"
+    exit 1
+  fi
+
+  # The journal is append-only history: exactly ONE release per key, no
+  # matter how many times each was (re)submitted.
+  "$DUMP_BIN" "$WORK"/journal0/*.journal >"$WORK/journal.txt"
+  for seq in 1 2; do
+    n=$(grep -c "^release.* nonce=$NONCE seq=$seq " "$WORK/journal.txt" || true)
+    if [ "$n" -ne 1 ]; then
+      echo "FAIL: key seq=$seq has $n release records (want exactly 1)"
+      cat "$WORK/journal.txt"
+      exit 1
+    fi
+  done
+  echo "journal: exactly one release per key"
+  echo "PASS: exactly-once release survived kill-during-release"
+  exit 0
+fi
+
 start_shard 0
 start_shard 1
 echo "shards up: 127.0.0.1:${SHARD_PORT[0]} 127.0.0.1:${SHARD_PORT[1]}"
@@ -96,9 +167,11 @@ echo "== phase 2: SIGKILL shard1 mid-run =="
 kill -9 "${SHARD_PID[1]}"
 ok=0 unavailable=0
 for ds in $DATASETS; do
+  # No echo|grep here: grep -q exiting on first match can SIGPIPE echo,
+  # which under pipefail fails the pipeline despite the match.
   if out=$("$CLIENT_BIN" "$ROUTER_PORT" "count:2000" "$ds" 2>&1); then
     ok=$((ok + 1))
-  elif echo "$out" | grep -q UNAVAILABLE; then
+  elif [[ "$out" == *UNAVAILABLE* ]]; then
     unavailable=$((unavailable + 1))
   else
     echo "unexpected failure for $ds: $out"; exit 1

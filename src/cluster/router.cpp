@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <sstream>
@@ -44,6 +45,7 @@ Router::Router(std::vector<ShardAddress> shards, RouterConfig config)
       loop_(config_.poller) {
   healthy_ = std::make_unique<std::atomic<bool>[]>(shard_addrs_.size());
   for (size_t i = 0; i < shard_addrs_.size(); ++i) healthy_[i] = false;
+  jitter_state_ = config_.backoff_jitter_seed;
 }
 
 Router::~Router() { Stop(); }
@@ -193,6 +195,9 @@ Router::Stats Router::stats() const {
   s.failed_over_inflight =
       failed_over_inflight_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.retried = retried_.load(std::memory_order_relaxed);
+  s.retry_exhausted = retry_exhausted_.load(std::memory_order_relaxed);
+  s.retry_parked = retry_parked_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -210,11 +215,16 @@ std::string Router::StatsText() const {
      << "  rejected_backpressure " << s.rejected_backpressure << "\n"
      << "  shard_reconnects      " << s.shard_reconnects << "\n"
      << "  failed_over_inflight  " << s.failed_over_inflight << "\n"
-     << "  protocol_errors       " << s.protocol_errors << "\n";
+     << "  protocol_errors       " << s.protocol_errors << "\n"
+     << "  retried               " << s.retried << "\n"
+     << "  retry_exhausted       " << s.retry_exhausted << "\n"
+     << "  retry_parked          " << s.retry_parked << "\n";
   for (size_t i = 0; i < shard_addrs_.size(); ++i) {
     os << "  shard[" << i << "] " << shard_addrs_[i].host << ":"
        << shard_addrs_[i].port << " "
-       << (ShardHealthy(i) ? "healthy" : "down") << "\n";
+       << (ShardHealthy(i) ? "healthy" : "down");
+    if (respawn_counter_) os << " respawns=" << respawn_counter_(i);
+    os << "\n";
   }
   return os.str();
 }
@@ -345,30 +355,47 @@ void Router::RouteQuery(ClientConn& conn, net::WireQuery query) {
     result.client_tag = query.client_tag;
     result.code = status.code();
     result.message = status.message();
+    result.retry_after_ms = status.retry_after_ms();
     QueueClientWrite(conn, net::EncodeResultFrame(result));
   };
 
   if (link.state != ShardLink::State::kHealthy) {
-    reject(Status::Unavailable("shard " + std::to_string(shard) +
-                               " unavailable (reconnecting); retry"),
-           rejected_unavailable_);
+    // Breaker open (or half-open): fail fast rather than queue behind an
+    // unknown outage, hinting when the next dial attempt is due.
+    Status unavailable =
+        Status::Unavailable("shard " + std::to_string(shard) +
+                            " unavailable (reconnecting); retry");
+    unavailable.set_retry_after_ms(
+        std::max<int64_t>(1, static_cast<int64_t>(link.backoff_ms)));
+    reject(unavailable, rejected_unavailable_);
     return;
   }
   if (link.inflight.size() >= config_.max_inflight_per_shard ||
       link.write_buffer.size() - link.write_offset >
           config_.write_buffer_high_bytes) {
-    reject(Status::ResourceExhausted("shard " + std::to_string(shard) +
-                                     " is at in-flight capacity; retry"),
-           rejected_backpressure_);
+    Status full =
+        Status::ResourceExhausted("shard " + std::to_string(shard) +
+                                  " is at in-flight capacity; retry");
+    full.set_retry_after_ms(10);
+    reject(full, rejected_backpressure_);
     return;
   }
 
   const uint64_t router_tag = next_router_tag_++;
-  link.inflight[router_tag] = Route{conn.id, query.client_tag};
+  Route route;
+  route.conn_id = conn.id;
+  route.client_tag = query.client_tag;
+  if (query.client_nonce != 0 && config_.retry_limit > 0) {
+    // Keyed: keep the original query so a failover can re-send it. The
+    // key makes the re-send budget-safe — a completed release replays.
+    route.retries_left = config_.retry_limit;
+    route.query = query;
+  }
   ++conn.inflight;
   total_inflight_.fetch_add(1, std::memory_order_acq_rel);
   routed_.fetch_add(1, std::memory_order_relaxed);
   query.client_tag = router_tag;
+  link.inflight[router_tag] = std::move(route);
   QueueShardWrite(link, net::EncodeQueryFrame(query));
 }
 
@@ -448,9 +475,7 @@ void Router::StartDial(ShardLink& link) {
   Result<int> fd_or = net::StartConnect(link.addr.host, link.addr.port);
   const int64_t now = NowNanos();
   if (!fd_or.ok()) {
-    link.state = ShardLink::State::kBackoff;
-    link.next_dial_ns = now + static_cast<int64_t>(link.backoff_ms * 1e6);
-    link.backoff_ms = std::min(link.backoff_ms * 2.0, config_.backoff_max_ms);
+    ScheduleRedial(link, now);
     return;
   }
   link.fd = fd_or.value();
@@ -471,9 +496,7 @@ void Router::StartDial(ShardLink& link) {
   if (!registered.ok()) {
     ::close(link.fd);
     link.fd = -1;
-    link.state = ShardLink::State::kBackoff;
-    link.next_dial_ns = now + static_cast<int64_t>(link.backoff_ms * 1e6);
-    link.backoff_ms = std::min(link.backoff_ms * 2.0, config_.backoff_max_ms);
+    ScheduleRedial(link, now);
   }
 }
 
@@ -567,6 +590,9 @@ void Router::ProcessShardFrames(ShardLink& link) {
           link.state = ShardLink::State::kHealthy;
           link.backoff_ms = config_.backoff_initial_ms;
           healthy_[link.index].store(true, std::memory_order_release);
+          // Recovery barrier passed: the shard answered, so its journal
+          // replay is complete — parked routes can re-send now.
+          FlushParked(link);
         }
         break;
       }
@@ -645,38 +671,148 @@ void Router::FailShard(ShardLink& link, const Status& reason) {
   }
   healthy_[link.index].store(false, std::memory_order_release);
   shard_reconnects_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now = NowNanos();
 
-  // Fail every routed-but-unanswered query back to its client: the shard
-  // may or may not have journaled the release, but nothing was delivered,
-  // so the client must treat it as unresolved and retry. (On the shard,
-  // an unacknowledged dangling charge is refunded by journal recovery.)
+  // Routed-but-unanswered queries: the shard may or may not have journaled
+  // the release, but nothing was delivered. A keyed query with retry
+  // budget left is parked — its idempotency key makes the eventual re-send
+  // safe either way (journaled → replay; not journaled → the dangling
+  // charge is refunded by recovery and the query re-runs). Everything else
+  // fails back to the client as unresolved.
   for (auto& [router_tag, route] : link.inflight) {
-    failed_over_inflight_.fetch_add(1, std::memory_order_relaxed);
     total_inflight_.fetch_sub(1, std::memory_order_acq_rel);
     auto conn_it = connections_.find(route.conn_id);
     if (conn_it == connections_.end()) continue;
+    if (route.retries_left > 0) {
+      --route.retries_left;
+      route.park_deadline_ns =
+          now + static_cast<int64_t>(config_.retry_timeout_ms * 1e6);
+      retry_parked_.fetch_add(1, std::memory_order_relaxed);
+      link.parked.push_back(std::move(route));
+      continue;
+    }
     ClientConn& conn = *conn_it->second;
+    failed_over_inflight_.fetch_add(1, std::memory_order_relaxed);
     if (conn.inflight > 0) --conn.inflight;
     net::WireResult result;
     result.client_tag = route.client_tag;
     result.code = StatusCode::kUnavailable;
     result.message =
         "shard " + std::to_string(link.index) + " lost: " + reason.message();
+    result.retry_after_ms =
+        std::max<int64_t>(1, static_cast<int64_t>(link.backoff_ms));
     RespondToClient(conn, result);
   }
   link.inflight.clear();
   link.write_buffer.clear();
   link.write_offset = 0;
   link.probe_outstanding = false;
+  ScheduleRedial(link, now);
+}
+
+void Router::FlushParked(ShardLink& link) {
+  if (link.parked.empty()) return;
+  std::vector<Route> pending = std::move(link.parked);
+  link.parked.clear();
+  for (Route& route : pending) ResendRoute(std::move(route));
+}
+
+void Router::ResendRoute(Route route) {
+  retry_parked_.fetch_sub(1, std::memory_order_relaxed);
+  auto conn_it = connections_.find(route.conn_id);
+  if (conn_it == connections_.end()) return;  // client left while parked
+  // Re-resolve the ring — the route must land wherever the dataset lives
+  // NOW, not on the link it happened to be parked against.
+  const size_t shard = ring_.ShardFor(route.query.dataset_id);
+  ShardLink& link = links_[shard];
+  ClientConn& conn = *conn_it->second;
+  if (link.state != ShardLink::State::kHealthy) {
+    // The re-send raced another failure (or resolved to a different,
+    // still-down shard): keep waiting on that link's recovery under the
+    // original deadline. The park was already paid for from the retry
+    // budget — re-parking costs nothing further.
+    retry_parked_.fetch_add(1, std::memory_order_relaxed);
+    link.parked.push_back(std::move(route));
+    return;
+  }
+  if (link.inflight.size() >= config_.max_inflight_per_shard ||
+      link.write_buffer.size() - link.write_offset >
+          config_.write_buffer_high_bytes) {
+    rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
+    if (conn.inflight > 0) --conn.inflight;
+    net::WireResult result;
+    result.client_tag = route.client_tag;
+    result.code = StatusCode::kResourceExhausted;
+    result.message = "shard " + std::to_string(shard) +
+                     " is at in-flight capacity after failover; retry";
+    result.retry_after_ms = 10;
+    RespondToClient(conn, result);
+    return;
+  }
+  const uint64_t router_tag = next_router_tag_++;
+  net::WireQuery query = route.query;
+  query.client_tag = router_tag;
+  retried_.fetch_add(1, std::memory_order_relaxed);
+  total_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  link.inflight[router_tag] = std::move(route);
+  QueueShardWrite(link, net::EncodeQueryFrame(query));
+}
+
+void Router::ExpireParked(Route& route, const ShardLink& link) {
+  retry_parked_.fetch_sub(1, std::memory_order_relaxed);
+  retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  // An expired retry is still a failover failure as far as observers are
+  // concerned — the retry machinery defers failures, it never hides them.
+  failed_over_inflight_.fetch_add(1, std::memory_order_relaxed);
+  auto conn_it = connections_.find(route.conn_id);
+  if (conn_it == connections_.end()) return;
+  ClientConn& conn = *conn_it->second;
+  if (conn.inflight > 0) --conn.inflight;
+  net::WireResult result;
+  result.client_tag = route.client_tag;
+  result.code = StatusCode::kUnavailable;
+  result.message = "shard " + std::to_string(link.index) +
+                   " did not recover within the retry window";
+  result.retry_after_ms =
+      std::max<int64_t>(1, static_cast<int64_t>(link.backoff_ms));
+  RespondToClient(conn, result);
+}
+
+double Router::JitteredBackoff(double ms) {
+  if (config_.backoff_jitter <= 0.0) return ms;
+  // Deterministic 64-bit LCG (loop thread only): cheap, seedable, and
+  // reproducible across runs for the chaos harnesses.
+  jitter_state_ = jitter_state_ * 6364136223846793005ULL +
+                  1442695040888963407ULL;
+  const double u =
+      static_cast<double>((jitter_state_ >> 33) & 0xFFFFFFu) /
+      static_cast<double>(0x1000000u);
+  const double j = std::min(config_.backoff_jitter, 1.0);
+  return ms * (1.0 - j / 2.0 + j * u);
+}
+
+void Router::ScheduleRedial(ShardLink& link, int64_t now) {
   link.state = ShardLink::State::kBackoff;
   link.next_dial_ns =
-      NowNanos() + static_cast<int64_t>(link.backoff_ms * 1e6);
+      now + static_cast<int64_t>(JitteredBackoff(link.backoff_ms) * 1e6);
   link.backoff_ms = std::min(link.backoff_ms * 2.0, config_.backoff_max_ms);
 }
 
 void Router::OnTick() {
   const int64_t now = NowNanos();
   for (ShardLink& link : links_) {
+    if (!link.parked.empty()) {
+      std::vector<Route> keep;
+      keep.reserve(link.parked.size());
+      for (Route& route : link.parked) {
+        if (now >= route.park_deadline_ns) {
+          ExpireParked(route, link);
+        } else {
+          keep.push_back(std::move(route));
+        }
+      }
+      link.parked = std::move(keep);
+    }
     switch (link.state) {
       case ShardLink::State::kBackoff:
         if (now >= link.next_dial_ns) StartDial(link);

@@ -18,16 +18,23 @@
 //     backed-up write buffer) rejects further queries with
 //     kResourceExhausted, the same code the server uses for pipeline
 //     overflow — clients already handle it.
-//   - failover: a dead shard link fails its in-flight queries with
-//     kUnavailable, then redials with bounded exponential backoff. A
-//     reconnected shard takes traffic only after answering a health probe
-//     (a stats request) — by then the shard process has replayed its
-//     journal, so the recovered registry/ledger/epoch state is already
-//     bit-identical to the pre-crash acknowledged state.
+//   - failover: a dead shard link parks its keyed in-flight queries (see
+//     RouterConfig::retry_limit) and fails the keyless rest with
+//     kUnavailable, then redials with jittered bounded exponential
+//     backoff — a circuit breaker: kBackoff is open, kConnecting/kProbing
+//     half-open, kHealthy closed. A reconnected shard takes traffic only
+//     after answering a health probe (a stats request) — by then the
+//     shard process has replayed its journal, so the recovered
+//     registry/ledger/epoch/dedup state is already bit-identical to the
+//     pre-crash acknowledged state — at which point parked queries are
+//     re-sent with their original idempotency keys: a release the shard
+//     journaled before dying replays byte-identically without
+//     re-charging, anything earlier re-runs against the refunded budget.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +75,24 @@ struct RouterConfig {
   double health_probe_timeout_ms = 2000.0;
   double tick_interval_ms = 5.0;
   double drain_timeout_ms = 5000.0;
+  /// Budget-safe failover retry: an in-flight query carrying an
+  /// idempotency key (client_nonce != 0) is PARKED when its shard link
+  /// dies and re-sent — same key, so a completed release replays instead
+  /// of re-running — once the shard passes a health probe (the recovery
+  /// barrier: by then journal replay has finished). Each query survives at
+  /// most retry_limit failovers; a parked query whose shard has not
+  /// recovered within retry_timeout_ms fails back to the client with
+  /// kUnavailable. retry_limit = 0 disables parking entirely (every
+  /// failover fails fast, the pre-retry behavior). Keyless queries always
+  /// fail fast — without a key a re-send could double-spend budget.
+  size_t retry_limit = 2;
+  double retry_timeout_ms = 3000.0;
+  /// Redial backoff jitter fraction in [0, 1]: each backoff interval is
+  /// scaled by a deterministic pseudo-random factor in [1-j/2, 1+j/2] so
+  /// multiple routers (or many links after a correlated failure) do not
+  /// redial a recovering shard in lockstep.
+  double backoff_jitter = 0.5;
+  uint64_t backoff_jitter_seed = 0x7570612d6a697474ULL;
   size_t ring_vnodes = 64;
   net::PollerKind poller = net::PollerKind::kEpoll;
 };
@@ -100,9 +125,25 @@ class Router {
     uint64_t shard_reconnects = 0;
     uint64_t failed_over_inflight = 0;
     uint64_t protocol_errors = 0;
+    /// Keyed queries re-sent to a recovered shard.
+    uint64_t retried = 0;
+    /// Parked queries whose shard did not recover within the retry window
+    /// (these also count toward failed_over_inflight — the retry machinery
+    /// only defers the failure, it never hides one).
+    uint64_t retry_exhausted = 0;
+    /// Queries currently parked awaiting a shard recovery.
+    uint64_t retry_parked = 0;
   };
   Stats stats() const;
   std::string StatsText() const;
+
+  /// Optional per-shard respawn-count source (e.g. the process
+  /// supervisor's Restarts()); shown in StatsText so an operator can see
+  /// crash-loop churn next to link health. Must be thread-safe; set before
+  /// Start().
+  void SetRespawnCounter(std::function<uint64_t(size_t)> counter) {
+    respawn_counter_ = std::move(counter);
+  }
 
  private:
   struct ClientConn {
@@ -122,6 +163,13 @@ class Router {
   struct Route {
     uint64_t conn_id = 0;
     uint64_t client_tag = 0;
+    /// Original query (still carrying the client's own tag), kept only
+    /// for keyed routes so a failover can re-send it verbatim.
+    net::WireQuery query;
+    /// Failovers this query may still survive; 0 fails fast.
+    size_t retries_left = 0;
+    /// While parked: when to give up waiting for the shard to recover.
+    int64_t park_deadline_ns = 0;
   };
 
   struct ShardLink {
@@ -140,6 +188,9 @@ class Router {
     int64_t last_probe_ns = 0;
     bool probe_outstanding = false;
     std::map<uint64_t, Route> inflight;  // router tag → origin
+    /// Keyed routes waiting out a failover; re-sent when the link passes
+    /// its next health probe, expired by OnTick past their deadline.
+    std::vector<Route> parked;
   };
 
   // Loop-thread only.
@@ -163,9 +214,19 @@ class Router {
   void FlushShard(ShardLink& link);
   void UpdateShardInterest(ShardLink& link);
   void SendProbe(ShardLink& link);
-  /// Tears the link down: fails in-flight routes with kUnavailable back to
-  /// their clients and schedules a backoff redial.
+  /// Tears the link down: parks keyed in-flight routes for a post-recovery
+  /// re-send (retry budget permitting), fails the rest with kUnavailable,
+  /// and schedules a jittered backoff redial.
   void FailShard(ShardLink& link, const Status& reason);
+  /// Re-sends every parked route after `link` passed a health probe.
+  void FlushParked(ShardLink& link);
+  void ResendRoute(Route route);
+  /// Fails a parked route back to its client (recovery window elapsed).
+  void ExpireParked(Route& route, const ShardLink& link);
+  /// Next backoff interval for the link, jittered; advances the
+  /// deterministic jitter stream (loop thread only).
+  double JitteredBackoff(double ms);
+  void ScheduleRedial(ShardLink& link, int64_t now);
   void OnTick();
 
   std::vector<ShardAddress> shard_addrs_;
@@ -193,6 +254,11 @@ class Router {
   std::atomic<uint64_t> shard_reconnects_{0};
   std::atomic<uint64_t> failed_over_inflight_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> retried_{0};
+  std::atomic<uint64_t> retry_exhausted_{0};
+  std::atomic<uint64_t> retry_parked_{0};
+  uint64_t jitter_state_ = 0;  // loop thread only
+  std::function<uint64_t(size_t)> respawn_counter_;
   /// Routed-but-unanswered queries across all shards (drain probe).
   std::atomic<uint64_t> total_inflight_{0};
 };

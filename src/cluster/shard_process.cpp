@@ -56,7 +56,20 @@ ShardSupervisor::ShardSupervisor() : ShardSupervisor(Options()) {}
 
 ShardSupervisor::ShardSupervisor(Options options)
     : options_(std::move(options)) {
+  jitter_state_ = options_.backoff_jitter_seed;
   monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+double ShardSupervisor::JitteredMs(double ms) {
+  if (options_.backoff_jitter <= 0.0) return ms;
+  // Deterministic 64-bit LCG: seedable so chaos runs reproduce.
+  jitter_state_ = jitter_state_ * 6364136223846793005ULL +
+                  1442695040888963407ULL;
+  const double u =
+      static_cast<double>((jitter_state_ >> 33) & 0xFFFFFFu) /
+      static_cast<double>(0x1000000u);
+  const double j = std::min(options_.backoff_jitter, 1.0);
+  return ms * (1.0 - j / 2.0 + j * u);
 }
 
 ShardSupervisor::~ShardSupervisor() {
@@ -168,7 +181,7 @@ void ShardSupervisor::MonitorLoop() {
             slot.pid = -1;
             if (options_.auto_restart) {
               slot.respawn_at_ns =
-                  now + static_cast<int64_t>(slot.backoff_ms * 1e6);
+                  now + static_cast<int64_t>(JitteredMs(slot.backoff_ms) * 1e6);
               slot.backoff_ms =
                   std::min(slot.backoff_ms * 2.0, options_.backoff_max_ms);
             }
@@ -183,7 +196,7 @@ void ShardSupervisor::MonitorLoop() {
           } else {
             // Spawn itself failed (fork pressure): retry after backoff.
             slot.respawn_at_ns =
-                now + static_cast<int64_t>(slot.backoff_ms * 1e6);
+                now + static_cast<int64_t>(JitteredMs(slot.backoff_ms) * 1e6);
             slot.backoff_ms =
                 std::min(slot.backoff_ms * 2.0, options_.backoff_max_ms);
           }

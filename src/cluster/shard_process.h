@@ -44,6 +44,12 @@ class ShardSupervisor {
     double backoff_initial_ms = 50.0;
     /// Upper bound for the respawn delay.
     double backoff_max_ms = 2000.0;
+    /// Jitter fraction in [0, 1]: each respawn delay is scaled by a
+    /// deterministic pseudo-random factor in [1-j/2, 1+j/2], so shards
+    /// felled by one correlated failure (OOM sweep, machine reboot) do
+    /// not replay their journals and re-register in lockstep.
+    double backoff_jitter = 0.5;
+    uint64_t backoff_jitter_seed = 0x73757065722d6a69ULL;
     /// A shard alive this long is considered stable: its backoff resets.
     double stable_after_ms = 5000.0;
     /// Liveness poll period of the monitor thread.
@@ -93,11 +99,14 @@ class ShardSupervisor {
 
   void MonitorLoop();
   static Result<pid_t> Spawn(const ShardProcessSpec& spec);
+  /// Jittered respawn delay; advances the jitter stream (mu_ held).
+  double JitteredMs(double ms);
 
   Options options_;
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
   bool stopping_ = false;
+  uint64_t jitter_state_ = 0;  // mu_ held
   std::thread monitor_;
 };
 

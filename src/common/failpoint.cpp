@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "common/rng.h"
 
@@ -126,6 +130,11 @@ Status Failpoints::ParseSpec(const std::string& text, Spec* out) {
     spec.action = Action::kAbort;
     if (!args.empty()) {
       return Status::InvalidArgument("abort takes no arguments");
+    }
+  } else if (name == "kill") {
+    spec.action = Action::kKill;
+    if (!args.empty()) {
+      return Status::InvalidArgument("kill takes no arguments");
     }
   } else {
     return Status::InvalidArgument("unknown failpoint action '" + name + "'");
@@ -267,6 +276,15 @@ Status Failpoints::Evaluate(const char* site) {
       std::fprintf(stderr, "failpoint '%s': injected abort (hit %llu)\n",
                    site, static_cast<unsigned long long>(hit));
       std::abort();
+    case Action::kKill:
+      // SIGKILL leaves no chance for atexit handlers or flushes — the
+      // closest in-process stand-in for machine loss that crash-recovery
+      // drills can schedule deterministically.
+      std::fprintf(stderr, "failpoint '%s': injected SIGKILL (hit %llu)\n",
+                   site, static_cast<unsigned long long>(hit));
+      std::fflush(stderr);
+      ::kill(::getpid(), SIGKILL);
+      std::abort();  // unreachable
   }
   return Status::Ok();
 }

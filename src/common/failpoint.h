@@ -16,7 +16,7 @@
 //                   threadpool/task=delay(2):prob(0.25,42)"
 //
 // Spec grammar (whitespace-free):  <action>[:<trigger>]
-//   action  := error(<code>[,<message>]) | delay(<millis>) | abort
+//   action  := error(<code>[,<message>]) | delay(<millis>) | abort | kill
 //   trigger := every(<n>)        fire on hits n, 2n, 3n, ...   (default 1)
 //            | prob(<p>[,<seed>]) fire iff splitmix(seed, hit) < p
 //   <code>  := a StatusCodeName, case-insensitive ("internal",
@@ -45,7 +45,7 @@ namespace upa {
 /// Singleton registry of failpoint sites. All methods are thread-safe.
 class Failpoints {
  public:
-  enum class Action { kError, kDelay, kAbort };
+  enum class Action { kError, kDelay, kAbort, kKill };
   enum class Trigger { kEveryN, kProbability };
 
   struct Spec {

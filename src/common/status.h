@@ -80,12 +80,23 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Backoff hint for kResourceExhausted / kUnavailable: how long the
+  /// producer suggests the caller wait before retrying. 0 = no hint.
+  /// Carried across the wire in error/result frames so clients back off
+  /// on advice instead of guessing.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+  Status& set_retry_after_ms(int64_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  int64_t retry_after_ms_ = 0;
 };
 
 /// A value or an error. Access to the value when !ok() aborts.

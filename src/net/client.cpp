@@ -10,9 +10,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <utility>
 
+#include "common/rng.h"
 #include "net/dial.h"
 
 namespace upa::net {
@@ -22,6 +24,21 @@ int64_t NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Process-unique, nonzero idempotency nonce for a new connection: pid ×
+/// wall-clock × a process-wide counter, finalized through SplitMix64 so
+/// two clients dialed in the same nanosecond (or across a fork) still get
+/// distinct keyspaces.
+uint64_t GenerateClientNonce() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t seed = static_cast<uint64_t>(::getpid());
+  seed = seed * 0x9e3779b97f4a7c15ULL ^
+         static_cast<uint64_t>(
+             std::chrono::system_clock::now().time_since_epoch().count());
+  seed ^= counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t nonce = SplitMix64(seed).Next();
+  return nonce != 0 ? nonce : 1;
 }
 
 /// Wait for fd readiness within the absolute deadline. events is POLLIN or
@@ -146,6 +163,13 @@ Status Client::AdmitResponseTag(uint64_t tag) {
 Result<uint64_t> Client::Send(WireQuery query) {
   UPA_RETURN_IF_ERROR(broken_);
   if (query.client_tag == 0) query.client_tag = next_tag_++;
+  // Stamp an idempotency key unless the caller brought one (a manual
+  // retry of an earlier request, possibly from a previous connection).
+  if (query.client_nonce == 0) {
+    if (client_nonce_ == 0) client_nonce_ = GenerateClientNonce();
+    query.client_nonce = client_nonce_;
+    query.client_seq = next_seq_++;
+  }
   uint64_t tag = query.client_tag;
   if (inflight_.count(tag) != 0 || parked_.count(tag) != 0) {
     return Status::InvalidArgument("client_tag " + std::to_string(tag) +

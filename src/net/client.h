@@ -48,7 +48,16 @@ class Client {
   /// Fire a query without waiting; pair with Await(tag). Returns the tag.
   /// A tag already in flight is rejected (kInvalidArgument) — a duplicate
   /// would make the response-to-request matching ambiguous.
+  /// A query with client_nonce == 0 is stamped with this connection's
+  /// idempotency nonce and the next sequence number, so every request is
+  /// retry-safe by default; to retry a request yourself (e.g. across
+  /// connections), carry its (client_nonce, client_seq) over explicitly —
+  /// the service replays the original response for a completed key.
   Result<uint64_t> Send(WireQuery query);
+
+  /// This connection's idempotency nonce (pair with a seq for manual
+  /// cross-connection retries).
+  uint64_t client_nonce() const { return client_nonce_; }
   /// Block for the response to a previously Send()t tag. Awaiting a tag
   /// that was never sent (or already delivered) fails immediately.
   Result<WireResult> Await(uint64_t tag, int64_t timeout_ms = 30000);
@@ -72,6 +81,10 @@ class Client {
 
   int fd_;
   uint64_t next_tag_ = 1;
+  /// Process-unique idempotency nonce stamped (with next_seq_) on queries
+  /// that don't carry their own key.
+  uint64_t client_nonce_ = 0;
+  uint64_t next_seq_ = 1;
   FrameAssembler assembler_;
   /// Tags sent but not yet delivered to a waiter. A response whose tag is
   /// not in this set poisons the connection: it can only be a stale reply

@@ -406,6 +406,7 @@ void Server::DispatchQuery(Connection& conn, WireQuery query) {
     result.client_tag = client_tag;
     result.code = status.code();
     result.message = status.message();
+    result.retry_after_ms = status.retry_after_ms();
     QueueWrite(conn, EncodeResultFrame(result));
   };
 
@@ -435,6 +436,8 @@ void Server::DispatchQuery(Connection& conn, WireQuery query) {
       query.fingerprint != 0 ? query.fingerprint : Fnv1a(query.sql);
   request.deadline_ms = query.deadline_ms;
   request.cancel = token;
+  request.client_nonce = query.client_nonce;
+  request.client_seq = query.client_seq;
 
   mailbox_->pending_requests.fetch_add(1, std::memory_order_acq_rel);
   // The completion runs on an engine pool thread (or inline for immediate
@@ -453,6 +456,7 @@ void Server::DispatchQuery(Connection& conn, WireQuery query) {
         } else {
           result.code = outcome.status().code();
           result.message = outcome.status().message();
+          result.retry_after_ms = outcome.status().retry_after_ms();
         }
         std::string bytes = EncodeResultFrame(result);
         std::lock_guard<std::mutex> lock(mailbox->mu);

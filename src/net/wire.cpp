@@ -177,6 +177,8 @@ std::string EncodeQueryFrame(const WireQuery& query) {
   w.PutU64(query.fingerprint);
   w.PutI64(query.deadline_ms);
   w.PutString(query.sql);
+  w.PutU64(query.client_nonce);
+  w.PutU64(query.client_seq);
   return EncodeFrame(FrameType::kQueryRequest, w.bytes());
 }
 
@@ -202,6 +204,7 @@ std::string EncodeResultFrame(const WireResult& result) {
   w.PutDouble(r.seconds.reduce);
   w.PutDouble(r.seconds.enforce);
   w.PutDouble(r.seconds.total);
+  w.PutI64(result.retry_after_ms);
   return EncodeFrame(FrameType::kQueryResponse, w.bytes());
 }
 
@@ -219,6 +222,7 @@ std::string EncodeErrorFrame(const Status& status) {
   PayloadWriter w;
   w.PutU8(static_cast<uint8_t>(status.code()));
   w.PutString(status.message());
+  w.PutI64(status.retry_after_ms());
   return EncodeFrame(FrameType::kError, w.bytes());
 }
 
@@ -232,6 +236,8 @@ Status DecodeQueryPayload(std::string_view payload, WireQuery* out) {
   UPA_RETURN_IF_ERROR(r.GetU64(&out->fingerprint));
   UPA_RETURN_IF_ERROR(r.GetI64(&out->deadline_ms));
   UPA_RETURN_IF_ERROR(r.GetString(&out->sql));
+  UPA_RETURN_IF_ERROR(r.GetU64(&out->client_nonce));
+  UPA_RETURN_IF_ERROR(r.GetU64(&out->client_seq));
   return r.ExpectEnd();
 }
 
@@ -265,6 +271,7 @@ Status DecodeResultPayload(std::string_view payload, WireResult* out) {
   UPA_RETURN_IF_ERROR(r.GetDouble(&resp.seconds.reduce));
   UPA_RETURN_IF_ERROR(r.GetDouble(&resp.seconds.enforce));
   UPA_RETURN_IF_ERROR(r.GetDouble(&resp.seconds.total));
+  UPA_RETURN_IF_ERROR(r.GetI64(&out->retry_after_ms));
   return r.ExpectEnd();
 }
 
@@ -282,8 +289,11 @@ Status DecodeErrorPayload(std::string_view payload, Status* out) {
   UPA_RETURN_IF_ERROR(DecodeStatusCode(code, &parsed));
   std::string message;
   UPA_RETURN_IF_ERROR(r.GetString(&message));
+  int64_t retry_after_ms = 0;
+  UPA_RETURN_IF_ERROR(r.GetI64(&retry_after_ms));
   UPA_RETURN_IF_ERROR(r.ExpectEnd());
   *out = Status(parsed, std::move(message));
+  out->set_retry_after_ms(retry_after_ms);
   return Status::Ok();
 }
 

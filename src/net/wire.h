@@ -23,9 +23,11 @@
 //
 // Request/response payloads:
 //   kQueryRequest   client_tag, tenant, dataset_id, epsilon, seed,
-//                   fingerprint, deadline_ms, sql
+//                   fingerprint, deadline_ms, sql, client_nonce,
+//                   client_seq (idempotency key; 0 = unkeyed)
 //   kQueryResponse  client_tag, status code + message, released value and
-//                   the full decision metadata of service::QueryResponse
+//                   the full decision metadata of service::QueryResponse,
+//                   retry_after_ms backoff hint
 //   kStatsRequest   (empty)
 //   kStatsResponse  client_tag(0), text
 //   kError          status code + message; the server closes the
@@ -82,6 +84,13 @@ struct WireQuery {
   uint64_t fingerprint = 0;
   int64_t deadline_ms = 0;
   std::string sql;
+  /// Idempotency key. (client_nonce, client_seq) with nonce != 0 names
+  /// this request uniquely across retries: a re-submission with the same
+  /// key replays the journaled response instead of re-running (and never
+  /// re-charges budget). nonce == 0 means "no key" — every submission is
+  /// a fresh query. net::Client stamps a key automatically.
+  uint64_t client_nonce = 0;
+  uint64_t client_seq = 0;
 };
 
 /// The full release outcome as it travels server → client: the Status plus
@@ -91,10 +100,15 @@ struct WireResult {
   StatusCode code = StatusCode::kOk;
   std::string message;
   service::QueryResponse response;
+  /// Backoff hint on kResourceExhausted / kUnavailable (0 = none).
+  int64_t retry_after_ms = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status status() const {
-    return ok() ? Status::Ok() : Status(code, message);
+    if (ok()) return Status::Ok();
+    Status st(code, message);
+    st.set_retry_after_ms(retry_after_ms);
+    return st;
   }
 };
 

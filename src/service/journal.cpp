@@ -19,7 +19,10 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MiB sanity bound
-constexpr char kSnapshotMagic[8] = {'U', 'P', 'A', 'S', 'N', 'A', 'P', '1'};
+// Snapshot format v2 appends the dedup-window section; v1 snapshots (from
+// before idempotency keys existed) are still readable with an empty window.
+constexpr char kSnapshotMagicV1[8] = {'U', 'P', 'A', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapshotMagicV2[8] = {'U', 'P', 'A', 'S', 'N', 'A', 'P', '2'};
 
 uint64_t BitsFromDouble(double v) {
   uint64_t bits;
@@ -108,6 +111,11 @@ std::string EncodePayload(const JournalRecord& record) {
   }
   AppendU32(payload, static_cast<uint32_t>(record.dataset_id.size()));
   payload.append(record.dataset_id);
+  AppendU64(payload, record.nonce);
+  AppendU64(payload, record.key_seq);
+  AppendU64(payload, record.request_hash);
+  AppendU32(payload, static_cast<uint32_t>(record.response_blob.size()));
+  payload.append(record.response_blob);
   return payload;
 }
 
@@ -122,7 +130,7 @@ bool DecodePayload(const std::string& payload, JournalRecord* record) {
     return false;
   }
   if (type < static_cast<uint8_t>(JournalRecord::Type::kOpen) ||
-      type > static_cast<uint8_t>(JournalRecord::Type::kEpochBump)) {
+      type > static_cast<uint8_t>(JournalRecord::Type::kExpire)) {
     return false;
   }
   record->type = static_cast<JournalRecord::Type>(type);
@@ -136,6 +144,20 @@ bool DecodePayload(const std::string& payload, JournalRecord* record) {
   }
   if (!r.ReadU32(&id_len)) return false;
   if (!r.ReadBytes(id_len, &record->dataset_id)) return false;
+  // Records written before idempotency keys end here; treat them as
+  // unkeyed. (Offset arithmetic in recovery uses on-disk sizes, never a
+  // re-encode, so the shorter legacy form replays correctly.)
+  record->nonce = 0;
+  record->key_seq = 0;
+  record->request_hash = 0;
+  record->response_blob.clear();
+  if (r.AtEnd()) return true;
+  uint32_t blob_len = 0;
+  if (!r.ReadU64(&record->nonce) || !r.ReadU64(&record->key_seq) ||
+      !r.ReadU64(&record->request_hash) || !r.ReadU32(&blob_len) ||
+      !r.ReadBytes(blob_len, &record->response_blob)) {
+    return false;
+  }
   return r.AtEnd();
 }
 
@@ -242,6 +264,14 @@ void ApplyRecord(const JournalRecord& rec, DatasetDurableState* state,
     case JournalRecord::Type::kRelease:
       state->registry.push_back(rec.partition_outputs);
       pending->erase(rec.qid);
+      if (rec.nonce != 0) {
+        DedupDurableEntry entry;
+        entry.nonce = rec.nonce;
+        entry.seq = rec.key_seq;
+        entry.request_hash = rec.request_hash;
+        entry.response_blob = rec.response_blob;
+        state->dedup.push_back(std::move(entry));
+      }
       break;
     case JournalRecord::Type::kRefund:
       state->refunded_total += rec.epsilon;
@@ -249,6 +279,18 @@ void ApplyRecord(const JournalRecord& rec, DatasetDurableState* state,
       break;
     case JournalRecord::Type::kEpochBump:
       state->epoch = rec.epoch;
+      break;
+    case JournalRecord::Type::kExpire:
+      // Crash-consistent dedup-window eviction: the key leaves the window
+      // only once the expiry itself is journaled, so a crash between the
+      // in-memory evict and the append can never resurrect a replay the
+      // service already stopped promising.
+      for (auto it = state->dedup.begin(); it != state->dedup.end(); ++it) {
+        if (it->nonce == rec.nonce && it->seq == rec.key_seq) {
+          state->dedup.erase(it);
+          break;
+        }
+      }
       break;
   }
 }
@@ -342,11 +384,12 @@ Status Journal::Append(const JournalRecord& record) {
   return Status::Ok();
 }
 
-Result<std::vector<JournalRecord>> Journal::ReadAll(const std::string& path,
-                                                    bool* torn_tail,
-                                                    uint64_t* intact_bytes) {
+Result<std::vector<JournalRecord>> Journal::ReadAll(
+    const std::string& path, bool* torn_tail, uint64_t* intact_bytes,
+    std::vector<uint64_t>* frame_ends) {
   if (torn_tail != nullptr) *torn_tail = false;
   if (intact_bytes != nullptr) *intact_bytes = 0;
+  if (frame_ends != nullptr) frame_ends->clear();
   auto data_or = ReadWholeFile(path);
   UPA_RETURN_IF_ERROR(data_or.status());
   const std::string& data = data_or.value();
@@ -367,6 +410,7 @@ Result<std::vector<JournalRecord>> Journal::ReadAll(const std::string& path,
       break;
     }
     if (intact_bytes != nullptr) *intact_bytes = r.pos();
+    if (frame_ends != nullptr) frame_ends->push_back(r.pos());
     records.push_back(std::move(rec));
   }
   return records;
@@ -387,9 +431,17 @@ Status WriteSnapshot(const std::string& dir, const DatasetDurableState& state,
     AppendU32(body, static_cast<uint32_t>(prior.size()));
     for (double v : prior) AppendU64(body, BitsFromDouble(v));
   }
+  AppendU32(body, static_cast<uint32_t>(state.dedup.size()));
+  for (const auto& entry : state.dedup) {
+    AppendU64(body, entry.nonce);
+    AppendU64(body, entry.seq);
+    AppendU64(body, entry.request_hash);
+    AppendU32(body, static_cast<uint32_t>(entry.response_blob.size()));
+    body.append(entry.response_blob);
+  }
 
   std::string file;
-  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  file.append(kSnapshotMagicV2, sizeof(kSnapshotMagicV2));
   AppendU64(file, Fnv1a(body));
   file.append(body);
   return WriteFileAtomic(SnapshotPath(dir, state.dataset_id), file, fsync);
@@ -400,15 +452,21 @@ Result<DatasetDurableState> ReadSnapshot(const std::string& path,
   auto data_or = ReadWholeFile(path);
   UPA_RETURN_IF_ERROR(data_or.status());
   const std::string& data = data_or.value();
-  if (data.size() < sizeof(kSnapshotMagic) + 8 ||
-      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+  if (data.size() < sizeof(kSnapshotMagicV2) + 8) {
     return Status::Internal("snapshot '" + path + "': bad magic");
   }
-  Reader header(data.data() + sizeof(kSnapshotMagic), 8);
+  bool v2 = std::memcmp(data.data(), kSnapshotMagicV2,
+                        sizeof(kSnapshotMagicV2)) == 0;
+  bool v1 = !v2 && std::memcmp(data.data(), kSnapshotMagicV1,
+                               sizeof(kSnapshotMagicV1)) == 0;
+  if (!v1 && !v2) {
+    return Status::Internal("snapshot '" + path + "': bad magic");
+  }
+  Reader header(data.data() + sizeof(kSnapshotMagicV2), 8);
   uint64_t checksum = 0;
   header.ReadU64(&checksum);
-  const char* body = data.data() + sizeof(kSnapshotMagic) + 8;
-  size_t body_size = data.size() - sizeof(kSnapshotMagic) - 8;
+  const char* body = data.data() + sizeof(kSnapshotMagicV2) + 8;
+  size_t body_size = data.size() - sizeof(kSnapshotMagicV2) - 8;
   if (Fnv1a(std::string_view(body, body_size)) != checksum) {
     return Status::Internal("snapshot '" + path + "': checksum mismatch");
   }
@@ -439,6 +497,20 @@ Result<DatasetDurableState> ReadSnapshot(const std::string& path,
         if (ok) prior.push_back(DoubleFromBits(bits));
       }
       if (ok) state.registry.push_back(std::move(prior));
+    }
+  }
+  // v1 snapshots predate the dedup window; they end after the registry.
+  if (ok && v2) {
+    uint32_t dedup_len = 0;
+    ok = r.ReadU32(&dedup_len);
+    state.dedup.reserve(ok ? dedup_len : 0);
+    for (uint32_t i = 0; ok && i < dedup_len; ++i) {
+      DedupDurableEntry entry;
+      uint32_t blob_len = 0;
+      ok = r.ReadU64(&entry.nonce) && r.ReadU64(&entry.seq) &&
+           r.ReadU64(&entry.request_hash) && r.ReadU32(&blob_len) &&
+           r.ReadBytes(blob_len, &entry.response_blob);
+      if (ok) state.dedup.push_back(std::move(entry));
     }
   }
   if (!ok || !r.AtEnd()) {
@@ -473,7 +545,9 @@ Result<DatasetDurableState> RecoverDataset(const std::string& dir,
   uint64_t intact_bytes = 0;
   if (journal_exists) {
     bool torn = false;
-    auto records_or = Journal::ReadAll(journal_path, &torn, &intact_bytes);
+    std::vector<uint64_t> frame_ends;
+    auto records_or =
+        Journal::ReadAll(journal_path, &torn, &intact_bytes, &frame_ends);
     UPA_RETURN_IF_ERROR(records_or.status());
     // Drop a torn tail fragment from disk: frames appended after it would
     // be unreachable (readers stop at the first bad frame).
@@ -485,14 +559,16 @@ Result<DatasetDurableState> RecoverDataset(const std::string& dir,
       }
     }
     if (covered > intact_bytes) covered = intact_bytes;
-    // Replay only records past the snapshot's coverage, walking byte
-    // offsets frame by frame (encoding is deterministic, so re-framing
-    // reproduces each record's on-disk size).
+    // Replay only records past the snapshot's coverage, walking the
+    // on-disk byte offsets ReadAll reported (a record written by an older
+    // binary can be shorter than a re-encode of it would be today, so
+    // re-framing is not a size authority).
     uint64_t offset = 0;
-    for (const auto& rec : records_or.value()) {
-      uint64_t frame_bytes = 12 + EncodePayload(rec).size();
+    const auto& records = records_or.value();
+    for (size_t i = 0; i < records.size(); ++i) {
+      const auto& rec = records[i];
       bool beyond_snapshot = offset >= covered;
-      offset += frame_bytes;
+      offset = frame_ends[i];
       if (!beyond_snapshot) continue;
       if (rec.type == JournalRecord::Type::kOpen &&
           rec.dataset_id != dataset_id) {

@@ -14,7 +14,10 @@
 //   [u32 payload_len][u64 fnv1a(payload)][payload]
 //   payload := u8 type, u64 qid, u64 epsilon_bits, u64 epoch,
 //              u32 vec_len, vec_len × u64 double_bits,
-//              u32 id_len, id_len bytes        (dataset id; kOpen only)
+//              u32 id_len, id_len bytes,       (dataset id; kOpen only)
+//              u64 nonce, u64 key_seq, u64 request_hash,
+//              u32 blob_len, blob_len bytes    (idempotency key + serialized
+//                                               response; kRelease/kExpire)
 //
 // A torn tail (partial header, impossible length, checksum mismatch —
 // the process died mid-append) ends replay at the last intact record;
@@ -50,6 +53,7 @@ struct JournalRecord {
     kRelease = 3,    // qid released; partition_outputs joined the registry
     kRefund = 4,     // qid's charge was returned (failure/cancel/deadline)
     kEpochBump = 5,  // dataset data changed; `epoch` is the new value
+    kExpire = 6,     // idempotency key (nonce, key_seq) left the dedup window
   };
 
   Type type = Type::kCharge;
@@ -58,6 +62,24 @@ struct JournalRecord {
   uint64_t epoch = 0;
   std::vector<double> partition_outputs;  // kRelease only
   std::string dataset_id;                 // kOpen only
+  /// Idempotency key of the request that produced this release (0 = the
+  /// request carried no key). On kRelease the full serialized response
+  /// rides along in `response_blob` so a retried key can be answered
+  /// byte-identically after a crash; kExpire names the key whose entry
+  /// aged out of the dedup window.
+  uint64_t nonce = 0;
+  uint64_t key_seq = 0;
+  uint64_t request_hash = 0;   // binds the key to the request it first named
+  std::string response_blob;   // kRelease only; opaque to the journal
+};
+
+/// One completed idempotency key and the exact response it was answered
+/// with, as journaled by the kRelease record.
+struct DedupDurableEntry {
+  uint64_t nonce = 0;
+  uint64_t seq = 0;
+  uint64_t request_hash = 0;
+  std::string response_blob;
 };
 
 /// One dataset's durable state, as reconstructed by recovery.
@@ -71,6 +93,10 @@ struct DatasetDurableState {
   /// Charges that were still in flight when the journal ended (crash):
   /// recovery refunds them (qid → epsilon). Kept for observability.
   std::map<uint64_t, double> recovered_refunds;
+  /// Completed idempotency keys in completion order (oldest first): every
+  /// keyed kRelease minus the keys a later kExpire retired. The service
+  /// rebuilds its dedup window from this so replay survives process death.
+  std::vector<DedupDurableEntry> dedup;
 };
 
 /// Append-side handle for one dataset's journal file. Thread-safe: appends
@@ -108,9 +134,13 @@ class Journal {
   /// `intact_bytes` the offset of the last intact record's end — recovery
   /// truncates the file there, because frames appended after a fragment
   /// would be unreachable (readers stop at the first bad frame).
+  /// `frame_ends`, when non-null, receives each record's end offset in the
+  /// file — the on-disk size authority recovery walks (legacy records are
+  /// shorter than a re-encode of the same record would be).
   static Result<std::vector<JournalRecord>> ReadAll(
       const std::string& path, bool* torn_tail = nullptr,
-      uint64_t* intact_bytes = nullptr);
+      uint64_t* intact_bytes = nullptr,
+      std::vector<uint64_t>* frame_ends = nullptr);
 
  private:
   Journal(std::string path, std::FILE* file, bool fsync)

@@ -3,12 +3,119 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/failpoint.h"
 #include "common/hash.h"
 
 namespace upa::service {
+namespace {
+
+// Little-endian scalar helpers for the response blob. Doubles travel as
+// raw IEEE-754 bits so a replayed response is byte-identical to the first
+// delivery (same convention as the journal and the wire).
+void BlobPutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void BlobPutDouble(std::string& out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  BlobPutU64(out, bits);
+}
+
+bool BlobGetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *v = r;
+  return true;
+}
+
+bool BlobGetDouble(const std::string& in, size_t* pos, double* v) {
+  uint64_t bits = 0;
+  if (!BlobGetU64(in, pos, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeResponseBlob(const QueryResponse& r) {
+  std::string out;
+  out.reserve(15 * 8);
+  BlobPutDouble(out, r.released);
+  BlobPutDouble(out, r.epsilon);
+  BlobPutDouble(out, r.local_sensitivity);
+  BlobPutDouble(out, r.out_range.lo);
+  BlobPutDouble(out, r.out_range.hi);
+  uint64_t flags = (r.attack_suspected ? 1u : 0u) |
+                   (r.degenerate_sensitivity ? 2u : 0u) |
+                   (r.sensitivity_cache_hit ? 4u : 0u);
+  BlobPutU64(out, flags);
+  BlobPutU64(out, static_cast<uint64_t>(r.records_removed));
+  BlobPutU64(out, r.dataset_epoch);
+  BlobPutDouble(out, r.queue_seconds);
+  BlobPutDouble(out, r.seconds.sample);
+  BlobPutDouble(out, r.seconds.map);
+  BlobPutDouble(out, r.seconds.reduce);
+  BlobPutDouble(out, r.seconds.enforce);
+  BlobPutDouble(out, r.seconds.total);
+  return out;
+}
+
+Status DecodeResponseBlob(const std::string& blob, QueryResponse* out) {
+  size_t pos = 0;
+  uint64_t flags = 0;
+  uint64_t removed = 0;
+  bool ok = BlobGetDouble(blob, &pos, &out->released) &&
+            BlobGetDouble(blob, &pos, &out->epsilon) &&
+            BlobGetDouble(blob, &pos, &out->local_sensitivity) &&
+            BlobGetDouble(blob, &pos, &out->out_range.lo) &&
+            BlobGetDouble(blob, &pos, &out->out_range.hi) &&
+            BlobGetU64(blob, &pos, &flags) &&
+            BlobGetU64(blob, &pos, &removed) &&
+            BlobGetU64(blob, &pos, &out->dataset_epoch) &&
+            BlobGetDouble(blob, &pos, &out->queue_seconds) &&
+            BlobGetDouble(blob, &pos, &out->seconds.sample) &&
+            BlobGetDouble(blob, &pos, &out->seconds.map) &&
+            BlobGetDouble(blob, &pos, &out->seconds.reduce) &&
+            BlobGetDouble(blob, &pos, &out->seconds.enforce) &&
+            BlobGetDouble(blob, &pos, &out->seconds.total);
+  if (!ok || pos != blob.size()) {
+    return Status::Internal("journaled response blob is corrupt (" +
+                            std::to_string(blob.size()) + " bytes)");
+  }
+  out->attack_suspected = (flags & 1u) != 0;
+  out->degenerate_sensitivity = (flags & 2u) != 0;
+  out->sensitivity_cache_hit = (flags & 4u) != 0;
+  out->records_removed = static_cast<size_t>(removed);
+  return Status::Ok();
+}
+
+uint64_t RequestKeyHash(const QueryRequest& request) {
+  // The key binds to everything that determines the released bits: the
+  // tenant/dataset scope, the query shape, epsilon and the noise seed. A
+  // key re-submitted with any of these changed is a client bug, not a
+  // retry, and must not be answered with the cached response.
+  std::string bytes;
+  BlobPutU64(bytes, Fnv1a(request.tenant));
+  BlobPutU64(bytes, Fnv1a(request.dataset_id));
+  BlobPutU64(bytes, Fnv1a(request.query.name));
+  uint64_t eps_bits = 0;
+  std::memcpy(&eps_bits, &request.epsilon, sizeof(eps_bits));
+  BlobPutU64(bytes, eps_bits);
+  BlobPutU64(bytes, request.seed);
+  BlobPutU64(bytes, request.fingerprint);
+  return Fnv1a(bytes);
+}
 
 Status ValidateServiceConfig(const ServiceConfig& config) {
   if (config.max_in_flight == 0) {
@@ -68,6 +175,34 @@ void UpaService::SensitivityCache::Clear() {
   index.clear();
 }
 
+bool UpaService::DedupTable::Lookup(const Key& key, Entry* out) {
+  auto it = index.find(key);
+  if (it == index.end()) return false;
+  entries.splice(entries.begin(), entries, it->second);
+  *out = entries.front().second;
+  ++replays;
+  return true;
+}
+
+void UpaService::DedupTable::Insert(const Key& key, Entry entry,
+                                    size_t capacity,
+                                    std::vector<Key>* evicted) {
+  if (capacity == 0) return;
+  auto it = index.find(key);
+  if (it != index.end()) {
+    it->second->second = std::move(entry);
+    entries.splice(entries.begin(), entries, it->second);
+    return;
+  }
+  entries.emplace_front(key, std::move(entry));
+  index[key] = entries.begin();
+  while (entries.size() > capacity) {
+    if (evicted != nullptr) evicted->push_back(entries.back().first);
+    index.erase(entries.back().first);
+    entries.pop_back();
+  }
+}
+
 UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
     : ctx_(ctx),
       config_(std::move(config)),
@@ -93,6 +228,21 @@ UpaService::UpaService(engine::ExecContext* ctx, ServiceConfig config)
         auto ds = std::make_shared<DatasetState>();
         ds->epoch = state.epoch;
         ds->enforcer->RestoreRegistry(std::move(state.registry));
+        // Rebuild the dedup window from the journaled keys, oldest first
+        // so the in-memory LRU order matches completion order. Recovery
+        // may return more keys than the window holds (kExpire frames for
+        // the overflow were lost with the crash); keep the newest.
+        size_t keep = std::min(state.dedup.size(), config_.dedup_window);
+        for (size_t i = state.dedup.size() - keep; i < state.dedup.size();
+             ++i) {
+          auto& src = state.dedup[i];
+          DedupTable::Entry entry;
+          entry.request_hash = src.request_hash;
+          entry.blob = std::move(src.response_blob);
+          ds->dedup.Insert({src.nonce, src.seq}, std::move(entry),
+                           config_.dedup_window, nullptr);
+        }
+        ctx_->metrics().AddCounter("service/recovered_dedup_keys", keep);
         accountant_.RestoreLedger(state.dataset_id, state.charged_total,
                                   state.refunded_total);
         auto journal_or = Journal::Open(config_.journal_dir, state.dataset_id,
@@ -212,11 +362,13 @@ void UpaService::Enqueue(std::shared_ptr<Pending> pending) {
     ++tenant.rejected;
     lock.unlock();
     ctx_->metrics().AddCounter("service/rejected");
-    Resolve(*pending, Status::ResourceExhausted(
-                          "tenant '" + pending->request.tenant +
-                          "' backlog full (" +
-                          std::to_string(config_.max_queue_per_tenant) +
-                          " queued)"));
+    Status full = Status::ResourceExhausted(
+        "tenant '" + pending->request.tenant + "' backlog full (" +
+        std::to_string(config_.max_queue_per_tenant) + " queued)");
+    // Advise the client when to come back instead of leaving it guessing;
+    // the hint rides the wire error frame as retry_after_ms.
+    full.set_retry_after_ms(config_.retry_after_hint_ms);
+    Resolve(*pending, full);
     return;
   }
   ++tenant.submitted;
@@ -357,6 +509,42 @@ Result<QueryResponse> UpaService::RunOne(Pending& pending,
   // release. ds->mu is taken only for short epoch/cache sections — never
   // across the run (see DatasetState::mu).
   std::shared_ptr<DatasetState> ds = DatasetFor(request.dataset_id);
+
+  // Exactly-once replay: a key that already completed is answered from the
+  // dedup window with the journaled response — byte-identical, before the
+  // journal-health gate and before any Charge, so a retry of an
+  // acknowledged release can never spend budget (or double-register the
+  // output). The key is bound to a request hash: reusing it for a
+  // different request is a client bug, rejected rather than replayed.
+  bool keyed = request.client_nonce != 0 && config_.dedup_window > 0;
+  uint64_t request_hash = keyed ? RequestKeyHash(request) : 0;
+  if (keyed) {
+    DedupTable::Entry entry;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> ds_lock(ds->mu);
+      hit = ds->dedup.Lookup({request.client_nonce, request.client_seq},
+                             &entry);
+    }
+    if (hit) {
+      if (entry.request_hash != request_hash) {
+        metrics.AddCounter("service/dedup_key_mismatch");
+        return Status::InvalidArgument(
+            "idempotency key (" + std::to_string(request.client_nonce) +
+            ", " + std::to_string(request.client_seq) +
+            ") was already used for a different request");
+      }
+      QueryResponse replay;
+      Status decoded = DecodeResponseBlob(entry.blob, &replay);
+      if (!decoded.ok()) {
+        metrics.AddCounter("service/journal_errors");
+        return decoded;
+      }
+      metrics.AddCounter("service/dedup_replays");
+      return replay;
+    }
+  }
+
   if (!config_.journal_dir.empty() && ds->journal == nullptr) {
     // Durability was requested but this dataset's journal is broken:
     // failing the query is the conservative choice (running it would
@@ -374,6 +562,12 @@ Result<QueryResponse> UpaService::RunOne(Pending& pending,
     return charged;
   }
 
+  // Crash-injection sites for the exactly-once chaos orchestrator: a
+  // SIGKILL at any of the four leaves the journal in a different phase of
+  // the charge→run→release protocol, and recovery + a keyed retry must
+  // land on "released exactly once" from all of them.
+  UPA_FAILPOINT_HIT("service/charge_pre_append");
+
   // Two-phase + journal: the charge is durable before the run starts; a
   // crash from here on leaves a dangling charge that recovery refunds.
   uint64_t qid = next_qid_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -390,6 +584,7 @@ Result<QueryResponse> UpaService::RunOne(Pending& pending,
       return journaled;
     }
   }
+  UPA_FAILPOINT_HIT("service/post_append_pre_run");
 
   uint64_t fingerprint = request.fingerprint != 0
                              ? request.fingerprint
@@ -440,16 +635,39 @@ Result<QueryResponse> UpaService::RunOne(Pending& pending,
     return run.status();
   }
   const core::UpaRunResult& result = run.value();
+  UPA_FAILPOINT_HIT("service/post_run_pre_release_append");
+
+  QueryResponse response;
+  response.released = result.released_output;
+  response.epsilon = request.epsilon;
+  response.local_sensitivity = result.local_sensitivity;
+  response.out_range = result.out_range;
+  response.attack_suspected = result.enforcer.attack_suspected;
+  response.records_removed = result.enforcer.records_removed;
+  response.degenerate_sensitivity = result.degenerate_sensitivity;
+  response.sensitivity_cache_hit = cache_hit;
+  response.dataset_epoch = epoch;
+  response.queue_seconds = queue_seconds;
+  response.seconds = result.seconds;
+  // The exact bytes a replay of this key must return, frozen before the
+  // release record is written so journal and window always agree.
+  std::string response_blob = keyed ? EncodeResponseBlob(response) : "";
 
   if (ds->journal != nullptr) {
     // The release becomes durable BEFORE the response resolves: an
     // unacknowledged release must look like it never happened, and an
-    // acknowledged one must survive a crash.
+    // acknowledged one must survive a crash. The record carries the
+    // idempotency key and the serialized response, so recovery can answer
+    // a retried key byte-identically without running anything.
     JournalRecord rec;
     rec.type = JournalRecord::Type::kRelease;
     rec.qid = qid;
     rec.epsilon = request.epsilon;
     rec.partition_outputs = result.partition_outputs;
+    rec.nonce = request.client_nonce;
+    rec.key_seq = request.client_seq;
+    rec.request_hash = request_hash;
+    rec.response_blob = response_blob;
     Status journaled = ds->journal->Append(rec);
     if (!journaled.ok()) {
       // The analyst never sees this output (we return the error), so the
@@ -468,6 +686,7 @@ Result<QueryResponse> UpaService::RunOne(Pending& pending,
     }
   }
 
+  std::vector<DedupTable::Key> evicted;
   {
     std::lock_guard<std::mutex> ds_lock(ds->mu);
     // Fill the cache only if the data didn't change mid-run: a BumpEpoch
@@ -479,30 +698,46 @@ Result<QueryResponse> UpaService::RunOne(Pending& pending,
                                              result.degenerate_sensitivity},
                        config_.sensitivity_cache_capacity);
     }
+    if (keyed) {
+      DedupTable::Entry entry;
+      entry.request_hash = request_hash;
+      entry.blob = std::move(response_blob);
+      ds->dedup.Insert({request.client_nonce, request.client_seq},
+                       std::move(entry), config_.dedup_window, &evicted);
+    }
     ++ds->queries;
+  }
+  if (ds->journal != nullptr) {
+    // Journal the eviction so the durable window tracks the in-memory one
+    // (recovery otherwise re-trims deterministically — a lost kExpire can
+    // widen the recovered window, never corrupt it).
+    for (const auto& gone : evicted) {
+      JournalRecord expire;
+      expire.type = JournalRecord::Type::kExpire;
+      expire.nonce = gone.first;
+      expire.key_seq = gone.second;
+      if (!ds->journal->Append(expire).ok()) {
+        metrics.AddCounter("service/journal_errors");
+        break;  // journal is poisoned; further appends would fail too
+      }
+    }
+  }
+  if (!evicted.empty()) {
+    metrics.AddCounter("service/dedup_expired", evicted.size());
   }
   if (result.enforcer.attack_suspected) {
     metrics.AddCounter("service/attacks_suspected");
   }
-
-  QueryResponse response;
-  response.released = result.released_output;
-  response.epsilon = request.epsilon;
-  response.local_sensitivity = result.local_sensitivity;
-  response.out_range = result.out_range;
-  response.attack_suspected = result.enforcer.attack_suspected;
-  response.records_removed = result.enforcer.records_removed;
-  response.degenerate_sensitivity = result.degenerate_sensitivity;
-  response.sensitivity_cache_hit = cache_hit;
-  response.dataset_epoch = epoch;
-  response.queue_seconds = queue_seconds;
-  response.seconds = result.seconds;
 
   metrics.RecordLatency("upa/sample", result.seconds.sample);
   metrics.RecordLatency("upa/map", result.seconds.map);
   metrics.RecordLatency("upa/reduce", result.seconds.reduce);
   metrics.RecordLatency("upa/enforce", result.seconds.enforce);
   metrics.RecordLatency("service/total", total.ElapsedSeconds());
+  // Release durable + dedup window updated, response not yet delivered: a
+  // crash here is the pure replay case — the retry must return these
+  // exact bytes without charging again.
+  UPA_FAILPOINT_HIT("service/post_release_pre_ack");
   return response;
 }
 
@@ -540,6 +775,14 @@ size_t UpaService::CachedSensitivities(const std::string& dataset_id) const {
   if (it == datasets_.end()) return 0;
   std::lock_guard<std::mutex> ds_lock(it->second->mu);
   return it->second->cache.size();
+}
+
+size_t UpaService::DedupWindowSize(const std::string& dataset_id) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(dataset_id);
+  if (it == datasets_.end()) return 0;
+  std::lock_guard<std::mutex> ds_lock(it->second->mu);
+  return it->second->dedup.size();
 }
 
 UpaService::DatasetDurableDebug UpaService::DebugState(
@@ -584,6 +827,8 @@ std::string UpaService::StatsReport() const {
           << " queries=" << ds->queries
           << " registry=" << ds->enforcer->registry_size()
           << " cached_sens=" << ds->cache.size()
+          << " dedup_keys=" << ds->dedup.size()
+          << " dedup_replays=" << ds->dedup.replays
           << " spent=" << accountant_.Spent(id)
           << " remaining=" << accountant_.Remaining(id)
           << (ds->journal != nullptr ? " [journaled]" : "") << "\n";

@@ -100,6 +100,14 @@ struct ServiceConfig {
   /// deadline expired before dispatch. 0 disables the watchdog (in-flight
   /// deadline checks are unaffected — those are cooperative).
   double watchdog_interval_ms = 2.0;
+  /// Per-dataset LRU window of completed idempotency keys. A re-submitted
+  /// key inside the window replays the journaled response byte-identically
+  /// without touching the accountant; eviction is journaled (kExpire) so
+  /// the window is crash-consistent. 0 disables dedup (keys are ignored).
+  size_t dedup_window = 1024;
+  /// Backoff hint stamped on backlog rejections (Status::retry_after_ms,
+  /// carried to clients in the wire error frame). 0 = no hint.
+  int64_t retry_after_hint_ms = 50;
 };
 
 /// Rejects nonsensical configurations (zero admission/queue limits,
@@ -131,6 +139,13 @@ struct QueryRequest {
   /// never, if the release already happened. Created internally when only
   /// deadline_ms is set.
   std::shared_ptr<CancelToken> cancel;
+  /// Idempotency key (client_nonce != 0 activates it). A re-submission
+  /// with the same (client_nonce, client_seq) on the same dataset replays
+  /// the original journaled response — same bits, no budget charge —
+  /// instead of running again. Reusing a key for a *different* request is
+  /// rejected with kInvalidArgument (the key binds to a request hash).
+  uint64_t client_nonce = 0;
+  uint64_t client_seq = 0;
 };
 
 struct QueryResponse {
@@ -149,6 +164,18 @@ struct QueryResponse {
   double queue_seconds = 0.0;
   core::PhaseSeconds seconds;
 };
+
+/// Bit-exact (de)serialization of a QueryResponse for the journal's
+/// kRelease blob: a replayed key must return the original response
+/// byte-identically, across process death. Doubles travel as raw IEEE-754
+/// bits, same as the rest of the journal.
+std::string EncodeResponseBlob(const QueryResponse& response);
+Status DecodeResponseBlob(const std::string& blob, QueryResponse* out);
+
+/// The hash an idempotency key is bound to: a key re-submitted with a
+/// different request (tenant/query/epsilon/seed/fingerprint) is rejected
+/// instead of replayed.
+uint64_t RequestKeyHash(const QueryRequest& request);
 
 class UpaService {
  public:
@@ -184,6 +211,9 @@ class UpaService {
 
   /// Size of the dataset's sensitivity cache (tests/stats).
   size_t CachedSensitivities(const std::string& dataset_id) const;
+
+  /// Live size of the dataset's idempotency dedup window (tests/stats).
+  size_t DedupWindowSize(const std::string& dataset_id) const;
 
   dp::PrivacyAccountant& accountant() { return accountant_; }
   engine::ExecContext* ctx() { return ctx_; }
@@ -257,6 +287,29 @@ class UpaService {
     size_t size() const { return entries.size(); }
   };
 
+  /// One dataset's LRU window of completed idempotency keys:
+  /// (nonce, seq) → (request_hash, serialized response), most recently
+  /// completed/replayed at the front. Guarded by DatasetState::mu.
+  struct DedupTable {
+    using Key = std::pair<uint64_t, uint64_t>;
+    struct Entry {
+      uint64_t request_hash = 0;
+      std::string blob;
+    };
+    std::list<std::pair<Key, Entry>> entries;
+    std::map<Key, decltype(entries)::iterator> index;
+    uint64_t replays = 0;  // lookups answered from the window
+
+    /// Found → copies the entry out and moves the key to the LRU front.
+    bool Lookup(const Key& key, Entry* out);
+    /// Inserts (or refreshes) a completed key; evicted keys — beyond
+    /// `capacity` — land in `evicted` so the caller can journal their
+    /// kExpire records.
+    void Insert(const Key& key, Entry entry, size_t capacity,
+                std::vector<Key>* evicted);
+    size_t size() const { return entries.size(); }
+  };
+
   struct DatasetState {
     // Guards epoch/cache/queries for short reads and writes only. Release
     // paths never overlap on a dataset — the dispatcher admits at most one
@@ -270,6 +323,8 @@ class UpaService {
     uint64_t epoch = 0;
     uint64_t queries = 0;
     SensitivityCache cache;
+    /// Completed idempotency keys (bounded by ServiceConfig::dedup_window).
+    DedupTable dedup;
     /// Durable journal; null when durability is off or the journal failed
     /// to open (then journal_status carries the error and queries on this
     /// dataset fail rather than silently losing durability).

@@ -16,10 +16,14 @@
 //      release still holding its budget charge after restart.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
 #include <stdlib.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -29,9 +33,13 @@
 #include "cluster/router.h"
 #include "cluster/shard_process.h"
 #include "net/client.h"
+#include "service/journal.h"
 
 #ifndef UPA_SHARD_BIN
 #error "UPA_SHARD_BIN must point at the upa_shard binary"
+#endif
+#ifndef UPA_ROUTER_BIN
+#error "UPA_ROUTER_BIN must point at the upa_router binary"
 #endif
 
 namespace upa::cluster {
@@ -240,6 +248,224 @@ TEST_F(ClusterChaosTest, SigkillRightAfterDurableAppendLosesNothing) {
   auto q3 = client->Query(MakeQuery("x", "count:500", 3));
   ASSERT_TRUE(q3.ok()) << q3.status().ToString();
   EXPECT_EQ(q3.value().code, StatusCode::kOutOfRange) << q3.value().message;
+
+  supervisor.StopAll();
+}
+
+/// Minimal scriptable shard impostor: a raw TCP listener that answers the
+/// router's health probes like a real shard, but can be told to answer the
+/// next query with a BOGUS router tag — the stale-reply poisoning case the
+/// router must treat as link death, not deliver to some other client.
+class FakeShard {
+ public:
+  FakeShard() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                            &len),
+              0);
+    port_ = ntohs(bound.sin_port);
+    serve_ = std::thread([this] { Serve(); });
+  }
+  ~FakeShard() {
+    stop_.store(true, std::memory_order_release);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (serve_.joinable()) serve_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+  /// Answer the next query with a wrong tag (one-shot).
+  std::atomic<bool> poison_next_query{true};
+  std::atomic<int> honest_answers{0};
+
+ private:
+  void Serve() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      HandleConn(conn);
+      ::close(conn);
+    }
+  }
+
+  static void SendAll(int fd, const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  void HandleConn(int conn) {
+    net::FrameAssembler assembler;
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) return;
+      assembler.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      for (;;) {
+        net::Frame frame;
+        Status error = Status::Ok();
+        auto outcome = assembler.Next(&frame, &error);
+        if (outcome == net::FrameAssembler::Outcome::kError) return;
+        if (outcome == net::FrameAssembler::Outcome::kNeedMore) break;
+        if (frame.type == net::FrameType::kStatsRequest) {
+          SendAll(conn, net::EncodeStatsResponseFrame("fake shard"));
+        } else if (frame.type == net::FrameType::kQueryRequest) {
+          net::WireQuery query;
+          if (!net::DecodeQueryPayload(frame.payload, &query).ok()) return;
+          net::WireResult result;
+          if (poison_next_query.exchange(false)) {
+            result.client_tag = query.client_tag + 0x1000;
+          } else {
+            result.client_tag = query.client_tag;
+            honest_answers.fetch_add(1, std::memory_order_relaxed);
+          }
+          SendAll(conn, net::EncodeResultFrame(result));
+        }
+      }
+    }
+  }
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread serve_;
+};
+
+TEST_F(ClusterChaosTest, StaleShardReplyPoisonsLinkAndKeyedQueryRetries) {
+  // A shard answering with a tag nothing is waiting for means the link
+  // stream is desynchronized: the router must kill the link (never deliver
+  // the stale bytes to some client), redial, and — because the in-flight
+  // query carried an idempotency key — re-send it after the probe passes.
+  FakeShard fake;
+  RouterConfig cfg;
+  cfg.backoff_initial_ms = 5.0;
+  cfg.backoff_max_ms = 50.0;
+  Router router({{"127.0.0.1", fake.port()}}, cfg);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitFor([&] { return router.ShardHealthy(0); }));
+
+  std::unique_ptr<net::Client> client = DialShard(router.port());
+  ASSERT_NE(client, nullptr);
+  // net::Client stamps the idempotency key automatically — the retry
+  // machinery needs nothing from the caller.
+  auto result = client->Query(MakeQuery("x", "count:100", 1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ok()) << result.value().message;
+  EXPECT_GE(fake.honest_answers.load(), 1);
+  const Router::Stats stats = router.stats();
+  EXPECT_GE(stats.shard_reconnects, 1u);
+  EXPECT_GE(stats.retried, 1u);
+  router.Stop();
+}
+
+TEST_F(ClusterChaosTest, RouterDeathLeavesShardsServingAndReplayable) {
+  // SIGKILL the ROUTER while a keyed query is executing on the shard. The
+  // shard must shrug off the dead connection (drain cleanly, keep
+  // serving), finish the release exactly once, and answer a direct
+  // re-submission of the same key with the journaled response.
+  auto shard_port = PickFreePort();
+  auto router_port = PickFreePort();
+  ASSERT_TRUE(shard_port.ok() && router_port.ok());
+
+  ShardSupervisor::Options opts;
+  opts.auto_restart = false;
+  ShardSupervisor supervisor(opts);
+  auto shard = supervisor.Launch(
+      ShardSpec(shard_port.value(), dir_ + "/j", 1.0));
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+
+  ShardProcessSpec router_spec;
+  router_spec.binary = UPA_ROUTER_BIN;
+  router_spec.args = {std::to_string(router_port.value()),
+                      "127.0.0.1:" + std::to_string(shard_port.value())};
+  auto router = supervisor.Launch(std::move(router_spec));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // The router only forwards once its health probe passed; retry until a
+  // cheap probe query goes through end to end.
+  std::unique_ptr<net::Client> client;
+  ASSERT_TRUE(WaitFor([&] {
+    client = DialShard(router_port.value());
+    if (client == nullptr) return false;
+    auto probe = client->Query(MakeQuery("warm", "count:100", 1), 2000);
+    return probe.ok() && probe.value().ok();
+  }));
+
+  // A slow keyed query: ~1s of shard-side latency leaves a wide window to
+  // kill the router mid-forward.
+  net::WireQuery slow = MakeQuery("x", "lat:100:1000000", 2);
+  slow.client_nonce = 0xfeedface;
+  slow.client_seq = 42;
+  auto tag = client->Send(slow);
+  ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // mid-run
+  ASSERT_TRUE(supervisor.Kill(router.value(), SIGKILL).ok());
+  // The client loses its transport — the query outcome is unknown to it.
+  auto lost = client->Await(tag.value(), 5000);
+  EXPECT_FALSE(lost.ok() && lost.value().ok());
+
+  // The shard survives its peer's death: dial it DIRECTLY and re-submit
+  // the same key. Depending on timing the shard either finished the
+  // release after the router died (retry replays it) or cancelled and
+  // REFUNDED the orphaned query when the router's connection dropped
+  // (retry runs fresh, as the first and only execution). Both are
+  // exactly-once; the journal check below pins it.
+  std::unique_ptr<net::Client> direct = DialShard(shard_port.value());
+  ASSERT_NE(direct, nullptr);
+  auto retried = direct->Query(slow, /*timeout_ms=*/30000);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  ASSERT_TRUE(retried.value().ok()) << retried.value().message;
+
+  // Now that the key HAS completed, one more re-submission must be a
+  // dedup replay — byte-identical payload, no execution, no charge.
+  auto replay = direct->Query(slow, /*timeout_ms=*/30000);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_TRUE(replay.value().ok()) << replay.value().message;
+  EXPECT_EQ(replay.value().response.released,
+            retried.value().response.released);
+
+  // Exactly one kRelease for the key in the append-only journal.
+  const std::string journal_path =
+      dir_ + "/j/" + service::Journal::FileStem("x") + ".journal";
+  auto records = service::Journal::ReadAll(journal_path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  int releases = 0;
+  for (const service::JournalRecord& rec : records.value()) {
+    if (rec.type == service::JournalRecord::Type::kRelease &&
+        rec.nonce == slow.client_nonce && rec.key_seq == slow.client_seq) {
+      ++releases;
+    }
+  }
+  EXPECT_EQ(releases, 1);
+
+  // The shard's own stats agree at least the last re-submission replayed
+  // (two replays if the original beat the disconnect-cancel to release).
+  auto stats = direct->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().find("dedup_replays=1") != std::string::npos ||
+              stats.value().find("dedup_replays=2") != std::string::npos)
+      << stats.value();
 
   supervisor.StopAll();
 }

@@ -383,6 +383,40 @@ TEST(ClusterRouterTest, ShardDeathFailsInFlightQueriesOver) {
   router.Stop();
 }
 
+TEST(ClusterRouterTest, DuplicateClientTagsAcrossConnectionsBothAnswered) {
+  // Two clients may pick the SAME client_tag: the router's re-tagging must
+  // keep their responses apart. One query is valid, the other uses a SQL
+  // the shard rejects — each client must get ITS outcome back.
+  auto shard = std::make_unique<Shard>();
+  shard->gate->store(true, std::memory_order_release);
+  Router router({shard->address()});
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitFor([&] { return router.ShardHealthy(0); }));
+
+  auto conn_a = net::Client::Connect("127.0.0.1", router.port());
+  auto conn_b = net::Client::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(conn_a.ok() && conn_b.ok());
+  std::unique_ptr<net::Client> a = std::move(conn_a).value();
+  std::unique_ptr<net::Client> b = std::move(conn_b).value();
+
+  net::WireQuery good = MakeQuery("ds", "count:100", 1);
+  good.client_tag = 7;
+  net::WireQuery bad = MakeQuery("ds", "nonsense:1", 2);
+  bad.client_tag = 7;  // same tag, different connection
+  auto tag_a = a->Send(good);
+  auto tag_b = b->Send(bad);
+  ASSERT_TRUE(tag_a.ok() && tag_b.ok());
+
+  auto result_a = a->Await(tag_a.value());
+  auto result_b = b->Await(tag_b.value());
+  ASSERT_TRUE(result_a.ok()) << result_a.status().ToString();
+  ASSERT_TRUE(result_b.ok()) << result_b.status().ToString();
+  EXPECT_TRUE(result_a.value().ok()) << result_a.value().message;
+  EXPECT_EQ(result_b.value().code, StatusCode::kInvalidArgument)
+      << result_b.value().message;
+  router.Stop();
+}
+
 TEST(ClusterRouterTest, ReconnectsAfterShardRestartAtSameAddress) {
   RouterConfig cfg;
   cfg.backoff_max_ms = 50.0;

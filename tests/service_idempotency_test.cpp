@@ -1,0 +1,156 @@
+// Idempotency-key semantics of UpaService: exactly-once replay from the
+// dedup window, request-hash binding, LRU window eviction (with durable
+// kExpire records), and the rebuild of the window by journal recovery.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "upa/simple_query.h"
+
+namespace upa::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+engine::ExecContext& Ctx() {
+  static engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 4});
+  return ctx;
+}
+
+core::QueryInstance CountQuery(size_t n, const std::string& name = "count") {
+  core::SimpleQuerySpec<int> spec;
+  spec.name = name;
+  spec.ctx = &Ctx();
+  auto records = std::make_shared<std::vector<int>>(n, 0);
+  std::iota(records->begin(), records->end(), 0);
+  spec.records = records;
+  spec.map_record = [](const int&) { return core::Vec{1.0}; };
+  spec.sample_domain = [](Rng& rng) {
+    return static_cast<int>(rng.UniformU64(1000000));
+  };
+  return core::MakeSimpleQuery(std::move(spec));
+}
+
+ServiceConfig FastConfig() {
+  ServiceConfig config;
+  config.upa.sample_n = 100;
+  return config;
+}
+
+QueryRequest KeyedRequest(const std::string& dataset, uint64_t nonce,
+                          uint64_t seq, uint64_t seed = 1,
+                          const std::string& name = "count") {
+  QueryRequest request;
+  request.tenant = "alice";
+  request.dataset_id = dataset;
+  request.query = CountQuery(5000, name);
+  request.epsilon = 0.1;
+  request.seed = seed;
+  request.client_nonce = nonce;
+  request.client_seq = seq;
+  return request;
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+TEST(ServiceIdempotencyTest, RetryOfCompletedKeyReplaysWithoutCharging) {
+  UpaService service(&Ctx(), FastConfig());
+  auto first = service.Execute(KeyedRequest("ds", 0xabc, 1));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.1, 1e-12);
+
+  auto retry = service.Execute(KeyedRequest("ds", 0xabc, 1));
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  // Byte-identical release, and the budget did NOT move.
+  EXPECT_EQ(Bits(retry.value().released), Bits(first.value().released));
+  EXPECT_EQ(retry.value().records_removed, first.value().records_removed);
+  EXPECT_EQ(retry.value().dataset_epoch, first.value().dataset_epoch);
+  EXPECT_EQ(Bits(retry.value().seconds.total),
+            Bits(first.value().seconds.total));
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.1, 1e-12);
+  EXPECT_EQ(service.DedupWindowSize("ds"), 1u);
+}
+
+TEST(ServiceIdempotencyTest, KeyReuseForDifferentRequestIsRejected) {
+  UpaService service(&Ctx(), FastConfig());
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0xabc, 1)).ok());
+  // Same key, different query (name feeds the request hash): client bug.
+  auto reused =
+      service.Execute(KeyedRequest("ds", 0xabc, 1, 2, "other-count"));
+  ASSERT_FALSE(reused.ok());
+  EXPECT_EQ(reused.status().code(), StatusCode::kInvalidArgument);
+  // The bad reuse charged nothing.
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.1, 1e-12);
+}
+
+TEST(ServiceIdempotencyTest, UnkeyedRequestsNeverDedup) {
+  UpaService service(&Ctx(), FastConfig());
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0, 0)).ok());
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0, 0)).ok());
+  // Two fresh runs, two charges, nothing windowed.
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.2, 1e-12);
+  EXPECT_EQ(service.DedupWindowSize("ds"), 0u);
+}
+
+TEST(ServiceIdempotencyTest, WindowEvictsOldestKeyWhichThenRunsFresh) {
+  ServiceConfig config = FastConfig();
+  config.dedup_window = 2;
+  UpaService service(&Ctx(), config);
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0xabc, 1, 1)).ok());
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0xabc, 2, 2)).ok());
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0xabc, 3, 3)).ok());
+  EXPECT_EQ(service.DedupWindowSize("ds"), 2u);
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.3, 1e-12);
+
+  // Key 1 aged out: its retry is no longer a replay — it runs (and
+  // charges) again. The window is a bounded at-most-once guarantee.
+  ASSERT_TRUE(service.Execute(KeyedRequest("ds", 0xabc, 1, 1)).ok());
+  EXPECT_NEAR(service.accountant().Spent("ds"), 0.4, 1e-12);
+}
+
+TEST(ServiceIdempotencyTest, RecoveryRebuildsWindowAndRepaysRetries) {
+  char tmp[] = "/tmp/upa-idem-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmp), nullptr);
+  const std::string dir = tmp;
+
+  ServiceConfig config = FastConfig();
+  config.journal_dir = dir;
+  config.journal_fsync = false;  // process-death durability is enough here
+
+  uint64_t first_bits = 0;
+  {
+    UpaService service(&Ctx(), config);
+    auto first = service.Execute(KeyedRequest("ds", 0xabc, 1));
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    first_bits = Bits(first.value().released);
+  }
+  // "Restart": a new service over the same journal dir must answer the
+  // retried key from the recovered window — same bits, no new charge.
+  {
+    UpaService service(&Ctx(), config);
+    EXPECT_EQ(service.DedupWindowSize("ds"), 1u);
+    auto retry = service.Execute(KeyedRequest("ds", 0xabc, 1));
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    EXPECT_EQ(Bits(retry.value().released), first_bits);
+    EXPECT_NEAR(service.accountant().Spent("ds"), 0.1, 1e-12);
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace upa::service
