@@ -42,7 +42,19 @@ net::QueryCompiler MakeSqlCompiler(
           "dataset_id must name the private table");
     }
     Result<rel::PlanPtr> parsed = rel::ParseSql(wire.sql);
-    if (!parsed.ok()) return parsed.status();
+    if (!parsed.ok()) {
+      // Distinguish "malformed SQL" from "valid single-block SELECT that is
+      // wider than the DP surface" (GROUP BY, HAVING, multiple items, ...).
+      // The wire releases one noisy scalar per query; per-group release
+      // needs DP partition selection for the key sets (ROADMAP 1b).
+      if (rel::ParseSqlSelect(wire.sql).ok()) {
+        return Status::Unsupported(
+            "grouped/multi-item SELECT is not releasable over the wire; the "
+            "DP surface takes a single bare COUNT or SUM aggregate (run "
+            "grouped queries locally via sql_console)");
+      }
+      return parsed.status();
+    }
     // Cost-based optimization (pushdown + reorder + hints): bit-identical
     // results, so sensitivities and the DP release are unaffected.
     rel::OptimizerOptions opt;
@@ -94,6 +106,10 @@ int RunDemo(net::Server& server) {
        "lineitem"},
       // A literal repeat: served from the sensitivity cache.
       {"SELECT COUNT(*) FROM lineitem", "lineitem"},
+      // A grouped query: valid single-block SQL, but wider than the wire's
+      // DP surface — the server answers with a clean Unsupported status.
+      {"SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag",
+       "lineitem"},
   };
   for (const Demo& demo : demos) {
     net::WireQuery query;

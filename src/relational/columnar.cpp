@@ -17,6 +17,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "relational/fused.h"
 #include "relational/kernels.h"
 
 namespace upa::rel {
@@ -735,70 +736,16 @@ class ColumnarEvaluator {
   }
 
   Result<ColRel> EvalScan(const PlanPtr& plan) {
-    auto it = catalog_->find(plan->table);
-    if (it == catalog_->end()) {
-      return Status::NotFound("unknown table: " + plan->table);
-    }
-    const Table* table = it->second;
-    const bool is_private = !options_.private_table.empty() &&
-                            plan->table == options_.private_table;
+    Result<ScanBinding> bindr = BindScanSource(ctx_, catalog_, plan->table,
+                                               options_, engine_partitions_);
+    if (!bindr.ok()) return bindr.status();
+    ScanBinding bind = std::move(bindr).value();
 
     ColRel rel;
-    rel.schema = table->schema();
-    std::shared_ptr<const ColumnarTable> ct;
-    std::shared_ptr<const SelVector> ids;
-    if (!is_private) {
-      if (options_.use_scan_cache) {
-        // Route through the context block cache so scan reuse across phase
-        // runs is observable in the hit/miss metrics (the Fig 4(b) effect),
-        // exactly like the row engine's materialized-scan cache.
-        uint64_t key = Mix64(table->uid()) ^
-                       Mix64(kColScanTag + engine_partitions_) ^
-                       Mix64(options_.cache_epoch);
-        auto cached =
-            ctx_->cache().GetOrCompute<std::shared_ptr<const ColumnarTable>>(
-                key, [&] { return table->Columnar(); });
-        ct = *cached;
-      } else {
-        ct = table->Columnar();
-      }
-      ids = ct->identity();
-    } else {
-      // The private table's include/exclude/replace options are plain
-      // index-vector surgery: provenance is the row-index itself.
-      ct = options_.replace_private_rows != nullptr
-               ? ColumnarTable::Build(table->schema(),
-                                      *options_.replace_private_rows)
-               : table->Columnar();
-      const size_t base_rows = ct->num_rows();
-      if (options_.include_rows != nullptr) {
-        auto sel = std::make_shared<SelVector>();
-        sel->reserve(options_.include_rows->size());
-        for (size_t idx : *options_.include_rows) {
-          UPA_CHECK_MSG(idx < base_rows, "include_rows out of range");
-          sel->push_back(static_cast<uint32_t>(idx));
-        }
-        ids = std::move(sel);
-      } else if (options_.exclude_rows != nullptr) {
-        const std::vector<size_t>& excl = *options_.exclude_rows;
-        auto sel = std::make_shared<SelVector>();
-        sel->reserve(base_rows - std::min(base_rows, excl.size()));
-        size_t cursor = 0;
-        for (size_t i = 0; i < base_rows; ++i) {
-          if (cursor < excl.size() && excl[cursor] == i) {
-            ++cursor;
-            continue;
-          }
-          sel->push_back(static_cast<uint32_t>(i));
-        }
-        ids = std::move(sel);
-      } else {
-        ids = ct->identity();
-      }
-      rel.private_source = 0;
-    }
-    rel.num_rows = ids->size();
-    rel.sources.push_back({std::move(ct), std::move(ids)});
+    rel.schema = bind.table->schema();
+    if (bind.is_private) rel.private_source = 0;
+    rel.num_rows = bind.row_ids->size();
+    rel.sources.push_back({std::move(bind.table), std::move(bind.row_ids)});
     rel.col_map.resize(rel.schema.NumColumns());
     for (size_t c = 0; c < rel.schema.NumColumns(); ++c) {
       rel.col_map[c] = {0, static_cast<uint32_t>(c)};
@@ -1065,11 +1012,85 @@ struct BatchAgg {
 
 }  // namespace
 
+Result<ScanBinding> BindScanSource(engine::ExecContext* ctx,
+                                   const Catalog* catalog,
+                                   const std::string& table_name,
+                                   const ExecOptions& options,
+                                   size_t engine_partitions) {
+  auto it = catalog->find(table_name);
+  if (it == catalog->end()) {
+    return Status::NotFound("unknown table: " + table_name);
+  }
+  const Table* table = it->second;
+  if (engine_partitions == 0) {
+    engine_partitions = ctx->config().default_partitions;
+  }
+
+  ScanBinding bind;
+  bind.is_private = !options.private_table.empty() &&
+                    table_name == options.private_table;
+  if (!bind.is_private) {
+    if (options.use_scan_cache) {
+      // Route through the context block cache so scan reuse across phase
+      // runs is observable in the hit/miss metrics (the Fig 4(b) effect),
+      // exactly like the row engine's materialized-scan cache.
+      uint64_t key = Mix64(table->uid()) ^
+                     Mix64(kColScanTag + engine_partitions) ^
+                     Mix64(options.cache_epoch);
+      auto cached =
+          ctx->cache().GetOrCompute<std::shared_ptr<const ColumnarTable>>(
+              key, [&] { return table->Columnar(); });
+      bind.table = *cached;
+    } else {
+      bind.table = table->Columnar();
+    }
+    bind.row_ids = bind.table->identity();
+    return bind;
+  }
+  // The private table's include/exclude/replace options are plain
+  // index-vector surgery: provenance is the row-index itself.
+  bind.table = options.replace_private_rows != nullptr
+                   ? ColumnarTable::Build(table->schema(),
+                                          *options.replace_private_rows)
+                   : table->Columnar();
+  const size_t base_rows = bind.table->num_rows();
+  if (options.include_rows != nullptr) {
+    auto sel = std::make_shared<SelVector>();
+    sel->reserve(options.include_rows->size());
+    for (size_t idx : *options.include_rows) {
+      UPA_CHECK_MSG(idx < base_rows, "include_rows out of range");
+      sel->push_back(static_cast<uint32_t>(idx));
+    }
+    bind.row_ids = std::move(sel);
+  } else if (options.exclude_rows != nullptr) {
+    const std::vector<size_t>& excl = *options.exclude_rows;
+    auto sel = std::make_shared<SelVector>();
+    sel->reserve(base_rows - std::min(base_rows, excl.size()));
+    size_t cursor = 0;
+    for (size_t i = 0; i < base_rows; ++i) {
+      if (cursor < excl.size() && excl[cursor] == i) {
+        ++cursor;
+        continue;
+      }
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+    bind.row_ids = std::move(sel);
+  } else {
+    bind.row_ids = bind.table->identity();
+  }
+  return bind;
+}
+
 Result<ExecResult> ExecuteColumnar(engine::ExecContext* ctx,
                                    const Catalog* catalog, const PlanPtr& plan,
                                    const ExecOptions& options) {
   UPA_FAILPOINT("columnar/execute");
   UPA_RETURN_IF_ERROR(CancelScope::CheckCurrent());
+  if (plan->fuse != FuseMode::kInterpret) {
+    if (std::optional<FusedShape> shape = FusableShape(plan)) {
+      return ExecuteFused(ctx, catalog, plan, *shape, options);
+    }
+  }
   ColumnarEvaluator evaluator(ctx, catalog, options);
   Result<ColRel> relr = evaluator.Eval(plan->left);
   if (!relr.ok()) return relr.status();
@@ -1085,6 +1106,11 @@ Result<ExecResult> ExecuteColumnar(engine::ExecContext* ctx,
   const bool need_expr = plan->agg != AggKind::kCount;
   if (need_expr && plan->agg_expr == nullptr) {
     return Status::InvalidArgument("aggregate missing expression");
+  }
+  if (need_expr && !ExprColumnsExist(plan->agg_expr, rel.schema)) {
+    return Status::InvalidArgument(
+        "aggregate expression references unknown column in " +
+        rel.schema.ToString());
   }
 
   const size_t n = rel.num_rows;

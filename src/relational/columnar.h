@@ -159,10 +159,36 @@ class ColumnarTable {
 bool FragmentCanMatch(const CompiledExpr& pred, const ColumnarTable& table,
                       size_t frag);
 
+/// A scan bound for execution: the columnar form of a catalog table plus
+/// the row-index vector the relation starts from (the shared identity, or
+/// the private table's include/exclude/replace index surgery). Shared by
+/// the interpreted evaluator and the fused engine (relational/fused.h) so
+/// both paths read byte-identical inputs through identical cache keys.
+struct ScanBinding {
+  std::shared_ptr<const ColumnarTable> table;
+  std::shared_ptr<const SelVector> row_ids;
+  /// True when `row_ids` is provenance: entry p is the private base-row
+  /// index relation row p descends from.
+  bool is_private = false;
+};
+
+/// Resolves `table_name` against the catalog and applies the private-table
+/// options exactly like the columnar scan operator (including the block
+/// cache for non-private scans when options.use_scan_cache is set).
+/// `engine_partitions` must be the resolved parallelism (it is part of the
+/// scan cache key); pass 0 to use the context default.
+Result<ScanBinding> BindScanSource(engine::ExecContext* ctx,
+                                   const Catalog* catalog,
+                                   const std::string& table_name,
+                                   const ExecOptions& options,
+                                   size_t engine_partitions);
+
 /// Executes an Aggregate-rooted plan on the columnar engine. Root/option
 /// validation is PlanExecutor::Execute's job; this expects a well-formed
 /// root and returns the same statuses as the row oracle for unknown
 /// tables/columns/join keys. Results are bit-identical to the row path.
+/// Fusible Aggregate(Filter*(Scan)) chains run on the single-pass fused
+/// kernels (relational/fused.h) unless the root's FuseMode says otherwise.
 Result<ExecResult> ExecuteColumnar(engine::ExecContext* ctx,
                                    const Catalog* catalog,
                                    const PlanPtr& plan,

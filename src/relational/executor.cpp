@@ -334,6 +334,11 @@ Result<ExecResult> PlanExecutor::Execute(const PlanPtr& plan,
     if (plan->agg_expr == nullptr) {
       return Status::InvalidArgument("aggregate missing expression");
     }
+    if (!ExprColumnsExist(plan->agg_expr, schema)) {
+      return Status::InvalidArgument(
+          "aggregate expression references unknown column in " +
+          schema.ToString());
+    }
     weight_of = BindNumeric(plan->agg_expr, schema);
   }
   if (!additive) {

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "relational/card_est.h"
 #include "relational/cost_model.h"
+#include "relational/fused.h"
 
 namespace upa::rel {
 namespace {
@@ -310,7 +311,9 @@ PlanPtr GreedyReorder(const JoinGraph& graph, const Catalog& catalog,
   }
   auto ndv_of = [&](size_t rel, const std::string& key) {
     auto it = catalog.find(graph.rels[rel].table);
-    return it != catalog.end()
+    // A key absent from the table (a malformed plan the executor will
+    // reject with a clean Status) must not abort here — estimate 0.
+    return it != catalog.end() && it->second->schema().Has(key)
                ? static_cast<double>(it->second->DistinctCount(key))
                : 0.0;
   };
@@ -524,9 +527,20 @@ PlanPtr Optimize(const PlanPtr& plan, const Catalog& catalog,
   UPA_CHECK(plan != nullptr);
   if (plan->kind == PlanKind::kAggregate) {
     PlanPtr child = Optimize(plan->left, catalog, options);
-    if (child == plan->left) return plan;
-    auto root = std::make_shared<PlanNode>(*plan);
-    root->left = std::move(child);
+    PlanPtr root = plan;
+    if (child != plan->left) {
+      auto n = std::make_shared<PlanNode>(*plan);
+      n->left = std::move(child);
+      root = std::move(n);
+    }
+    // Record the fusion decision (a physical choice, like build_side) so
+    // PlanFingerprint distinguishes the compiled form. The columnar
+    // engine fuses kAuto shapes anyway; marking makes the choice explicit
+    // on optimized plans instead of an engine-internal default.
+    if (options.fuse && root->fuse == FuseMode::kAuto &&
+        FusableShape(root).has_value()) {
+      root = WithFuseMode(root, FuseMode::kFuse);
+    }
     return root;
   }
   const CardinalityEstimator est(&catalog);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace upa::rel {
@@ -115,20 +116,61 @@ std::string Upper(std::string s) {
   return s;
 }
 
+/// The synthetic column name of hoisted aggregate slot `i` ('$' cannot
+/// appear in a lexed identifier, so these never collide with user names).
+std::string AggRefName(size_t i) { return "$agg" + std::to_string(i); }
+
+bool IsAggRefName(const std::string& name) {
+  return name.rfind("$agg", 0) == 0;
+}
+
+/// Collects every column name referenced by `e` into `out`.
+void CollectColumns(const ExprPtr& e, std::vector<std::string>& out) {
+  if (e == nullptr) return;
+  switch (e->kind()) {
+    case Expr::Kind::kColumn:
+      out.push_back(e->column_name());
+      return;
+    case Expr::Kind::kLiteral:
+      return;
+    case Expr::Kind::kBinary:
+      CollectColumns(e->lhs(), out);
+      CollectColumns(e->rhs(), out);
+      return;
+    case Expr::Kind::kNot:
+    case Expr::Kind::kInSet:
+      CollectColumns(e->lhs(), out);
+      return;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Where the expression being parsed sits, for aggregate-call legality.
+enum class AggCtx {
+  kForbidden,  // WHERE / join conditions
+  kAllowed,    // select items, HAVING, ORDER BY
+  kInside,     // the argument of an aggregate call
+};
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(const std::string& sql, std::vector<Token> tokens)
+      : sql_(sql), tokens_(std::move(tokens)) {}
 
-  Result<PlanPtr> ParseQuery() {
+  Result<SqlSelect> ParseSelect() {
+    SqlSelect out;
     UPA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
 
-    AggKind agg;
-    ExprPtr agg_expr;
-    UPA_RETURN_IF_ERROR(ParseAggregate(agg, agg_expr));
+    // Select list (aggregates hoisted into out.aggs as they are parsed).
+    slots_ = &out.aggs;
+    do {
+      Result<SelectItem> item = ParseItem();
+      if (!item.ok()) return item.status();
+      out.items.push_back(std::move(item).value());
+    } while (AcceptSymbol(","));
 
     UPA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     std::string table;
@@ -147,28 +189,53 @@ class Parser {
     }
 
     if (AcceptKeyword("WHERE")) {
+      agg_ctx_ = AggCtx::kForbidden;
       Result<ExprPtr> pred = ParseExpr();
+      agg_ctx_ = AggCtx::kAllowed;
       if (!pred.ok()) return pred.status();
       rel = FilterPlan(rel, pred.value());
+    }
+    out.relation = std::move(rel);
+
+    if (AcceptKeyword("GROUP")) {
+      UPA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        std::string key;
+        UPA_RETURN_IF_ERROR(ExpectIdent(key));
+        out.group_by.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+    }
+
+    if (IsKeyword(Peek(), "HAVING") && out.group_by.empty()) {
+      return Err("HAVING requires GROUP BY");
+    }
+    if (AcceptKeyword("HAVING")) {
+      Result<ExprPtr> having = ParseExpr();
+      if (!having.ok()) return having.status();
+      out.having = having.value();
+    }
+
+    if (AcceptKeyword("ORDER")) {
+      UPA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        Result<OrderKey> key = ParseOrderKey(out);
+        if (!key.ok()) return key.status();
+        out.order_by.push_back(std::move(key).value());
+      } while (AcceptSymbol(","));
+    }
+
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokKind::kInt) {
+        return Err("LIMIT requires a non-negative integer literal");
+      }
+      out.limit = Advance().int_value;
     }
 
     if (Peek().kind != TokKind::kEnd) {
       return Err("trailing input after query");
     }
-
-    switch (agg) {
-      case AggKind::kCount:
-        return CountPlan(rel);
-      case AggKind::kSum:
-        return SumPlan(rel, agg_expr);
-      case AggKind::kAvg:
-        return AvgPlan(rel, agg_expr);
-      case AggKind::kMin:
-        return MinPlan(rel, agg_expr);
-      case AggKind::kMax:
-        return MaxPlan(rel, agg_expr);
-    }
-    return Status::Internal("unreachable aggregate kind");
+    UPA_RETURN_IF_ERROR(ValidateReferences(out));
+    return out;
   }
 
  private:
@@ -180,7 +247,7 @@ class Parser {
   const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
 
   bool AcceptKeyword(const std::string& kw) {
-    if (Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw) {
+    if (IsKeyword(Peek(), kw)) {
       Advance();
       return true;
     }
@@ -212,34 +279,110 @@ class Parser {
         (Peek().text.empty() ? "" : " ('" + Peek().text + "')"));
   }
 
-  static bool IsKeyword(const Token& t, const char* kw) {
+  static bool IsKeyword(const Token& t, const std::string& kw) {
     return t.kind == TokKind::kIdent && Upper(t.text) == kw;
   }
 
-  // -- grammar --------------------------------------------------------------
-  Status ParseAggregate(AggKind& agg, ExprPtr& expr) {
-    if (AcceptKeyword("COUNT")) {
-      UPA_RETURN_IF_ERROR(ExpectSymbol("("));
-      UPA_RETURN_IF_ERROR(ExpectSymbol("*"));
-      UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
-      agg = AggKind::kCount;
-      return Status::Ok();
+  // -- statement parts ------------------------------------------------------
+
+  Result<SelectItem> ParseItem() {
+    const size_t start = Peek().pos;
+    Result<ExprPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    const size_t end = Peek().pos;
+    SelectItem item;
+    item.expr = expr.value();
+    item.name = TrimmedSource(start, end);
+    if (AcceptKeyword("AS")) {
+      UPA_RETURN_IF_ERROR(ExpectIdent(item.alias));
+      item.name = item.alias;
     }
-    for (auto [kw, kind] :
-         {std::pair{"SUM", AggKind::kSum}, std::pair{"AVG", AggKind::kAvg},
-          std::pair{"MIN", AggKind::kMin}, std::pair{"MAX", AggKind::kMax}}) {
-      if (AcceptKeyword(kw)) {
-        UPA_RETURN_IF_ERROR(ExpectSymbol("("));
-        Result<ExprPtr> inner = ParseExpr();
-        if (!inner.ok()) return inner.status();
-        UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
-        agg = kind;
-        expr = inner.value();
-        return Status::Ok();
+    return item;
+  }
+
+  Result<OrderKey> ParseOrderKey(const SqlSelect& stmt) {
+    Result<ExprPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    OrderKey key;
+    key.expr = expr.value();
+    // A bare integer is a 1-based select-list ordinal; a bare column that
+    // names an alias refers to that item (a GROUP BY column of the same
+    // name wins — both denote the same output there anyway).
+    if (key.expr->kind() == Expr::Kind::kLiteral &&
+        std::holds_alternative<int64_t>(key.expr->literal())) {
+      int64_t ordinal = std::get<int64_t>(key.expr->literal());
+      if (ordinal < 1 || static_cast<size_t>(ordinal) > stmt.items.size()) {
+        return Status::InvalidArgument(
+            "ORDER BY ordinal " + std::to_string(ordinal) +
+            " is out of range (select list has " +
+            std::to_string(stmt.items.size()) + " items)");
+      }
+      key.expr = stmt.items[static_cast<size_t>(ordinal) - 1].expr;
+    } else if (key.expr->kind() == Expr::Kind::kColumn) {
+      const std::string& name = key.expr->column_name();
+      bool is_group_key = false;
+      for (const std::string& g : stmt.group_by) {
+        if (g == name) is_group_key = true;
+      }
+      if (!is_group_key) {
+        for (const SelectItem& item : stmt.items) {
+          if (!item.alias.empty() && item.alias == name) {
+            key.expr = item.expr;
+            break;
+          }
+        }
       }
     }
-    return Err("expected COUNT(*), SUM(...), AVG(...), MIN(...) or MAX(...)");
+    if (AcceptKeyword("DESC")) {
+      key.desc = true;
+    } else {
+      AcceptKeyword("ASC");
+    }
+    return key;
   }
+
+  /// Enforces the single-block rule: outside WHERE/ON, a column reference
+  /// is only meaningful if it is a GROUP BY key (or a hoisted "$aggN").
+  Status ValidateReferences(const SqlSelect& stmt) const {
+    auto check = [&](const ExprPtr& e, const char* clause) -> Status {
+      std::vector<std::string> refs;
+      CollectColumns(e, refs);
+      for (const std::string& name : refs) {
+        if (IsAggRefName(name)) continue;
+        bool grouped = false;
+        for (const std::string& g : stmt.group_by) {
+          if (g == name) grouped = true;
+        }
+        if (!grouped) {
+          return Status::InvalidArgument(
+              std::string("column '") + name + "' in " + clause +
+              " must appear in GROUP BY or inside an aggregate");
+        }
+      }
+      return Status::Ok();
+    };
+    for (const SelectItem& item : stmt.items) {
+      UPA_RETURN_IF_ERROR(check(item.expr, "the select list"));
+    }
+    UPA_RETURN_IF_ERROR(check(stmt.having, "HAVING"));
+    for (const OrderKey& key : stmt.order_by) {
+      UPA_RETURN_IF_ERROR(check(key.expr, "ORDER BY"));
+    }
+    return Status::Ok();
+  }
+
+  std::string TrimmedSource(size_t begin, size_t end) const {
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(sql_[end - 1]))) {
+      --end;
+    }
+    while (begin < end && std::isspace(static_cast<unsigned char>(sql_[begin]))) {
+      ++begin;
+    }
+    return sql_.substr(begin, end - begin);
+  }
+
+  // -- expressions ----------------------------------------------------------
 
   Result<ExprPtr> ParseExpr() { return ParseOr(); }
 
@@ -364,6 +507,45 @@ class Parser {
     return std::nullopt;
   }
 
+  static std::optional<AggKind> AggKeyword(const std::string& up) {
+    if (up == "COUNT") return AggKind::kCount;
+    if (up == "SUM") return AggKind::kSum;
+    if (up == "AVG") return AggKind::kAvg;
+    if (up == "MIN") return AggKind::kMin;
+    if (up == "MAX") return AggKind::kMax;
+    return std::nullopt;
+  }
+
+  /// Parses an aggregate call (keyword already verified; its '(' is the
+  /// next token), hoists it into the statement's slot list (deduplicating
+  /// structurally identical calls) and returns the "$aggN" reference.
+  Result<ExprPtr> ParseAggCall(AggKind kind) {
+    Advance();  // the aggregate keyword
+    UPA_RETURN_IF_ERROR(ExpectSymbol("("));
+    AggSlot slot;
+    slot.kind = kind;
+    if (kind == AggKind::kCount) {
+      UPA_RETURN_IF_ERROR(ExpectSymbol("*"));
+      UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      agg_ctx_ = AggCtx::kInside;
+      Result<ExprPtr> inner = ParseExpr();
+      agg_ctx_ = AggCtx::kAllowed;
+      if (!inner.ok()) return inner;
+      UPA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      slot.expr = inner.value();
+    }
+    const uint64_t fp = ExprFingerprint(slot.expr);
+    for (size_t i = 0; i < slots_->size(); ++i) {
+      const AggSlot& have = (*slots_)[i];
+      if (have.kind == kind && ExprFingerprint(have.expr) == fp) {
+        return Col(AggRefName(i));
+      }
+    }
+    slots_->push_back(std::move(slot));
+    return Col(AggRefName(slots_->size() - 1));
+  }
+
   Result<ExprPtr> ParsePrimary() {
     if (AcceptSymbol("(")) {
       Result<ExprPtr> inner = ParseExpr();
@@ -375,10 +557,29 @@ class Parser {
       return Expr::Literal(std::move(*lit));
     }
     if (Peek().kind == TokKind::kIdent) {
-      // Reject keywords in value position for clearer errors.
       std::string up = Upper(Peek().text);
+      // An aggregate keyword followed by '(' is an aggregate call; without
+      // the '(' it stays an ordinary column reference (columns named
+      // "min" etc. remain usable).
+      if (std::optional<AggKind> kind = AggKeyword(up)) {
+        if (Peek(1).kind == TokKind::kSymbol && Peek(1).text == "(") {
+          if (agg_ctx_ == AggCtx::kInside) {
+            return Err("nested aggregate calls are not allowed");
+          }
+          if (agg_ctx_ == AggCtx::kForbidden) {
+            return Err(
+                "aggregate calls are only allowed in the select list, "
+                "HAVING and ORDER BY");
+          }
+          return ParseAggCall(*kind);
+        }
+      }
+      // Reject keywords in value position for clearer errors.
       if (up == "AND" || up == "OR" || up == "NOT" || up == "WHERE" ||
-          up == "JOIN" || up == "ON" || up == "FROM" || up == "IN") {
+          up == "JOIN" || up == "ON" || up == "FROM" || up == "IN" ||
+          up == "SELECT" || up == "GROUP" || up == "BY" || up == "HAVING" ||
+          up == "ORDER" || up == "LIMIT" || up == "AS" || up == "ASC" ||
+          up == "DESC") {
         return Err("expected a value or column");
       }
       return Col(Advance().text);
@@ -386,18 +587,55 @@ class Parser {
     return Err("expected a value, column or parenthesized expression");
   }
 
+  const std::string& sql_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  std::vector<AggSlot>* slots_ = nullptr;
+  AggCtx agg_ctx_ = AggCtx::kAllowed;
 };
 
 }  // namespace
 
-Result<PlanPtr> ParseSql(const std::string& sql) {
+PlanPtr PlanForAgg(PlanPtr relation, const AggSlot& slot) {
+  switch (slot.kind) {
+    case AggKind::kCount:
+      return CountPlan(std::move(relation));
+    case AggKind::kSum:
+      return SumPlan(std::move(relation), slot.expr);
+    case AggKind::kAvg:
+      return AvgPlan(std::move(relation), slot.expr);
+    case AggKind::kMin:
+      return MinPlan(std::move(relation), slot.expr);
+    case AggKind::kMax:
+      return MaxPlan(std::move(relation), slot.expr);
+  }
+  UPA_CHECK_MSG(false, "unknown aggregate kind");
+  return nullptr;
+}
+
+Result<SqlSelect> ParseSqlSelect(const std::string& sql) {
   Lexer lexer(sql);
   Result<std::vector<Token>> tokens = lexer.Tokenize();
   if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens).value());
-  return parser.ParseQuery();
+  Parser parser(sql, std::move(tokens).value());
+  return parser.ParseSelect();
+}
+
+Result<PlanPtr> ParseSql(const std::string& sql) {
+  Result<SqlSelect> stmt = ParseSqlSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  const SqlSelect& s = stmt.value();
+  const bool scalar_agg =
+      s.items.size() == 1 && s.aggs.size() == 1 && s.group_by.empty() &&
+      s.having == nullptr && s.order_by.empty() && s.limit < 0 &&
+      s.items[0].expr->kind() == Expr::Kind::kColumn &&
+      s.items[0].expr->column_name() == AggRefName(0);
+  if (!scalar_agg) {
+    return Status::InvalidArgument(
+        "statement is not a single bare aggregate; run it through "
+        "ParseSqlSelect + ExecuteSelect");
+  }
+  return PlanForAgg(s.relation, s.aggs[0]);
 }
 
 }  // namespace upa::rel

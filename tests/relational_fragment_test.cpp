@@ -691,7 +691,35 @@ TEST(ColumnarDifferentialFragmentTest, SkipCountersFire) {
   engine::MetricsSnapshot snap = ctx.metrics().Snapshot();
   EXPECT_EQ(snap.counters["columnar/fragments_scanned"], 3u);
   EXPECT_EQ(snap.counters["columnar/fragments_skipped"], 7u);
-  // Morsel-driven phases surface their duration spread + imbalance gauge.
+  // This shape takes the fused single-pass kernel; its morsel phase
+  // surfaces the duration spread + imbalance gauge under its own name.
+  EXPECT_GE(snap.latency["morsel/columnar/fused"].count, 1u);
+}
+
+TEST(ColumnarDifferentialFragmentTest, SkipCountersFireInterpreted) {
+  GlobalConfigGuard guard;
+  SetDefaultFragmentRows(10);
+  Table t("t", ThreeColSchema(), ThreeColRows());
+  Catalog catalog{{"t", &t}};
+  engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+  PlanExecutor exec(&ctx, &catalog);
+
+  ExecOptions opts;
+  opts.engine = ExecEngine::kColumnar;
+  // Forcing the interpreted path must preserve the zone-map skip counts
+  // bit-for-bit (fused skips on the conjoined predicate, which for a
+  // single conjunct is the same predicate the interpreted scan consults).
+  PlanPtr plan = WithFuseMode(
+      CountPlan(FilterPlan(ScanPlan("t"), Lt(Col("id"), Lit(int64_t{25})))),
+      FuseMode::kInterpret);
+  Result<ExecResult> r = exec.Execute(plan, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().output, 25.0);
+
+  engine::MetricsSnapshot snap = ctx.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["columnar/fragments_scanned"], 3u);
+  EXPECT_EQ(snap.counters["columnar/fragments_skipped"], 7u);
   EXPECT_GE(snap.latency["morsel/columnar/filter"].count, 1u);
 }
 

@@ -1,0 +1,321 @@
+// Fused single-pass kernels (relational/fused.h): edge cases and the
+// fused-vs-interpreted-vs-row-oracle differential.
+//
+// The contract under test: FuseMode is purely physical. For every fusible
+// Aggregate(Filter*(Scan)) chain, the fused kernel's output must match the
+// interpreted columnar engine and the row oracle bit-for-bit — including
+// NaN/±inf propagation through comparisons and exact sums, empty
+// selections, dictionary-code boundary literals, and zone-map-decisive
+// fragments — across thread counts and fragment sizes (suite names match
+// the CI sanitizer filters).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/context.h"
+#include "relational/buffer_manager.h"
+#include "relational/columnar.h"
+#include "relational/executor.h"
+#include "relational/expr.h"
+#include "relational/fused.h"
+#include "relational/optimizer.h"
+#include "relational/plan.h"
+#include "relational/table.h"
+
+namespace upa::rel {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t Bits(double d) { return std::bit_cast<uint64_t>(d); }
+
+struct GlobalConfigGuard {
+  size_t fragment_rows = DefaultFragmentRows();
+  ~GlobalConfigGuard() { SetDefaultFragmentRows(fragment_rows); }
+};
+
+/// Runs `plan` three ways — row oracle, interpreted columnar, fused
+/// columnar — and asserts bit-identical outputs (or identical error
+/// codes). Returns the oracle result for further assertions.
+Result<ExecResult> ExpectTriEqual(engine::ExecContext* ctx,
+                                  const Catalog& catalog, const PlanPtr& plan,
+                                  const std::string& what) {
+  PlanExecutor exec(ctx, &catalog);
+  ExecOptions oracle_opts;
+  oracle_opts.engine = ExecEngine::kRowOracle;
+  Result<ExecResult> oracle = exec.Execute(plan, oracle_opts);
+
+  ExecOptions col_opts;
+  col_opts.engine = ExecEngine::kColumnar;
+  Result<ExecResult> interp =
+      exec.Execute(WithFuseMode(plan, FuseMode::kInterpret), col_opts);
+  Result<ExecResult> fused =
+      exec.Execute(WithFuseMode(plan, FuseMode::kFuse), col_opts);
+
+  EXPECT_EQ(oracle.ok(), interp.ok()) << what;
+  EXPECT_EQ(oracle.ok(), fused.ok()) << what;
+  if (!oracle.ok()) {
+    if (interp.ok() || fused.ok()) return oracle;
+    EXPECT_EQ(oracle.status().code(), interp.status().code()) << what;
+    EXPECT_EQ(oracle.status().code(), fused.status().code()) << what;
+    return oracle;
+  }
+  if (!interp.ok() || !fused.ok()) return oracle;
+  EXPECT_EQ(Bits(oracle.value().output), Bits(interp.value().output)) << what;
+  EXPECT_EQ(Bits(oracle.value().output), Bits(fused.value().output)) << what;
+  EXPECT_EQ(oracle.value().result_rows, fused.value().result_rows) << what;
+  return oracle;
+}
+
+Schema NumStrSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"v", ValueType::kDouble},
+                 {"s", ValueType::kString}});
+}
+
+/// 16 rows mixing NaN, ±inf, signed zeros and ordinary magnitudes; strings
+/// drawn from {apple, cherry, mango, zebra} (note: no literal below
+/// "apple" or above "zebra" appears in the data).
+std::vector<Row> SpecialRows() {
+  const double vals[] = {kNan, -kInf, kInf, -0.0, 0.0, 1.5, -2.25, 1e300,
+                         -1e300, 3.0, kNan, 7.5, kInf, -8.125, 42.0, -1.0};
+  const char* strs[] = {"apple", "cherry", "mango", "zebra"};
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 16; ++i) {
+    rows.push_back({Value{i}, Value{vals[i]}, Value{std::string(strs[i % 4])}});
+  }
+  return rows;
+}
+
+TEST(FusedKernelTest, NanAndInfCompareAndSumBitIdentical) {
+  GlobalConfigGuard guard;
+  SetDefaultFragmentRows(5);
+  Table t("t", NumStrSchema(), SpecialRows());
+  Catalog catalog{{"t", &t}};
+  engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+
+  // Every comparison op, with NaN/±inf on both sides of the predicate and
+  // inside the summed column. The engine's Compare(NaN, y) == 0 contract
+  // makes NaN "equal" to everything — the fused kernels must replicate
+  // that exactly, not IEEE semantics.
+  std::vector<ExprPtr> preds = {
+      Lt(Col("v"), Lit(1.0)),      Le(Col("v"), Lit(0.0)),
+      Gt(Col("v"), Lit(-1.0)),     Ge(Col("v"), Lit(kInf)),
+      Eq(Col("v"), Lit(0.0)),      Ne(Col("v"), Lit(1.5)),
+      Lt(Lit(0.0), Col("v")),      Ge(Lit(1.5), Col("v")),
+      Eq(Col("v"), Lit(-kInf)),    Gt(Col("v"), Lit(-kInf)),
+      Lt(Col("id"), Lit(int64_t{9})), Ge(Col("id"), Lit(7.5)),
+  };
+  for (size_t i = 0; i < preds.size(); ++i) {
+    PlanPtr filtered = FilterPlan(ScanPlan("t"), preds[i]);
+    ExpectTriEqual(&ctx, catalog, CountPlan(filtered),
+                   "count pred#" + std::to_string(i));
+    ExpectTriEqual(&ctx, catalog, SumPlan(filtered, Col("v")),
+                   "sum pred#" + std::to_string(i));
+    ExpectTriEqual(&ctx, catalog, MinPlan(filtered, Col("v")),
+                   "min pred#" + std::to_string(i));
+    ExpectTriEqual(&ctx, catalog, MaxPlan(filtered, Col("v")),
+                   "max pred#" + std::to_string(i));
+  }
+}
+
+TEST(FusedKernelTest, EmptySelectionShortCircuits) {
+  GlobalConfigGuard guard;
+  SetDefaultFragmentRows(5);
+  Table t("t", NumStrSchema(), SpecialRows());
+  Catalog catalog{{"t", &t}};
+  engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+
+  // First conjunct kills every row; the chain must stop there. Count/Sum
+  // over the empty selection are exact zeros; Avg/Min/Max fail with
+  // FAILED_PRECONDITION on all three paths.
+  PlanPtr empty = FilterPlan(
+      FilterPlan(ScanPlan("t"), Lt(Col("id"), Lit(int64_t{-1}))),
+      Gt(Col("v"), Lit(0.0)));
+  Result<ExecResult> count =
+      ExpectTriEqual(&ctx, catalog, CountPlan(empty), "empty count");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value().output, 0.0);
+  ExpectTriEqual(&ctx, catalog, SumPlan(empty, Col("v")), "empty sum");
+  Result<ExecResult> avg =
+      ExpectTriEqual(&ctx, catalog, AvgPlan(empty, Col("v")), "empty avg");
+  EXPECT_FALSE(avg.ok());
+  EXPECT_EQ(avg.status().code(), StatusCode::kFailedPrecondition);
+  ExpectTriEqual(&ctx, catalog, MinPlan(empty, Col("v")), "empty min");
+  ExpectTriEqual(&ctx, catalog, MaxPlan(empty, Col("v")), "empty max");
+}
+
+TEST(FusedKernelTest, DictCodeBoundaryLiterals) {
+  GlobalConfigGuard guard;
+  SetDefaultFragmentRows(5);
+  Table t("t", NumStrSchema(), SpecialRows());
+  Catalog catalog{{"t", &t}};
+  engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+
+  // Literals below all codes, equal to the lowest/highest, between two
+  // codes (absent), and above all codes — for every comparison op and both
+  // operand orders. These exercise the [lit_lb, lit_ub) pre-resolution.
+  const char* lits[] = {"aaa", "apple", "banana", "cherry", "mango",
+                        "watermelon", "zebra", "zzz"};
+  size_t case_id = 0;
+  for (const char* lit : lits) {
+    for (auto mk : {&Lt, &Le, &Gt, &Ge, &Eq, &Ne}) {
+      PlanPtr f1 = FilterPlan(ScanPlan("t"), (*mk)(Col("s"), Lit(lit)));
+      PlanPtr f2 = FilterPlan(ScanPlan("t"), (*mk)(Lit(lit), Col("s")));
+      ExpectTriEqual(&ctx, catalog, CountPlan(f1),
+                     "str count#" + std::to_string(case_id));
+      ExpectTriEqual(&ctx, catalog, SumPlan(f2, Col("v")),
+                     "str sum#" + std::to_string(case_id));
+      ++case_id;
+    }
+  }
+}
+
+TEST(FusedKernelTest, ZoneMapDecisiveFragmentsStaySafe) {
+  GlobalConfigGuard guard;
+  SetDefaultFragmentRows(10);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    rows.push_back({Value{i}, Value{static_cast<double>(i) * 0.5},
+                    Value{std::string(i < 50 ? "lo" : "hi")}});
+  }
+  Table t("t", NumStrSchema(), rows);
+  Catalog catalog{{"t", &t}};
+
+  // The fused path skips on the CONJOINED predicate: the second conjunct
+  // (id < 25) is zone-decisive for fragments the first conjunct alone
+  // would keep. Fused may therefore skip strictly more fragments than the
+  // interpreted scan (which only consults the innermost conjunct) — but
+  // outputs must stay bit-identical, and skipped+scanned must tile the
+  // fragment directory on both paths.
+  PlanPtr plan = SumPlan(
+      FilterPlan(FilterPlan(ScanPlan("t"), Gt(Col("v"), Lit(2.0))),
+                 Lt(Col("id"), Lit(int64_t{25}))),
+      Col("v"));
+
+  engine::ExecContext interp_ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+  engine::ExecContext fused_ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+  ExecOptions opts;
+  opts.engine = ExecEngine::kColumnar;
+  Result<ExecResult> interp = PlanExecutor(&interp_ctx, &catalog)
+                                  .Execute(WithFuseMode(plan, FuseMode::kInterpret), opts);
+  Result<ExecResult> fused = PlanExecutor(&fused_ctx, &catalog)
+                                 .Execute(WithFuseMode(plan, FuseMode::kFuse), opts);
+  ASSERT_TRUE(interp.ok()) << interp.status().ToString();
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_EQ(Bits(interp.value().output), Bits(fused.value().output));
+
+  engine::MetricsSnapshot is = interp_ctx.metrics().Snapshot();
+  engine::MetricsSnapshot fs = fused_ctx.metrics().Snapshot();
+  uint64_t interp_total = is.counters["columnar/fragments_scanned"] +
+                          is.counters["columnar/fragments_skipped"];
+  uint64_t fused_total = fs.counters["columnar/fragments_scanned"] +
+                         fs.counters["columnar/fragments_skipped"];
+  EXPECT_EQ(interp_total, 10u);
+  EXPECT_EQ(fused_total, 10u);
+  EXPECT_GE(fs.counters["columnar/fragments_skipped"],
+            is.counters["columnar/fragments_skipped"]);
+  // id >= 30 (fragments 3..9) fails the conjoined zone test outright.
+  EXPECT_GE(fs.counters["columnar/fragments_skipped"], 7u);
+}
+
+TEST(FusedKernelTest, GenericFallbacksMatch) {
+  GlobalConfigGuard guard;
+  SetDefaultFragmentRows(5);
+  Table t("t", NumStrSchema(), SpecialRows());
+  Catalog catalog{{"t", &t}};
+  engine::ExecContext ctx(
+      engine::ExecConfig{.threads = 2, .default_partitions = 2});
+
+  // Predicates the specialized kernels decline (NOT / OR / IN / col-col)
+  // fall back to the generic compiled-expression conjunct; weights beyond
+  // col and col*lit fall back to the generic projection. All still fused
+  // into one pass, all still bit-identical.
+  PlanPtr f = FilterPlan(
+      FilterPlan(ScanPlan("t"),
+                 Or(Lt(Col("v"), Lit(0.0)), Eq(Col("s"), Lit("zebra")))),
+      Not(In(Col("id"), {Value{int64_t{3}}, Value{int64_t{7}}})));
+  ExpectTriEqual(&ctx, catalog, CountPlan(f), "generic count");
+  ExpectTriEqual(&ctx, catalog, SumPlan(f, Mul(Col("v"), Col("v"))),
+                 "generic col*col");
+  ExpectTriEqual(&ctx, catalog, SumPlan(f, Mul(Lit(2.5), Col("v"))),
+                 "generic lit*col");
+  ExpectTriEqual(&ctx, catalog,
+                 SumPlan(f, Add(Mul(Col("v"), Lit(0.5)), Col("id"))),
+                 "generic arith");
+  ExpectTriEqual(&ctx, catalog, AvgPlan(f, Col("v")), "generic avg");
+}
+
+TEST(FusedKernelTest, LayoutAndThreadSweepBitIdentical) {
+  GlobalConfigGuard guard;
+  Table t("t", NumStrSchema(), SpecialRows());
+  Catalog catalog{{"t", &t}};
+
+  PlanPtr plan = SumPlan(
+      FilterPlan(FilterPlan(ScanPlan("t"), Ge(Col("v"), Lit(-kInf))),
+                 Ne(Col("s"), Lit("cherry"))),
+      Mul(Col("v"), Lit(2.0)));
+
+  // Baseline once, then sweep fragment sizes × thread counts.
+  engine::ExecContext base_ctx(
+      engine::ExecConfig{.threads = 1, .default_partitions = 1});
+  ExecOptions opts;
+  opts.engine = ExecEngine::kRowOracle;
+  Result<ExecResult> base = PlanExecutor(&base_ctx, &catalog).Execute(plan, opts);
+  ASSERT_TRUE(base.ok());
+
+  for (size_t frag : {size_t{3}, size_t{7}, size_t{64} * 1024}) {
+    SetDefaultFragmentRows(frag);
+    t.ReleaseCaches();
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      engine::ExecContext ctx(
+          engine::ExecConfig{.threads = threads, .default_partitions = threads});
+      ExecOptions col;
+      col.engine = ExecEngine::kColumnar;
+      Result<ExecResult> fused = PlanExecutor(&ctx, &catalog)
+                                     .Execute(WithFuseMode(plan, FuseMode::kFuse), col);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      EXPECT_EQ(Bits(base.value().output), Bits(fused.value().output))
+          << "frag=" << frag << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FusedPlanTest, OptimizerMarksFusibleRoots) {
+  Table t("t", NumStrSchema(), SpecialRows());
+  Catalog catalog{{"t", &t}};
+  PlanPtr plan =
+      CountPlan(FilterPlan(ScanPlan("t"), Lt(Col("id"), Lit(int64_t{5}))));
+  ASSERT_TRUE(FusableShape(plan).has_value());
+
+  PlanPtr optimized = Optimize(plan, catalog);
+  EXPECT_EQ(optimized->fuse, FuseMode::kFuse);
+  PlanPtr untouched = Optimize(plan, catalog, OptimizerOptions::Disabled());
+  EXPECT_EQ(untouched->fuse, FuseMode::kAuto);
+
+  // The fusion decision is a physical plan property: fingerprints of the
+  // physical forms differ, the logical rendering does not.
+  EXPECT_NE(PlanFingerprint(WithFuseMode(plan, FuseMode::kFuse), catalog),
+            PlanFingerprint(WithFuseMode(plan, FuseMode::kInterpret), catalog));
+  EXPECT_EQ(PlanToString(WithFuseMode(plan, FuseMode::kFuse)),
+            PlanToString(plan));
+
+  // Joins and bare aggregates over joins never fuse.
+  PlanPtr join = CountPlan(
+      JoinPlan(ScanPlan("t"), ScanPlan("t"), "id", "id"));
+  EXPECT_FALSE(FusableShape(join).has_value());
+}
+
+}  // namespace
+}  // namespace upa::rel

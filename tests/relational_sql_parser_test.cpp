@@ -155,5 +155,151 @@ TEST(SqlParserTest, RoundTripsTpchStyleQueries) {
   }
 }
 
+// -- Golden error messages --------------------------------------------------
+// These pin the exact position and offending token, not just the code: the
+// console surfaces these verbatim, so the messages are part of the contract.
+
+TEST(SqlParserGoldenErrorTest, UnterminatedStringCarriesExactPosition) {
+  auto r = ParseSqlSelect("SELECT COUNT(*) FROM t WHERE s = 'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "unterminated string literal at 33");
+}
+
+TEST(SqlParserGoldenErrorTest, TrailingCommaInInListNamesTheToken) {
+  auto r = ParseSqlSelect("SELECT COUNT(*) FROM t WHERE k IN (1, 2,)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(),
+            "expected literal in IN list near position 40 (')')");
+}
+
+TEST(SqlParserGoldenErrorTest, HavingWithoutGroupByPointsAtHaving) {
+  auto r = ParseSqlSelect("SELECT COUNT(*) FROM t HAVING COUNT(*) > 0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(),
+            "HAVING requires GROUP BY near position 23 ('HAVING')");
+}
+
+TEST(SqlParserGoldenErrorTest, NegativeLimitPointsAtTheSign) {
+  auto r = ParseSqlSelect("SELECT COUNT(*) FROM t LIMIT -1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(),
+            "LIMIT requires a non-negative integer literal near position 29 "
+            "('-')");
+
+  auto frac = ParseSqlSelect("SELECT COUNT(*) FROM t LIMIT 2.5");
+  ASSERT_FALSE(frac.ok());
+  EXPECT_EQ(frac.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SqlParserGoldenErrorTest, AggregateContextRules) {
+  auto in_where =
+      ParseSqlSelect("SELECT COUNT(*) FROM t WHERE SUM(x) > 3");
+  ASSERT_FALSE(in_where.ok());
+  EXPECT_NE(in_where.status().message().find("aggregate calls are only"),
+            std::string::npos);
+
+  auto nested = ParseSqlSelect("SELECT SUM(AVG(x)) FROM t");
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.status().message().find("nested aggregate calls"),
+            std::string::npos);
+
+  auto ungrouped = ParseSqlSelect("SELECT x, COUNT(*) FROM t");
+  ASSERT_FALSE(ungrouped.ok());
+  EXPECT_NE(
+      ungrouped.status().message().find("must appear in GROUP BY"),
+      std::string::npos);
+}
+
+// -- The wider single-block grammar -----------------------------------------
+
+TEST(SqlSelectTest, GroupByHavingOrderByLimitParse) {
+  auto r = ParseSqlSelect(
+      "SELECT l_returnflag, SUM(l_quantity) AS qty, COUNT(*) "
+      "FROM lineitem WHERE l_shipdate < 700 "
+      "GROUP BY l_returnflag HAVING COUNT(*) > 10 "
+      "ORDER BY qty DESC, l_returnflag LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SqlSelect& s = r.value();
+  ASSERT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[0].name, "l_returnflag");
+  EXPECT_EQ(s.items[1].name, "qty");
+  EXPECT_EQ(s.items[1].alias, "qty");
+  EXPECT_EQ(s.items[2].name, "COUNT(*)");
+  ASSERT_EQ(s.aggs.size(), 2u);
+  EXPECT_EQ(s.aggs[0].kind, AggKind::kSum);
+  EXPECT_EQ(s.aggs[1].kind, AggKind::kCount);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  EXPECT_EQ(s.group_by[0], "l_returnflag");
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  // The alias resolved to the aliased item's expression: the "$agg0" ref.
+  EXPECT_EQ(s.order_by[0].expr->ToString(), s.items[1].expr->ToString());
+  EXPECT_FALSE(s.order_by[1].desc);
+  EXPECT_EQ(s.limit, 5);
+  EXPECT_EQ(PlanToString(s.relation),
+            "Filter(Scan(lineitem), (l_shipdate < 700))");
+}
+
+TEST(SqlSelectTest, DuplicateAggregatesShareOneSlot) {
+  auto r = ParseSqlSelect(
+      "SELECT SUM(x), AVG(x), SUM(x) * 2, SUM(x + 1) FROM t GROUP BY k "
+      "HAVING SUM(x) > 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // SUM(x) appears three times (twice in items, once in HAVING) but is
+  // hoisted once; AVG(x) and SUM(x + 1) are distinct slots. (Items need
+  // not mention every group key — k appears only in GROUP BY here.)
+  EXPECT_EQ(r.value().aggs.size(), 3u);
+}
+
+TEST(SqlSelectTest, OrderByOrdinalResolvesToItem) {
+  auto r = ParseSqlSelect(
+      "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag "
+      "ORDER BY 2 DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().order_by.size(), 1u);
+  EXPECT_EQ(r.value().order_by[0].expr->ToString(),
+            r.value().items[1].expr->ToString());
+
+  auto bad = ParseSqlSelect(
+      "SELECT COUNT(*) FROM t GROUP BY k ORDER BY 3");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(SqlSelectTest, ParseSqlStillCoversTheScalarSubsetOnly) {
+  // The DP release entry point keeps its old contract: bare aggregates
+  // lower to plans, anything wider points at ExecuteSelect.
+  auto scalar = ParseSql("SELECT SUM(x * 2) FROM t WHERE k < 5");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(PlanToString(scalar.value()),
+            "Sum(Filter(Scan(t), (k < 5)), (x * 2))");
+
+  for (const char* wide :
+       {"SELECT COUNT(*), SUM(x) FROM t",
+        "SELECT k, COUNT(*) FROM t GROUP BY k",
+        "SELECT SUM(x) * 2 FROM t",
+        "SELECT SUM(x) FROM t GROUP BY k"}) {
+    auto r = ParseSql(wide);
+    ASSERT_FALSE(r.ok()) << wide;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << wide;
+    EXPECT_NE(r.status().message().find("ExecuteSelect"), std::string::npos)
+        << wide;
+  }
+}
+
+TEST(SqlSelectTest, AggregateKeywordsStayUsableAsColumnNames) {
+  // "min"/"count" without a following '(' are ordinary identifiers.
+  auto r = ParseSqlSelect("SELECT SUM(min) FROM t WHERE count > 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().aggs.size(), 1u);
+  ASSERT_NE(r.value().aggs[0].expr, nullptr);
+  EXPECT_EQ(r.value().aggs[0].expr->ToString(), "min");
+}
+
 }  // namespace
 }  // namespace upa::rel
